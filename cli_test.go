@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIToolchain builds the command-line tools and drives the documented
+// workflow end to end: dmpcc compiles and annotates a DML program, dmpprof
+// inspects its profile, and dmpsim shows a DMP speedup over baseline on a
+// hard-to-predict workload.
+func TestCLIToolchain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping tool builds")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	dmpcc := build("dmpcc")
+	dmpprof := build("dmpprof")
+	dmpsim := build("dmpsim")
+
+	src := filepath.Join(dir, "prog.dml")
+	err := os.WriteFile(src, []byte(`
+var acc = 0;
+func main() {
+	while (inavail()) {
+		var v = in();
+		if (v & 1) { acc = acc + v; } else { acc = acc - 1; }
+	}
+	out(acc);
+}
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := filepath.Join(dir, "tape.txt")
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintln(&sb, rng.Intn(1024))
+	}
+	if err := os.WriteFile(tape, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "prog.dmp")
+	run := func(name string, args ...string) string {
+		cmd := exec.Command(name, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(name), args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run(dmpcc, "-src", src, "-in", tape, "-o", bin)
+	if !strings.Contains(out, "diverge branches") {
+		t.Errorf("dmpcc output: %q", out)
+	}
+	// The optimizer path must also produce a loadable binary.
+	run(dmpcc, "-src", src, "-in", tape, "-O", "-o", filepath.Join(dir, "prog_opt.dmp"))
+	// Disassembly mode mentions the annotation.
+	asm := run(dmpcc, "-src", src, "-in", tape, "-S")
+	if !strings.Contains(asm, "main:") {
+		t.Errorf("disassembly missing main:\n%s", asm[:min(len(asm), 400)])
+	}
+
+	prof := run(dmpprof, "-bin", bin, "-in", tape, "-top", "3")
+	if !strings.Contains(prof, "MPKI") || !strings.Contains(prof, "mispredicted branches") {
+		t.Errorf("dmpprof output: %q", prof)
+	}
+
+	base := run(dmpsim, "-bin", bin, "-in", tape)
+	dmp := run(dmpsim, "-bin", bin, "-in", tape, "-dmp")
+	baseIPC := extractFloat(t, base, "IPC")
+	dmpIPC := extractFloat(t, dmp, "IPC")
+	if dmpIPC <= baseIPC {
+		t.Errorf("CLI DMP IPC %v <= baseline %v\nbaseline:\n%s\ndmp:\n%s", dmpIPC, baseIPC, base, dmp)
+	}
+	if !strings.Contains(dmp, "dpred entries") {
+		t.Errorf("dmpsim -dmp output missing dpred stats:\n%s", dmp)
+	}
+}
+
+func extractFloat(t *testing.T, out, field string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, field) {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(line, field)), "%f", &v); err == nil {
+				return v
+			}
+		}
+	}
+	t.Fatalf("field %q not found in:\n%s", field, out)
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

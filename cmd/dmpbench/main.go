@@ -1,0 +1,79 @@
+// Dmpbench regenerates the paper's evaluation: Tables 1-2 and Figures 5-10.
+//
+// Usage:
+//
+//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10]
+//	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
+//
+// Each experiment prints a text table with one column per benchmark and an
+// arithmetic-mean summary column. Expect the full evaluation to take a few
+// minutes: it runs hundreds of cycle-level simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmp/internal/harness"
+	"dmp/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
+	scale := flag.Int("scale", 1, "input scale factor")
+	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
+	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallelism: *par}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		harness.Table1(os.Stdout)
+		fmt.Println()
+		if *exp == "table1" {
+			return
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "dmpbench: preparing workloads (compile + profile)...")
+	s, err := harness.NewSession(opts)
+	check(err)
+	fmt.Fprintf(os.Stderr, "dmpbench: %d workloads ready in %v\n", len(s.Workloads), time.Since(start).Round(time.Millisecond))
+
+	run := func(name string, fn func(*harness.Session) (*stats.Table, error)) {
+		if !want(name) {
+			return
+		}
+		t0 := time.Now()
+		tbl, err := fn(s)
+		check(err)
+		tbl.Render(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table2", harness.Table2)
+	run("fig5left", harness.Fig5Left)
+	run("fig5right", harness.Fig5Right)
+	run("fig6", harness.Fig6)
+	run("fig7", func(s *harness.Session) (*stats.Table, error) { return harness.Fig7(s, nil, nil) })
+	run("fig8", harness.Fig8)
+	run("fig9", harness.Fig9)
+	run("fig10", harness.Fig10)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmpbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+// Dmpcc compiles DML source to an annotated DISA binary: it runs the front
+// end and code generator, profiles the program on an input tape, runs the
+// selected diverge-branch selection algorithm, and writes the binary with
+// its DMP annotation sidecar.
+//
+// Usage:
+//
+//	dmpcc -src prog.dml -in inputs.txt -o prog.dmp [-algo heur|cost-long|cost-edge|every|random50|highbp|immediate|ifelse|none] [-S]
+//
+// The input file holds one decimal value per line (the profiling tape).
+// With -S the annotated disassembly is printed instead of writing a binary.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmp/internal/codegen"
+	"dmp/internal/core"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+)
+
+func main() {
+	src := flag.String("src", "", "DML source file")
+	in := flag.String("in", "", "profiling input tape (one integer per line; optional)")
+	out := flag.String("o", "a.dmp", "output binary path")
+	algo := flag.String("algo", "heur", "selection algorithm: heur, cost-long, cost-edge, every, random50, highbp, immediate, ifelse, none")
+	asm := flag.Bool("S", false, "print annotated disassembly instead of writing the binary")
+	opt := flag.Bool("O", false, "run the IR optimizer (constant folding, branch simplification, dead-block elimination)")
+	flag.Parse()
+
+	if *src == "" {
+		fmt.Fprintln(os.Stderr, "dmpcc: -src is required")
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*src)
+	check(err)
+	var prog *isa.Program
+	if *opt {
+		prog, err = codegen.CompileSourceOptimized(string(text))
+	} else {
+		prog, err = codegen.CompileSource(string(text))
+	}
+	check(err)
+
+	var input []int64
+	if *in != "" {
+		input, err = readTape(*in)
+		check(err)
+	}
+
+	if *algo != "none" {
+		prof, err := profile.Collect(prog, input, profile.Options{})
+		check(err)
+		annots, err := selectAnnots(prog, prof, *algo)
+		check(err)
+		prog.Annots = annots
+	}
+
+	if *asm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	f, err := os.Create(*out)
+	check(err)
+	defer f.Close()
+	_, err = prog.WriteTo(f)
+	check(err)
+	fmt.Printf("dmpcc: wrote %s (%d instructions, %d diverge branches)\n",
+		*out, len(prog.Code), prog.NumDivergeBranches())
+}
+
+func selectAnnots(prog *isa.Program, prof *profile.Profile, algo string) (map[int]*isa.DivergeInfo, error) {
+	switch algo {
+	case "heur":
+		r, err := core.Select(prog, prof, core.HeuristicParams())
+		if err != nil {
+			return nil, err
+		}
+		return r.Annots, nil
+	case "cost-long":
+		r, err := core.Select(prog, prof, core.CostParams(core.LongestPath))
+		if err != nil {
+			return nil, err
+		}
+		return r.Annots, nil
+	case "cost-edge":
+		r, err := core.Select(prog, prof, core.CostParams(core.EdgeWeighted))
+		if err != nil {
+			return nil, err
+		}
+		return r.Annots, nil
+	}
+	var b core.Baseline
+	switch algo {
+	case "every":
+		b = core.EveryBranch
+	case "random50":
+		b = core.Random50
+	case "highbp":
+		b = core.HighBP5
+	case "immediate":
+		b = core.Immediate
+	case "ifelse":
+		b = core.IfElse
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	r, err := core.SelectBaseline(prog, prof, b, 1)
+	if err != nil {
+		return nil, err
+	}
+	return r.Annots, nil
+}
+
+func readTape(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tape []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tape value %q: %w", line, err)
+		}
+		tape = append(tape, v)
+	}
+	return tape, sc.Err()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmpcc:", err)
+		os.Exit(1)
+	}
+}

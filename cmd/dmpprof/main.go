@@ -1,0 +1,111 @@
+// Dmpprof profiles a DISA binary on an input tape and writes (or prints)
+// the edge/misprediction profile the selection compiler consumes.
+//
+// Usage:
+//
+//	dmpprof -bin prog.dmp [-in inputs.txt] [-o prog.prof] [-top N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+)
+
+func main() {
+	bin := flag.String("bin", "", "DISA binary (from dmpcc)")
+	in := flag.String("in", "", "input tape (one integer per line)")
+	out := flag.String("o", "", "write the binary profile to this path")
+	top := flag.Int("top", 10, "print the N most mispredicted branches")
+	flag.Parse()
+
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "dmpprof: -bin is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*bin)
+	check(err)
+	prog, err := isa.ReadProgram(f)
+	f.Close()
+	check(err)
+
+	var input []int64
+	if *in != "" {
+		input, err = readTape(*in)
+		check(err)
+	}
+
+	prof, err := profile.Collect(prog, input, profile.Options{})
+	check(err)
+
+	fmt.Printf("retired  %d\n", prof.TotalRetired)
+	fmt.Printf("MPKI     %.2f\n", prof.MPKI())
+
+	type br struct {
+		pc   int
+		misp uint64
+	}
+	var brs []br
+	for pc, m := range prof.Mispred {
+		brs = append(brs, br{pc, m})
+	}
+	sort.Slice(brs, func(i, j int) bool { return brs[i].misp > brs[j].misp })
+	if *top > len(brs) {
+		*top = len(brs)
+	}
+	fmt.Printf("top %d mispredicted branches:\n", *top)
+	for _, b := range brs[:*top] {
+		fn := "?"
+		if fr := prog.FuncAt(b.pc); fr != nil {
+			fn = fr.Name
+		}
+		fmt.Printf("  pc=%-6d %-12s exec=%-8d misp=%-8d rate=%.1f%% taken=%.1f%%\n",
+			b.pc, fn, prof.BranchExec(b.pc), b.misp,
+			prof.MispRate(b.pc)*100, prof.TakenProb(b.pc)*100)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		_, err = prof.WriteTo(f)
+		check(err)
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func readTape(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tape []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tape value %q: %w", line, err)
+		}
+		tape = append(tape, v)
+	}
+	return tape, sc.Err()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmpprof:", err)
+		os.Exit(1)
+	}
+}

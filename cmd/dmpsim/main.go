@@ -1,0 +1,101 @@
+// Dmpsim runs the cycle-level processor model on a DISA binary, in baseline
+// or diverge-merge (DMP) mode, and prints the performance statistics.
+//
+// Usage:
+//
+//	dmpsim -bin prog.dmp [-in inputs.txt] [-dmp] [-max N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmp/internal/isa"
+	"dmp/internal/pipeline"
+)
+
+func main() {
+	bin := flag.String("bin", "", "DISA binary (from dmpcc)")
+	in := flag.String("in", "", "input tape (one integer per line)")
+	dmp := flag.Bool("dmp", false, "enable dynamic predication")
+	maxInsts := flag.Uint64("max", 0, "simulate at most N instructions (0 = all)")
+	flag.Parse()
+
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "dmpsim: -bin is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*bin)
+	check(err)
+	prog, err := isa.ReadProgram(f)
+	f.Close()
+	check(err)
+
+	var input []int64
+	if *in != "" {
+		input, err = readTape(*in)
+		check(err)
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.DMP = *dmp
+	cfg.MaxInsts = *maxInsts
+	st, err := pipeline.Run(prog, input, cfg)
+	check(err)
+
+	mode := "baseline"
+	if *dmp {
+		mode = "DMP"
+	}
+	fmt.Printf("mode             %s\n", mode)
+	fmt.Printf("cycles           %d\n", st.Cycles)
+	fmt.Printf("retired          %d\n", st.Retired)
+	fmt.Printf("IPC              %.4f\n", st.IPC())
+	fmt.Printf("MPKI             %.2f\n", st.MPKI())
+	fmt.Printf("flushes          %d (%.2f per KI)\n", st.Flushes, st.FlushesPerKI())
+	fmt.Printf("wrong-path fetch %d\n", st.WrongPathFetched)
+	if *dmp {
+		fmt.Printf("dpred entries    %d (%d loop)\n", st.DpredEntries, st.DpredLoopEntries)
+		fmt.Printf("merged/no-merge  %d / %d\n", st.DpredMerged, st.DpredNoMerge)
+		fmt.Printf("saved flushes    %d\n", st.DpredSavedFlushes)
+		fmt.Printf("select-uops      %d\n", st.SelectUops)
+		fmt.Printf("pred-FALSE NOPs  %d\n", st.Nopped)
+		fmt.Printf("loop exits       late=%d early=%d no-exit=%d\n", st.LoopLateExit, st.LoopEarlyExit, st.LoopNoExit)
+		fmt.Printf("confidence       PVN=%.2f coverage=%.2f\n", st.ConfPVN, st.ConfCoverage)
+	}
+	fmt.Printf("I$/D$/L2 miss%%   %.2f / %.2f / %.2f\n",
+		st.ICache.MissRate()*100, st.DCache.MissRate()*100, st.L2.MissRate()*100)
+}
+
+func readTape(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tape []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tape value %q: %w", line, err)
+		}
+		tape = append(tape, v)
+	}
+	return tape, sc.Err()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmpsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Costmodel walks the paper's Section 4 cost-benefit analysis (Equations
+// 1-16) on the Figure 2 control-flow graph, printing every intermediate
+// quantity: per-side instruction estimates under the longest-path and
+// edge-weighted methods, useful/useless instruction counts, merge
+// probabilities, the dpred overhead, and the final selection decision.
+//
+// Run with: go run ./examples/costmodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dmp/internal/codegen"
+	"dmp/internal/core"
+	"dmp/internal/pipeline"
+	"dmp/internal/profile"
+)
+
+// The Figure 2 shape: after the diverge branch at A, the taken side goes to
+// C (then usually H, sometimes G then H) and the fall-through side goes to B
+// (then E or D, D to E or F; F leaves without merging). H is the
+// frequently-executed merge point.
+const src = `
+var acc = 0;
+var leaked = 0;
+
+func spill(v) {
+	var t = 0;
+	for (var k = 0; k < 9; k = k + 1) { t = t + ((v >> k) & 7); }
+	return t;
+}
+
+func main() {
+	while (inavail()) {
+		var v = in();
+		if (v & 1) {
+			// block C, then G on a minority of values.
+			acc = acc + v;
+			if ((v & 6) == 6) { acc = acc + 3; }
+		} else {
+			// block B -> D or E; D can escape to F (no merge).
+			acc = acc - v;
+			if ((v & 2) != 0) {
+				acc = acc ^ 5;
+				if ((v & 1020) == 0) {
+					leaked = leaked + spill(v) + spill(v >> 3);
+				}
+			}
+			acc = acc + 1;
+		}
+		// block H: the control-flow merge point.
+		acc = acc + (v >> 8);
+	}
+	out(acc);
+	out(leaked);
+}
+`
+
+func main() {
+	prog, err := codegen.CompileSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	input := make([]int64, 40000)
+	for i := range input {
+		input[i] = int64(rng.Intn(1 << 12))
+	}
+	prof, err := profile.Collect(prog, input, profile.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Cost-benefit analysis (Section 4) on the Figure 2 CFG")
+	fmt.Println()
+	fmt.Println("model constants: Acc_Conf = 0.40, misp_penalty = 25 cycles, fw = 8")
+	fmt.Println("decision rule (Eq. 1/4): select iff")
+	fmt.Println("  overhead*(1-Acc_Conf) + (overhead-misp_penalty)*Acc_Conf < 0")
+	fmt.Printf("  i.e. overhead < misp_penalty*Acc_Conf/(1) = %.1f fetch cycles\n", 25.0*0.40)
+	fmt.Println()
+
+	for _, method := range []core.OverheadMethod{core.LongestPath, core.EdgeWeighted} {
+		name := "method 2 (longest path)"
+		if method == core.EdgeWeighted {
+			name = "method 3 (edge-weighted average)"
+		}
+		params := core.CostParams(method)
+		params.EnableShort = false
+		params.EnableLoops = false
+		res, err := core.Select(prog, prof, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  candidates considered: %d, selected: %d, rejected by cost: %d\n",
+			res.Stats.CandidatesConsidered, res.Stats.Selected(), res.Stats.RejectedByCost)
+		for pc, a := range res.Annots {
+			fn := "?"
+			if f := prog.FuncAt(pc); f != nil {
+				fn = f.Name
+			}
+			fmt.Printf("  selected pc=%d (%s): misp=%.1f%%, CFMs=%v\n",
+				pc, fn, prof.MispRate(pc)*100, a.CFMs)
+		}
+		fmt.Println()
+	}
+
+	// Show that the selection pays off end to end.
+	params := core.CostParams(core.EdgeWeighted)
+	res, err := core.Select(prog, prof, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := pipeline.Run(prog.WithAnnots(nil), input, pipeline.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.DMP = true
+	dmp, err := pipeline.Run(prog.WithAnnots(res.Annots), input, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: baseline IPC %.3f -> DMP IPC %.3f (%+.1f%%), flushes %d -> %d\n",
+		base.IPC(), dmp.IPC(), (dmp.IPC()/base.IPC()-1)*100, base.Flushes, dmp.Flushes)
+}

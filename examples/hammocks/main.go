@@ -1,0 +1,142 @@
+// Hammocks builds the four CFG shapes of the paper's Figure 3 — simple
+// hammock, nested hammock, frequently-hammock and loop — and shows which
+// diverge branches and CFM points each selection algorithm picks for them.
+//
+// Run with: go run ./examples/hammocks
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dmp/internal/codegen"
+	"dmp/internal/core"
+	"dmp/internal/profile"
+)
+
+const src = `
+var acc = 0;
+var esc = 0;
+
+// Figure 3a: a simple hammock (if-else, no intervening control flow).
+func simple(v) {
+	if (v & 1) { acc = acc + v; } else { acc = acc - v; }
+	return acc;
+}
+
+// Figure 3b: a nested hammock.
+func nested(v, w) {
+	if (v & 1) {
+		if (w & 1) { acc = acc + 2; } else { acc = acc - 2; }
+	} else {
+		acc = acc ^ v;
+	}
+	return acc;
+}
+
+// Figure 3c: a frequently-hammock — one arm can escape through a long
+// cleanup that prevents reconvergence within the analysis bounds, but it
+// rarely executes.
+func freq(v, w) {
+	if (v & 1) {
+		acc = acc + v;
+		if ((w & 127) == 0) {
+			esc = esc + cleanup(v) + cleanup(w);
+		}
+	} else {
+		acc = acc - v;
+	}
+	return acc;
+}
+
+func cleanup(v) {
+	var t = 0;
+	for (var k = 0; k < 8; k = k + 1) { t = t + ((v >> k) & 3); }
+	return t;
+}
+
+// Figure 3d: a loop whose exit branch is data dependent.
+func scan(v) {
+	var n = 0;
+	while (n < (v & 7)) { n = n + 1; }
+	return n;
+}
+
+func main() {
+	while (inavail()) {
+		var v = in();
+		var w = in();
+		simple(v);
+		nested(v, w);
+		freq(v, w);
+		acc = acc + scan(v);
+	}
+	out(acc);
+	out(esc);
+}
+`
+
+func main() {
+	prog, err := codegen.CompileSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	input := make([]int64, 2*20000)
+	for i := range input {
+		input[i] = int64(rng.Intn(1 << 10))
+	}
+	prof, err := profile.Collect(prog, input, profile.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name   string
+		params core.Params
+	}{
+		{"Alg-exact", exactOnly()},
+		{"Alg-exact+Alg-freq", freqToo()},
+		{"All-best-heur", core.HeuristicParams()},
+		{"All-best-cost(edge)", core.CostParams(core.EdgeWeighted)},
+	}
+	for _, c := range configs {
+		res, err := core.Select(prog, prof, c.params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %2d diverge branches (S%d N%d F%d L%d, short %d, retCFM %d)\n",
+			c.name, res.Stats.Selected(), res.Stats.Simple, res.Stats.Nested,
+			res.Stats.Freq, res.Stats.Loop, res.Stats.Short, res.Stats.RetCFM)
+		for pc, a := range res.Annots {
+			fn := "?"
+			if f := prog.FuncAt(pc); f != nil {
+				fn = f.Name
+			}
+			kind := "hammock"
+			switch {
+			case a.Loop:
+				kind = "loop"
+			case a.Short:
+				kind = "short"
+			}
+			fmt.Printf("    pc=%-5d in %-8s %-8s CFMs=%v\n", pc, fn, kind, a.CFMs)
+		}
+	}
+}
+
+func exactOnly() core.Params {
+	p := core.HeuristicParams()
+	p.EnableFreq = false
+	p.EnableShort = false
+	p.EnableRetCFM = false
+	p.EnableLoops = false
+	return p
+}
+
+func freqToo() core.Params {
+	p := exactOnly()
+	p.EnableFreq = true
+	return p
+}

@@ -1,0 +1,87 @@
+// Inputsets reproduces the Section 7.3 analysis on a single benchmark: how
+// much does DMP performance change when the profiling input set differs from
+// the run-time input set, and how much do the selected diverge-branch sets
+// overlap? The gap benchmark is the corpus's most input-sensitive program
+// (its branch biases depend on where the input distribution sits relative to
+// its thresholds), mirroring the paper's observation about SPEC gap.
+//
+// Run with: go run ./examples/inputsets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmp/internal/bench"
+	"dmp/internal/core"
+	"dmp/internal/pipeline"
+	"dmp/internal/profile"
+)
+
+func main() {
+	b := bench.ByName("gap")
+	prog, err := b.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runIn := b.Input(bench.RunInput, 1)
+	trainIn := b.Input(bench.TrainInput, 1)
+
+	profRun, err := profile.Collect(prog, runIn, profile.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profTrain, err := profile.Collect(prog, trainIn, profile.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gap: run-input MPKI %.2f, train-input MPKI %.2f\n", profRun.MPKI(), profTrain.MPKI())
+
+	params := core.HeuristicParams()
+	selRun, err := core.Select(prog, profRun, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selTrain, err := core.Select(prog, profTrain, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var onlyRun, onlyTrain, both int
+	for pc := range selRun.Annots {
+		if selTrain.Annots[pc] != nil {
+			both++
+		} else {
+			onlyRun++
+		}
+	}
+	for pc := range selTrain.Annots {
+		if selRun.Annots[pc] == nil {
+			onlyTrain++
+		}
+	}
+	fmt.Printf("diverge branches: %d only-run, %d only-train, %d either (Figure 10's classification)\n",
+		onlyRun, onlyTrain, both)
+
+	base, err := pipeline.Run(prog.WithAnnots(nil), runIn, pipeline.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.DMP = true
+	same, err := pipeline.Run(prog.WithAnnots(selRun.Annots), runIn, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff, err := pipeline.Run(prog.WithAnnots(selTrain.Annots), runIn, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	imp := func(s pipeline.Stats) float64 { return (s.IPC()/base.IPC() - 1) * 100 }
+	fmt.Printf("\nDMP improvement, profiled on the run input (same):  %+.2f%%\n", imp(same))
+	fmt.Printf("DMP improvement, profiled on the train input (diff): %+.2f%%\n", imp(diff))
+	fmt.Println("\nEven when profiling selects a different branch set, the hardware only")
+	fmt.Println("predicates low-confidence instances at run time, so the performance")
+	fmt.Println("difference stays small (the paper's Section 7.3 conclusion).")
+}

@@ -1,0 +1,112 @@
+// Package bench provides the benchmark corpus: 17 DML programs standing in
+// for the 12 SPEC CPU2000 + 5 SPEC95 integer benchmarks the paper evaluates,
+// with two input sets each (run ≈ MinneSPEC reduced, train ≈ SPEC train).
+//
+// Each program is written to exhibit the control-flow trait the paper
+// attributes to its namesake (see the Trait field): short mispredicted
+// hammocks (vpr, mcf, twolf), frequently-hammocks with rare escapes (go,
+// gcc, crafty), unpredictable-exit loops (parser, gzip), hammocks merging at
+// returns (twolf, go), mostly-predictable code with low MPKI (vortex, gap,
+// m88ksim, eon), and so on. Absolute instruction counts are scaled down from
+// SPEC (hundreds of millions) to sub-millions so that the cycle-level
+// simulator can run the whole evaluation quickly; the relative behaviours
+// are what matter.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dmp/internal/codegen"
+	"dmp/internal/isa"
+)
+
+// InputSet selects the input tape family.
+type InputSet int
+
+const (
+	// RunInput is the evaluation input set (MinneSPEC-reduced analogue).
+	RunInput InputSet = iota
+	// TrainInput is the profiling input set (SPEC train analogue).
+	TrainInput
+)
+
+func (s InputSet) String() string {
+	if s == TrainInput {
+		return "train"
+	}
+	return "run"
+}
+
+// Benchmark is one corpus program.
+type Benchmark struct {
+	// Name matches the SPEC benchmark it stands in for.
+	Name string
+	// Trait documents the control-flow behaviour it reproduces.
+	Trait string
+	// Source is the DML program text.
+	Source string
+	// Input generates the input tape for a set at the given scale
+	// (scale 1 is the default evaluation size).
+	Input func(set InputSet, scale int) []int64
+
+	compileOnce sync.Once
+	prog        *isa.Program
+	compileErr  error
+}
+
+// Compile returns the benchmark's un-annotated DISA binary (cached).
+func (b *Benchmark) Compile() (*isa.Program, error) {
+	b.compileOnce.Do(func() {
+		b.prog, b.compileErr = codegen.CompileSource(b.Source)
+		if b.compileErr != nil {
+			b.compileErr = fmt.Errorf("bench %s: %w", b.Name, b.compileErr)
+		}
+	})
+	return b.prog, b.compileErr
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) *Benchmark {
+	registry = append(registry, b)
+	return b
+}
+
+// All returns the corpus in the paper's Table 2 order.
+func All() []*Benchmark { return registry }
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// rng returns the deterministic generator for a benchmark/input-set pair.
+// The two input sets use different seeds and, where generators choose to,
+// different distribution parameters.
+func rng(name string, set InputSet) *rand.Rand {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if set == TrainInput {
+		h ^= 0x5bf03635
+	}
+	return rand.New(rand.NewSource(h))
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"dmp/internal/emu"
+	"dmp/internal/profile"
+)
+
+func TestCorpusComplete(t *testing.T) {
+	want := []string{
+		"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk",
+		"gap", "vortex", "bzip2", "twolf", "compress", "go", "ijpeg", "li",
+		"m88ksim",
+	}
+	got := Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("corpus = %v, want %v", got, want)
+	}
+	if ByName("gzip") == nil || ByName("nonesuch") != nil {
+		t.Error("ByName lookup broken")
+	}
+	for _, b := range All() {
+		if b.Trait == "" {
+			t.Errorf("%s: missing trait documentation", b.Name)
+		}
+	}
+}
+
+func TestAllCompileAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			for _, set := range []InputSet{RunInput, TrainInput} {
+				input := b.Input(set, 1)
+				if len(input) == 0 {
+					t.Fatalf("%v input empty", set)
+				}
+				m := emu.New(prog, input, 0)
+				if _, err := m.Run(80_000_000); err != nil {
+					t.Fatalf("%v run: %v", set, err)
+				}
+				if len(m.Output) == 0 {
+					t.Errorf("%v: no output", set)
+				}
+				if m.Retired < 50_000 {
+					t.Errorf("%v: only %d dynamic instructions; too small to evaluate", set, m.Retired)
+				}
+				if m.Retired > 8_000_000 {
+					t.Errorf("%v: %d dynamic instructions; too large for the harness", set, m.Retired)
+				}
+			}
+		})
+	}
+}
+
+func TestInputSetsDiffer(t *testing.T) {
+	for _, b := range All() {
+		run := b.Input(RunInput, 1)
+		train := b.Input(TrainInput, 1)
+		if reflect.DeepEqual(run, train) {
+			t.Errorf("%s: run and train inputs identical", b.Name)
+		}
+	}
+}
+
+func TestInputDeterminism(t *testing.T) {
+	for _, b := range All() {
+		a := b.Input(RunInput, 1)
+		c := b.Input(RunInput, 1)
+		if !reflect.DeepEqual(a, c) {
+			t.Errorf("%s: input generation not deterministic", b.Name)
+		}
+	}
+}
+
+func TestScaleGrowsInput(t *testing.T) {
+	b := ByName("gzip")
+	if len(b.Input(RunInput, 2)) <= len(b.Input(RunInput, 1)) {
+		t.Error("scale did not grow the input")
+	}
+}
+
+// TestMPKIOrdering checks that the corpus reproduces the coarse Table 2
+// misprediction ordering: go is the most mispredicted, vortex/gap/m88ksim
+// the least.
+func TestMPKIOrdering(t *testing.T) {
+	mpki := map[string]float64{}
+	for _, name := range []string{"go", "gcc", "vortex", "gap", "m88ksim", "vpr"} {
+		b := ByName(name)
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profile.Collect(prog, b.Input(RunInput, 1), profile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpki[name] = prof.MPKI()
+	}
+	if mpki["go"] < mpki["gcc"] || mpki["go"] < mpki["vpr"] {
+		t.Errorf("go MPKI %v not the highest: %v", mpki["go"], mpki)
+	}
+	for _, low := range []string{"vortex", "gap", "m88ksim"} {
+		if mpki[low] > mpki["vpr"] {
+			t.Errorf("%s MPKI %v above vpr %v", low, mpki[low], mpki["vpr"])
+		}
+	}
+}

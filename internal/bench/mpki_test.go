@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"dmp/internal/profile"
+)
+
+// paperMPKI holds Table 2's mispredictions per kilo-instruction.
+var paperMPKI = map[string]float64{
+	"gzip": 5.1, "vpr": 9.4, "gcc": 12.6, "mcf": 5.4, "crafty": 5.5,
+	"parser": 8.3, "eon": 1.7, "perlbmk": 3.6, "gap": 1.0, "vortex": 1.0,
+	"bzip2": 7.7, "twolf": 6.0, "compress": 5.2, "go": 23.0, "ijpeg": 4.5,
+	"li": 5.9, "m88ksim": 1.3,
+}
+
+// TestMPKIWithinBand checks that every benchmark's misprediction rate lands
+// within a factor of three of its Table 2 namesake — the corpus is a
+// behavioural stand-in, not a cycle-exact clone, but the branch-behaviour
+// landscape must resemble the paper's.
+func TestMPKIWithinBand(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profile.Collect(prog, b.Input(RunInput, 1), profile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prof.MPKI()
+			want := paperMPKI[b.Name]
+			if got < want/3 || got > want*3 {
+				t.Errorf("MPKI = %.2f, outside [%.2f, %.2f] (paper %.1f)",
+					got, want/3, want*3, want)
+			}
+		})
+	}
+}

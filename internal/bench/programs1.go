@@ -1,0 +1,674 @@
+package bench
+
+// First half of the corpus: the SPEC CPU2000 stand-ins gzip..vortex.
+
+// Gzip models LZ-style compression: a per-symbol match loop whose trip count
+// is an unpredictable function of the data (the loop-type diverge branch the
+// paper credits for gzip's +6% from loop selection), plus a literal/match
+// hammock.
+var Gzip = register(&Benchmark{
+	Name:  "gzip",
+	Trait: "unpredictable-trip match loops; literal/match hammock",
+	Source: `
+var window[256];
+var wpos = 0;
+var literals = 0;
+var matches = 0;
+var checksum = 0;
+
+func matchlen(v) {
+	var lim = 3 + (v & 3);
+	var len = 0;
+	while (len < lim) {
+		if (window[(wpos + len) & 255] != ((v >> len) & 1)) {
+			return len;
+		}
+		len = len + 1;
+	}
+	return len;
+}
+
+func crc(v) {
+	var h = v;
+	var k = 0;
+	while (k < 6) {
+		h = (h * 131) + (h >> 7);
+		k = k + 1;
+	}
+	return h & 65535;
+}
+
+func main() {
+	while (inavail()) {
+		var v = in();
+		checksum = (checksum + crc(v)) & 1048575;
+		var best = matchlen(v);
+		if (best >= 3 && ((v >> 9) & 3) != 0) {
+			matches = matches + 1;
+			wpos = (wpos + best) & 255;
+			checksum = checksum + best;
+		} else {
+			literals = literals + 1;
+			window[wpos] = v & 1;
+			wpos = (wpos + 1) & 255;
+			checksum = checksum ^ v;
+		}
+		if (((v >> 11) & 1) == (checksum & 1)) { checksum = checksum + 3; }
+		else { checksum = checksum - 1; }
+	}
+	out(literals);
+	out(matches);
+	out(checksum);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("gzip", set)
+		n := 7000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Low-order bits are all ones (compressible data): the match loop
+			// usually runs to its concentrated data-dependent limit, with
+			// occasional corrupted symbols adding early mismatch exits.
+			v := int64(r.Intn(1<<16)) | 0x7f
+			if r.Intn(8) == 0 {
+				v &^= int64(r.Intn(128))
+			}
+			in[i] = v
+		}
+		return in
+	},
+})
+
+// Vpr models annealing-style placement: several short, heavily mispredicted
+// accept/reject hammocks (the paper: always-predicating short hammocks gains
+// vpr 12%).
+var Vpr = register(&Benchmark{
+	Name:  "vpr",
+	Trait: "many short mispredicted hammocks",
+	Source: `
+var grid[512];
+var cost = 0;
+var accepts = 0;
+
+func refit(base) {
+	var sum = 0;
+	for (var k = 0; k < 6; k = k + 1) {
+		sum = sum + grid[(base + k * 37) & 511];
+	}
+	return sum >> 3;
+}
+
+func main() {
+	while (inavail()) {
+		var dx = in();
+		var r = in();
+		var idx = dx & 511;
+		var old = grid[idx];
+		var cand = old + (dx & 7) - 3;
+		var delta = cand - old;
+		if (delta < 0) {
+			cost = cost + delta;
+			accepts = accepts + 1;
+			grid[idx] = cand;
+			if ((r & 127) == 0) {
+				cost = cost + refit(idx) + refit(idx ^ 255);
+			}
+		} else {
+			if (r & 1) {
+				cost = cost + delta;
+				grid[idx] = cand;
+			} else {
+				cost = cost - 1;
+			}
+		}
+		var nb = 0;
+		while (nb < 4) {
+			cost = cost + (grid[(idx + nb) & 511] >> 6);
+			nb = nb + 1;
+		}
+		if ((r & 31) == 0) { accepts = accepts + 1; }
+	}
+	out(cost);
+	out(accepts);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("vpr", set)
+		n := 2 * 7000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 12))
+		}
+		return in
+	},
+})
+
+// Gcc models parsing/reduction over a token stream: deep dispatch chains,
+// stack under/overflow escapes and helper reductions — very complex CFGs
+// with a high misprediction rate and few clean hammocks, matching the
+// paper's observation that Every-br performs almost as well as careful
+// selection on gcc.
+var Gcc = register(&Benchmark{
+	Name:  "gcc",
+	Trait: "complex CFGs, high MPKI, few frequently-hammocks",
+	Source: `
+var nstack[64];
+var nodes[1024];
+var sp = 0;
+var emitted = 0;
+var errors = 0;
+
+func repair(depth) {
+	var fixed = 0;
+	for (var k = 0; k < depth & 7; k = k + 1) {
+		fixed = fixed + nstack[k & 63];
+	}
+	return fixed & 15;
+}
+
+func reduce(op, a, b) {
+	if (op == 0) { return a + b; }
+	if (op == 1) { return a - b; }
+	if (op == 2) {
+		if (a > b) { return a; }
+		return b;
+	}
+	return a ^ b;
+}
+
+func main() {
+	while (inavail()) {
+		var tok = in();
+		var kind = tok & 7;
+		if (kind < 3) {
+			if (sp < 60) {
+				nstack[sp] = tok >> 3;
+				sp = sp + 1;
+			} else {
+				errors = errors + 1;
+				sp = sp >> 1;
+			}
+		} else {
+			if (sp >= 2) {
+				var b = nstack[sp - 1];
+				var a = nstack[sp - 2];
+				sp = sp - 1;
+				nstack[sp - 1] = reduce(tok & 3, a, b);
+				if ((tok & 24) == 0 && sp > 1) {
+					sp = sp - 1;
+					emitted = emitted + 1;
+					if ((tok & 1023) == 0) {
+						errors = errors + repair(sp) + repair(sp >> 1);
+					}
+				}
+			} else {
+				errors = errors + 1;
+				if ((tok & 32) != 0) { continue; }
+				nstack[0] = tok;
+				sp = 1;
+			}
+		}
+		var scan = 0;
+		while (scan < 7) {
+			nodes[(emitted + scan) & 1023] = sp + scan;
+			scan = scan + 1;
+		}
+	}
+	out(emitted);
+	out(errors);
+	out(sp);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("gcc", set)
+		n := 11000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 14))
+		}
+		return in
+	},
+})
+
+// Mcf models network-simplex pricing: a large arc array accessed with
+// data-dependent indices (memory bound, lowest base IPC in Table 2) and one
+// dominant, heavily mispredicted short hammock whose always-predication
+// gains 14% in the paper.
+var Mcf = register(&Benchmark{
+	Name:  "mcf",
+	Trait: "memory bound; one dominant mispredicted short hammock",
+	Source: `
+var arcs[16384];
+var flow = 0;
+var pushes = 0;
+
+func rebalance(base) {
+	var acc = 0;
+	for (var k = 0; k < 5; k = k + 1) {
+		acc = acc + (arcs[(base + k * 911) & 16383] & 255);
+	}
+	return acc >> 4;
+}
+
+func main() {
+	var i = 0;
+	while (i < 16384) {
+		arcs[i] = i * 2654435761;
+		arcs[i + 1] = i ^ 40503;
+		i = i + 2;
+	}
+	while (inavail()) {
+		var v = in();
+		var node = v & 16383;
+		var depth = 0;
+		while (depth < 3) {
+			node = (node + 4097) & 16383;
+			v = v + arcs[node];
+			depth = depth + 1;
+		}
+		if (v < 65536) {
+			if ((v & 31) == 0) { pushes = pushes + 1; }
+		}
+		if (v >= 1048576) {
+			if ((v & 31) == 0) { flow = flow + 1; }
+		}
+		var a = arcs[v & 16383];
+		if ((a & 1023) < 130) {
+			flow = flow + 1;
+			pushes = pushes + 1;
+		} else {
+			flow = flow - 1;
+		}
+		if ((v & 255) == 0) {
+			flow = flow + rebalance(v) + rebalance(v >> 7);
+		}
+		arcs[(v >> 3) & 16383] = a + v;
+	}
+	out(flow);
+	out(pushes);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("mcf", set)
+		n := 9000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			if set == RunInput {
+				// Node ids in the low range: the small-network special case
+				// executes, the overflow case never does.
+				in[i] = int64(r.Intn(1 << 20))
+			} else {
+				// The train network is larger: ids shift up, so the overflow
+				// case executes and the small-network case never does.
+				in[i] = int64(r.Intn(1<<20) + 65536)
+			}
+		}
+		return in
+	},
+})
+
+// Crafty models bitboard scanning: a pop-lowest-bit loop with an
+// unpredictable trip count and nested square-classification hammocks with
+// short-circuit conditions.
+var Crafty = register(&Benchmark{
+	Name:  "crafty",
+	Trait: "bit-scan loops; nested hammocks with && conditions",
+	Source: `
+var score = 0;
+var pieces = 0;
+
+func probe(mask) {
+	var depth = 0;
+	for (var k = 0; k < 4; k = k + 1) {
+		depth = depth + ((mask >> k) & 3);
+	}
+	return depth;
+}
+
+func main() {
+	while (inavail()) {
+		var bb = in() & 65535;
+		var mat = 0;
+		while (mat < 9) {
+			score = score + ((bb >> mat) & 1);
+			mat = mat + 1;
+		}
+		if (bb > 511) {
+			if ((bb & 1) == 1) { score = score + 1; }
+		}
+		while (bb != 0) {
+			var bit = bb & (0 - bb);
+			bb = bb ^ bit;
+			pieces = pieces + 1;
+			var sq = 0;
+			var t = bit;
+			while (t > 1) {
+				t = t >> 1;
+				sq = sq + 1;
+			}
+			if (sq >= 4 && sq < 12) {
+				score = score + 2;
+				if ((bit & 170) != 0 && (bb & 5) == 5) {
+					score = score + probe(bb) + probe(bb >> 2);
+				}
+			} else {
+				if ((bit & 21845) != 0) { score = score + 1; }
+				else { score = score - 1; }
+			}
+		}
+	}
+	out(score);
+	out(pieces);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("crafty", set)
+		n := 6500 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Sparse masks clustered in the low byte: short, semi-regular
+			// bit-scan loops. Train games occasionally use the full board
+			// width, exercising a region the run input never reaches.
+			in[i] = int64(r.Intn(1<<9)) & int64(r.Intn(1<<9)) & int64(r.Intn(1<<9))
+			if set == TrainInput && r.Intn(12) == 0 {
+				in[i] |= int64(r.Intn(1<<16)) & int64(r.Intn(1<<16)) & ^int64(511)
+			}
+		}
+		return in
+	},
+})
+
+// Parser models dictionary lookup: for each input word, a scan loop over a
+// sorted table whose exit position is data dependent — the
+// frequently-mispredicted loop branch the paper credits for parser's 14%
+// gain from diverge loops.
+var Parser = register(&Benchmark{
+	Name:  "parser",
+	Trait: "unpredictable-exit dictionary scan loop",
+	Source: `
+var dict[16];
+var found = 0;
+var miss = 0;
+
+func main() {
+	var i = 0;
+	while (i < 16) {
+		dict[i] = i * 61;
+		i = i + 1;
+	}
+	while (inavail()) {
+		var w = in();
+		var sig = 0;
+		var k = 0;
+		while (k < 4) {
+			sig = sig * 31 + ((w >> (k * 3)) & 7);
+			k = k + 1;
+		}
+		miss = miss + (sig & 0);
+		var j = 0;
+		while (j < 16 && dict[j] < w) {
+			j = j + 1;
+		}
+		if (j < 16 && dict[j] == w) {
+			found = found + 1;
+		} else {
+			miss = miss + 1;
+		}
+	}
+	out(found);
+	out(miss);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("parser", set)
+		n := 9000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Word "lengths" cluster around the dictionary middle (real word
+			// lengths are tightly distributed): scan exits land on a few
+			// neighbouring slots, so a mispredicted exit is a near miss.
+			slot := 6 + r.Intn(4) // exits between slots 6 and 9
+			if r.Intn(4) == 0 {
+				in[i] = int64(slot * 61)
+			} else {
+				in[i] = int64(slot*61 - r.Intn(60))
+			}
+		}
+		return in
+	},
+})
+
+// Eon models shading arithmetic: mostly-biased clamp hammocks and simple
+// hammocks on smooth data — a low-MPKI benchmark where the few mispredicted
+// branches are simple hammocks.
+var Eon = register(&Benchmark{
+	Name:  "eon",
+	Trait: "low MPKI; mispredictions concentrated in simple hammocks",
+	Source: `
+var acc = 0;
+var clamped = 0;
+
+func shade(x, y) {
+	var v = (x * y) >> 4;
+	if (v < 0) { v = 0 - v; }
+	if (v > 255) {
+		clamped = clamped + 1;
+		v = 255;
+	}
+	return v;
+}
+
+func main() {
+	while (inavail()) {
+		var x = in();
+		var y = in();
+		var c = shade(x, y);
+		if (((x * y) & 255) > 240) { acc = acc + c; } else { acc = acc + (c >> 1); }
+		acc = acc + ((x + y) >> 3);
+	}
+	out(acc);
+	out(clamped);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("eon", set)
+		n := 2 * 8000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Mostly small positive values: clamps are biased, the c>128
+			// hammock is moderately unpredictable.
+			in[i] = int64(r.Intn(40) + 1)
+		}
+		return in
+	},
+})
+
+// Perlbmk models opcode dispatch in an interpreter: an if-else dispatch
+// chain over a skewed opcode distribution, with small handler hammocks.
+var Perlbmk = register(&Benchmark{
+	Name:  "perlbmk",
+	Trait: "interpreter dispatch chains; simple handler hammocks",
+	Source: `
+var regs[16];
+
+func trap(v) {
+	var acc = 0;
+	for (var k = 0; k < 4; k = k + 1) {
+		acc = acc + ((v >> (k * 2)) & 3);
+	}
+	return acc;
+}
+
+func main() {
+	while (inavail()) {
+		var opr = in();
+		var op = opr & 7;
+		var r1 = (opr >> 3) & 15;
+		var v = opr >> 7;
+		if (op == 0) {
+			regs[r1] = regs[r1] + v;
+			if ((v & 255) == 0) {
+				regs[r1] = regs[r1] + trap(v) + trap(v >> 1);
+			}
+		} else { if (op == 1) {
+			regs[r1] = regs[r1] ^ v;
+		} else { if (op == 2) {
+			if (regs[r1] > v) { regs[r1] = v; }
+		} else { if (op == 3) {
+			regs[r1] = regs[r1] >> 1;
+		} else {
+			regs[r1] = v;
+		} } } }
+	}
+	var i = 0;
+	while (i < 16) {
+		out(regs[i]);
+		i = i + 1;
+	}
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("perlbmk", set)
+		n := 12000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Skewed opcodes: 0 and 1 dominate.
+			op := int64(0)
+			switch k := r.Intn(100); {
+			case k < 93:
+				op = 0
+			case k < 97:
+				op = 1
+			default:
+				op = int64(r.Intn(3)) + 2
+			}
+			in[i] = op | int64(r.Intn(16))<<3 | int64(r.Intn(1024))<<7
+		}
+		return in
+	},
+})
+
+// Gap models sequence arithmetic with threshold branches whose bias depends
+// on the input distribution: the run and train sets straddle the thresholds
+// differently, making gap the paper's most input-set-sensitive benchmark
+// (26% of diverge branches selected under only one input set).
+var Gap = register(&Benchmark{
+	Name:  "gap",
+	Trait: "input-set-sensitive branch biases",
+	Source: `
+var sums[32];
+var hi = 0;
+var lo = 0;
+
+func main() {
+	while (inavail()) {
+		var v = in();
+		if (v > 500) {
+			sums[v & 31] += v;
+			sums[(v + 7) & 31] += 1;
+			if ((v & 3) == 0) { hi = hi + 2; } else { hi = hi + 1; }
+		} else {
+			sums[(v >> 2) & 31] += 1;
+			if (v < 12) {
+				if ((v & 7) == 0) { lo = lo + 3; }
+			}
+			lo = lo + 1;
+		}
+		if (v > 650) {
+			hi = hi + 2;
+			sums[(v + 5) & 31] += hi & 3;
+			sums[(v + 11) & 31] += 2;
+			lo = lo + (hi & 1);
+		}
+		var t = 1;
+		if (v > 520) {
+			t = 34;
+			sums[(v + 3) & 31] += 2;
+			sums[(v + 9) & 31] += 1;
+			sums[(v + 17) & 31] += 1;
+		}
+		while (t > 0) {
+			lo = lo + (t & 1);
+			t = t - 1;
+		}
+		if ((v & 63) == 0) { lo = lo + 1; } else { lo = lo - 1; }
+	}
+	out(hi);
+	out(lo);
+	var i = 0;
+	while (i < 32) {
+		out(sums[i]);
+		i = i + 1;
+	}
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("gap", set)
+		n := 11000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			if set == RunInput {
+				// Clustered low: v>500 never fires and is predictable.
+				in[i] = int64(r.Intn(450))
+			} else {
+				// Shifted high enough that the threshold branches fire
+				// occasionally and the settle loop's average trip count
+				// crosses LOOP_ITER: the same code selects a different
+				// diverge-branch set under this profile.
+				in[i] = int64(300 + r.Intn(500))
+			}
+		}
+		return in
+	},
+})
+
+// Vortex models an object store: hash inserts and lookups dominated by
+// highly biased validity checks — Table 2's lowest MPKI alongside gap.
+var Vortex = register(&Benchmark{
+	Name:  "vortex",
+	Trait: "highly predictable branches, low MPKI, high base IPC",
+	Source: `
+var table[4096];
+var stored = 0;
+var hits = 0;
+var conflicts = 0;
+
+func audit(h) {
+	var live = 0;
+	for (var k = 0; k < 5; k = k + 1) {
+		if (table[(h + k) & 4095] != 0) { live = live + 1; }
+	}
+	return live;
+}
+
+func main() {
+	while (inavail()) {
+		var k = in() + 1;
+		var h = (k * 40503) & 4095;
+		if (table[h] == 0) {
+			table[h] = k;
+			stored = stored + 1;
+			if ((k & 63) == 0) {
+				stored = stored + (audit(h) + audit(h ^ 2048)) * 0;
+			}
+		} else {
+			if (table[h] == k) { hits = hits + 1; }
+			else { conflicts = conflicts + 1; }
+		}
+	}
+	out(stored);
+	out(hits);
+	out(conflicts);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("vortex", set)
+		n := 12000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Small key universe: lookups quickly become hits.
+			in[i] = int64(r.Intn(400))
+		}
+		return in
+	},
+})

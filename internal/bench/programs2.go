@@ -1,0 +1,385 @@
+package bench
+
+// Second half of the corpus: bzip2, twolf and the SPEC95 stand-ins.
+
+// Bzip2 models block sorting: short bubble passes over freshly read blocks;
+// the compare-and-swap hammock starts random and becomes biased as a block
+// gets sorted — phase behaviour that rewards choosing when to predicate
+// dynamically.
+var Bzip2 = register(&Benchmark{
+	Name:  "bzip2",
+	Trait: "compare/swap hammocks with phase-dependent predictability",
+	Source: `
+var buf[16];
+var swaps = 0;
+var total = 0;
+
+func rescan(from) {
+	var runs = 0;
+	for (var k = from; k < 15; k = k + 1) {
+		if (buf[k] <= buf[k + 1]) { runs = runs + 1; }
+	}
+	return runs;
+}
+
+func main() {
+	while (inavail()) {
+		var i = 0;
+		while (i < 16) {
+			buf[i] = in();
+			i = i + 1;
+		}
+		var pass = 0;
+		while (pass < 4) {
+			for (var j = 0; j < 15; j = j + 1) {
+				if (buf[j] > buf[j + 1]) {
+					var tmp = buf[j];
+					buf[j] = buf[j + 1];
+					buf[j + 1] = tmp;
+					swaps = swaps + 1;
+					if ((tmp & 511) == 0) {
+						swaps = swaps + rescan(j) + rescan(j + 1);
+					}
+				}
+			}
+			pass = pass + 1;
+		}
+		total = total + buf[0] + buf[15];
+	}
+	out(swaps);
+	out(total);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("bzip2", set)
+		n := 16 * 450 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 10))
+		}
+		return in
+	},
+})
+
+// Twolf models cell placement with helper functions whose hammock arms end
+// in different return instructions: the return-CFM mechanism the paper
+// credits for twolf's 8% gain, plus short mispredicted hammocks.
+var Twolf = register(&Benchmark{
+	Name:  "twolf",
+	Trait: "hammocks merging at returns; short mispredicted hammocks",
+	Source: `
+var cells[256];
+var wire = 0;
+var moved = 0;
+
+func penalty(d) {
+	if (d < 0) { return (0 - d) * 2; }
+	return d;
+}
+
+func trybump(idx, delta) {
+	var old = cells[idx];
+	var cand = old + delta;
+	if ((cand & 7) == 0) {
+		cells[idx] = cand;
+		return 1;
+	}
+	return 0;
+}
+
+func main() {
+	while (inavail()) {
+		var a = in();
+		var b = in();
+		wire = wire + penalty(a - b);
+		if (trybump(a & 255, b & 7) == 1) {
+			moved = moved + 1;
+		} else {
+			wire = wire + 1;
+		}
+		var sc = 0;
+		while (sc < 4) {
+			wire = wire + (cells[(a + sc) & 255] >> 8);
+			sc = sc + 1;
+		}
+	}
+	out(wire);
+	out(moved);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("twolf", set)
+		n := 2 * 6500 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 10))
+		}
+		return in
+	},
+})
+
+// Compress models LZW-style hashing: hit/miss hammocks on a hash table with
+// moderate predictability.
+var Compress = register(&Benchmark{
+	Name:  "compress",
+	Trait: "hash hit/miss hammocks of moderate predictability",
+	Source: `
+var htab[1024];
+var codes = 0;
+var misses = 0;
+var prev = 0;
+
+func flushdict(near) {
+	var cleared = 0;
+	for (var k = 0; k < 6; k = k + 1) {
+		htab[(near + k) & 1023] = 0;
+		cleared = cleared + 1;
+	}
+	return cleared;
+}
+
+func main() {
+	while (inavail()) {
+		var c = in();
+		var h = c;
+		var k = 0;
+		while (k < 3) {
+			h = h * 17 + 1;
+			k = k + 1;
+		}
+		var key = ((prev << 5) ^ h) & 1023;
+		if (htab[key] == c) {
+			codes = codes + 1;
+			prev = (prev + c) & 255;
+		} else {
+			misses = misses + 1;
+			htab[key] = c;
+			if ((c & 31) == 0 && (key & 1) == 0) {
+				misses = misses + (flushdict(key) + flushdict(key ^ 512)) * 0;
+			}
+			if ((c & 7) == 0) { prev = 0; } else { prev = c & 255; }
+		}
+	}
+	out(codes);
+	out(misses);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("compress", set)
+		n := 12000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			// Textual redundancy: a small alphabet with repeats.
+			in[i] = int64(r.Intn(40))
+		}
+		return in
+	},
+})
+
+// Go models territory evaluation: the corpus's most chaotic control flow —
+// nested data-dependent conditions with short-circuits, a rare continue
+// escape (a frequently-hammock), and a multi-return helper. Table 2 gives
+// go the highest MPKI (23) by far.
+var GoBench = register(&Benchmark{
+	Name:  "go",
+	Trait: "chaotic control flow, highest MPKI, frequently-hammocks",
+	Source: `
+var board[1024];
+var captures = 0;
+var influence = 0;
+
+func liberty(p, v) {
+	if ((v & 3) == 0) { return 0; }
+	if ((v & 3) == 1) {
+		if ((p & 7) < 4) { return 1; }
+		return 2;
+	}
+	return (v >> 2) & 3;
+}
+
+func main() {
+	while (inavail()) {
+		var mv = in();
+		var p = mv & 1023;
+		var v = board[p];
+		var lib = liberty(p, mv);
+		if (lib == 0 && (mv & 16) != 0) {
+			captures = captures + 1;
+			board[p] = 0;
+		} else {
+			if (lib > 1 || (v & 1) == 1) {
+				influence = influence + lib;
+				if ((mv & 96) == 0) {
+					board[p] = v + 1;
+					continue;
+				}
+				board[p] = v ^ lib;
+			} else {
+				influence = influence - 1;
+			}
+		}
+		if ((mv ^ v) & 1) { captures = captures + 1; }
+		else { influence = influence + 1; }
+	}
+	out(captures);
+	out(influence);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("go", set)
+		n := 10000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 16))
+		}
+		return in
+	},
+})
+
+// Ijpeg models block transforms: long predictable inner loops over 8x8-style
+// blocks with biased clamp hammocks — mispredictions are rare and localised.
+var Ijpeg = register(&Benchmark{
+	Name:  "ijpeg",
+	Trait: "predictable block loops; biased clamp hammocks",
+	Source: `
+var block[64];
+var outsum = 0;
+var clamps = 0;
+
+func main() {
+	while (inavail()) {
+		var base = in();
+		var i = 0;
+		while (i < 64) {
+			block[i] = (base * (i + 3)) >> 2;
+			i = i + 1;
+		}
+		var q = 0;
+		while (q < 64) {
+			var val = block[q] - (q << 1);
+			if (val < 0) { val = 0; clamps = clamps + 1; }
+			if (val > 255) { val = val & 255; }
+			block[q] = val;
+			q = q + 1;
+		}
+		if ((base * 2654435761) & 1) { outsum = outsum + block[7]; }
+		else { outsum = outsum + block[56]; }
+	}
+	out(outsum);
+	out(clamps);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("ijpeg", set)
+		n := 420 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(48))
+		}
+		return in
+	},
+})
+
+// Li models list-structure evaluation: a recursive walker whose atom/cons
+// type check is a random simple hammock at every level — the simple-hammock
+// dominance the paper notes for li.
+var Li = register(&Benchmark{
+	Name:  "li",
+	Trait: "recursive evaluator; mispredictions in simple hammocks",
+	Source: `
+var heap[512];
+var conses = 0;
+var atoms = 0;
+
+func eval(cell) {
+	var acc = 0;
+	for (var d = 0; d < 4; d = d + 1) {
+		if ((cell & 3) != 0) {
+			atoms = atoms + 1;
+			acc = acc + (cell >> 1);
+			cell = heap[(cell >> 2) & 511];
+		} else {
+			conses = conses + 1;
+			acc = acc - cell;
+			cell = heap[cell & 511];
+		}
+	}
+	return acc & 65535;
+}
+
+func main() {
+	var i = 0;
+	while (i < 512) {
+		heap[i] = i * 2347;
+		i = i + 1;
+	}
+	var total = 0;
+	while (inavail()) {
+		total = total + eval(in());
+	}
+	out(total);
+	out(conses);
+	out(atoms);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("li", set)
+		n := 8000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(r.Intn(1 << 12))
+		}
+		return in
+	},
+})
+
+// M88ksim models instruction-set simulation: a decode/execute dispatch over
+// a heavily skewed opcode mix — almost everything predicts correctly
+// (Table 2: 1.3 MPKI).
+var M88ksim = register(&Benchmark{
+	Name:  "m88ksim",
+	Trait: "skewed decode dispatch; very low MPKI",
+	Source: `
+var gpr[32];
+var icount = 0;
+
+func main() {
+	while (inavail()) {
+		var inst = in();
+		var opc = inst & 3;
+		var rd = (inst >> 2) & 31;
+		var rs = (inst >> 7) & 31;
+		if (opc == 0) {
+			gpr[rd] = gpr[rd] + gpr[rs];
+		} else { if (opc == 1) {
+			gpr[rd] = gpr[rs] << 1;
+		} else { if (opc == 2) {
+			if (gpr[rs] != 0) { gpr[rd] = gpr[rd] | 1; }
+		} else {
+			gpr[rd] = inst >> 12;
+		} } }
+		icount = icount + 1;
+		var pipe = 0;
+		while (pipe < 3) {
+			gpr[0] = gpr[0] + pipe;
+			pipe = pipe + 1;
+		}
+	}
+	out(icount);
+	out(gpr[5]);
+}
+`,
+	Input: func(set InputSet, scale int) []int64 {
+		r := rng("m88ksim", set)
+		n := 13000 * scale
+		in := make([]int64, n)
+		for i := range in {
+			opc := int64(0)
+			if r.Intn(100) < 4 {
+				opc = int64(r.Intn(3)) + 1
+			}
+			in[i] = opc | int64(r.Intn(1<<12))<<2
+		}
+		return in
+	},
+})

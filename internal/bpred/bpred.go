@@ -1,0 +1,167 @@
+// Package bpred implements the front-end prediction structures of the
+// baseline processor and its DMP extension (Table 1 of the paper):
+//
+//   - a perceptron conditional-branch predictor (Jiménez & Lin, HPCA-7),
+//     16KB with 64-bit global history and 256 perceptrons;
+//   - a gshare predictor, used in tests and as a smaller alternative;
+//   - a 4K-entry branch target buffer;
+//   - a 64-entry return address stack;
+//   - an enhanced JRS confidence estimator (Jacobsen-Rotenberg-Smith,
+//     refined per Grunwald et al.), 2KB, 12-bit history, threshold 14.
+//
+// All structures are deterministic and allocation-free in steady state. The
+// caller (pipeline or profiler) owns the global history register so that it
+// can maintain separate speculative and retired copies.
+package bpred
+
+// History is a global branch history register: bit 0 is the most recent
+// branch outcome (1 = taken).
+type History uint64
+
+// Push shifts outcome t into the history.
+func (h History) Push(t bool) History {
+	h <<= 1
+	if t {
+		h |= 1
+	}
+	return h
+}
+
+// Predictor is a conditional branch direction predictor.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc under
+	// global history h.
+	Predict(pc int, h History) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc int, h History, taken bool)
+}
+
+// Perceptron is the Jiménez-Lin perceptron predictor.
+type Perceptron struct {
+	weights [][]int8 // [table][histLen+1], weights[i][0] is the bias
+	histLen int
+	theta   int32
+}
+
+// PerceptronDefaultTables and PerceptronDefaultHist match Table 1 (16KB:
+// 256 entries × 65 8-bit weights).
+const (
+	PerceptronDefaultTables = 256
+	PerceptronDefaultHist   = 64
+)
+
+// NewPerceptron creates a perceptron predictor with the given table count
+// (rounded up to a power of two) and history length (max 64).
+func NewPerceptron(tables, histLen int) *Perceptron {
+	if tables <= 0 {
+		tables = PerceptronDefaultTables
+	}
+	tables = ceilPow2(tables)
+	if histLen <= 0 || histLen > 64 {
+		histLen = PerceptronDefaultHist
+	}
+	p := &Perceptron{
+		weights: make([][]int8, tables),
+		histLen: histLen,
+		// Training threshold from Jiménez & Lin: 1.93*h + 14.
+		theta: int32(1.93*float64(histLen) + 14),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histLen+1)
+	}
+	return p
+}
+
+func (p *Perceptron) index(pc int) int { return pc & (len(p.weights) - 1) }
+
+func (p *Perceptron) output(pc int, h History) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0])
+	for i := 1; i <= p.histLen; i++ {
+		if h&(1<<(i-1)) != 0 {
+			y += int32(w[i])
+		} else {
+			y -= int32(w[i])
+		}
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc int, h History) bool { return p.output(pc, h) >= 0 }
+
+// Update implements Predictor: train on misprediction or weak output.
+func (p *Perceptron) Update(pc int, h History, taken bool) {
+	y := p.output(pc, h)
+	pred := y >= 0
+	if pred == taken && abs32(y) > p.theta {
+		return
+	}
+	w := p.weights[p.index(pc)]
+	w[0] = sat8(w[0], taken)
+	for i := 1; i <= p.histLen; i++ {
+		agree := (h&(1<<(i-1)) != 0) == taken
+		w[i] = sat8(w[i], agree)
+	}
+}
+
+func sat8(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -127 {
+		return w - 1
+	}
+	return w
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Gshare is a classic 2-bit-counter gshare predictor.
+type Gshare struct {
+	ctr  []uint8
+	mask History
+}
+
+// NewGshare creates a gshare predictor with 2^bits counters.
+func NewGshare(bits int) *Gshare {
+	if bits <= 0 || bits > 24 {
+		bits = 14
+	}
+	return &Gshare{ctr: make([]uint8, 1<<bits), mask: History(1<<bits) - 1}
+}
+
+func (g *Gshare) index(pc int, h History) int {
+	return int((History(pc) ^ h) & g.mask)
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc int, h History) bool { return g.ctr[g.index(pc, h)] >= 2 }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc int, h History, taken bool) {
+	i := g.index(pc, h)
+	if taken {
+		if g.ctr[i] < 3 {
+			g.ctr[i]++
+		}
+	} else if g.ctr[i] > 0 {
+		g.ctr[i]--
+	}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

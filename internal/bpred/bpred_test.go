@@ -1,0 +1,331 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryPush(t *testing.T) {
+	var h History
+	h = h.Push(true).Push(false).Push(true)
+	if h != 0b101 {
+		t.Errorf("history = %b, want 101", h)
+	}
+}
+
+func trainAndScore(p Predictor, outcomes func(i int) (pc int, taken bool), n int) float64 {
+	var h History
+	correct := 0
+	for i := 0; i < n; i++ {
+		pc, taken := outcomes(i)
+		if p.Predict(pc, h) == taken {
+			correct++
+		}
+		p.Update(pc, h, taken)
+		h = h.Push(taken)
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	p := NewPerceptron(64, 16)
+	acc := trainAndScore(p, func(i int) (int, bool) { return 0x40, true }, 2000)
+	if acc < 0.99 {
+		t.Errorf("always-taken accuracy = %v", acc)
+	}
+	p = NewPerceptron(64, 16)
+	acc = trainAndScore(p, func(i int) (int, bool) { return 0x40, false }, 2000)
+	if acc < 0.99 {
+		t.Errorf("always-not-taken accuracy = %v", acc)
+	}
+}
+
+func TestPerceptronLearnsAlternation(t *testing.T) {
+	// Strict alternation is linearly separable on history bit 0.
+	p := NewPerceptron(64, 16)
+	acc := trainAndScore(p, func(i int) (int, bool) { return 0x80, i%2 == 0 }, 4000)
+	if acc < 0.95 {
+		t.Errorf("alternation accuracy = %v", acc)
+	}
+}
+
+func TestPerceptronLearnsHistoryCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's outcome three branches ago.
+	p := NewPerceptron(256, 32)
+	var h History
+	rng := rand.New(rand.NewSource(7))
+	window := make([]bool, 0, 4096)
+	correct, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		a := rng.Intn(2) == 0
+		// Branch A at pc 100.
+		p.Update(100, h, a)
+		h = h.Push(a)
+		window = append(window, a)
+		// Two noise branches.
+		for j := 0; j < 2; j++ {
+			nz := rng.Intn(2) == 0
+			p.Update(200+j, h, nz)
+			h = h.Push(nz)
+		}
+		// Branch B at pc 300 repeats A.
+		want := a
+		if i > 1000 {
+			total++
+			if p.Predict(300, h) == want {
+				correct++
+			}
+		}
+		p.Update(300, h, want)
+		h = h.Push(want)
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("correlated accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestPerceptronRandomIsHard(t *testing.T) {
+	// Random outcomes cannot be predicted: accuracy should hover near 50%.
+	p := NewPerceptron(256, 64)
+	rng := rand.New(rand.NewSource(3))
+	acc := trainAndScore(p, func(i int) (int, bool) { return 0x77, rng.Intn(2) == 0 }, 10000)
+	if acc < 0.40 || acc > 0.60 {
+		t.Errorf("random accuracy = %v, want ~0.5", acc)
+	}
+}
+
+func TestPerceptronWeightSaturation(t *testing.T) {
+	p := NewPerceptron(4, 8)
+	for i := 0; i < 100000; i++ {
+		p.Update(0, 0xFF, true)
+	}
+	for _, w := range p.weights[0] {
+		if w > 127 || w < -127 {
+			t.Fatalf("weight out of range: %d", w)
+		}
+	}
+}
+
+func TestPerceptronDefaults(t *testing.T) {
+	p := NewPerceptron(0, 0)
+	if len(p.weights) != PerceptronDefaultTables {
+		t.Errorf("tables = %d", len(p.weights))
+	}
+	if p.histLen != PerceptronDefaultHist {
+		t.Errorf("histLen = %d", p.histLen)
+	}
+	hist := float64(PerceptronDefaultHist)
+	if p.theta != int32(1.93*hist+14) {
+		t.Errorf("theta = %d", p.theta)
+	}
+}
+
+func TestGshareLearns(t *testing.T) {
+	g := NewGshare(12)
+	acc := trainAndScore(g, func(i int) (int, bool) { return 0x123, true }, 1000)
+	// History churn during warmup costs a few indices before it saturates.
+	if acc < 0.97 {
+		t.Errorf("gshare always-taken accuracy = %v", acc)
+	}
+	g = NewGshare(12)
+	acc = trainAndScore(g, func(i int) (int, bool) { return 0x123, i%2 == 0 }, 4000)
+	if acc < 0.95 {
+		t.Errorf("gshare alternation accuracy = %v", acc)
+	}
+}
+
+func TestGshareCounterBounds(t *testing.T) {
+	g := NewGshare(4)
+	for i := 0; i < 10; i++ {
+		g.Update(1, 0, true)
+	}
+	if !g.Predict(1, 0) {
+		t.Error("saturated-up counter predicts not-taken")
+	}
+	for i := 0; i < 10; i++ {
+		g.Update(1, 0, false)
+	}
+	if g.Predict(1, 0) {
+		t.Error("saturated-down counter predicts taken")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(16)
+	if _, hit := b.Lookup(5); hit {
+		t.Error("cold BTB hit")
+	}
+	b.Update(5, 100)
+	if tgt, hit := b.Lookup(5); !hit || tgt != 100 {
+		t.Errorf("lookup = %d,%v", tgt, hit)
+	}
+	// Aliasing: pc 5+16 maps to the same set and evicts.
+	b.Update(21, 200)
+	if _, hit := b.Lookup(5); hit {
+		t.Error("aliased entry still hits for old pc")
+	}
+	if tgt, hit := b.Lookup(21); !hit || tgt != 200 {
+		t.Errorf("new entry = %d,%v", tgt, hit)
+	}
+}
+
+func TestRASLifo(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := 3; want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("pop = %d,%v, want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS popped")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got, _ := r.Pop(); got != 3 {
+		t.Errorf("pop = %d, want 3", got)
+	}
+	if got, _ := r.Pop(); got != 2 {
+		t.Errorf("pop = %d, want 2", got)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("wrapped RAS popped a third value")
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(10)
+	r.Push(20)
+	snap := r.Snapshot()
+	r.Pop()
+	r.Push(99)
+	r.Push(98)
+	r.Restore(snap)
+	if got, ok := r.Pop(); !ok || got != 20 {
+		t.Errorf("after restore pop = %d,%v, want 20", got, ok)
+	}
+	if got, ok := r.Pop(); !ok || got != 10 {
+		t.Errorf("after restore pop = %d,%v, want 10", got, ok)
+	}
+}
+
+func TestConfidenceColdIsLow(t *testing.T) {
+	c := NewConfidence(0, 0, 0)
+	if !c.LowConfidence(42, 0) {
+		t.Error("cold estimator should report low confidence")
+	}
+}
+
+func TestConfidenceBuildsUp(t *testing.T) {
+	c := NewConfidence(64, 4, 14)
+	for i := 0; i < 20; i++ {
+		c.Update(42, 0, false)
+	}
+	if c.LowConfidence(42, 0) {
+		t.Error("confidence not built after 20 correct predictions")
+	}
+	// A single misprediction must NOT drop a saturated counter below the
+	// threshold (31-4=27 >= 14); sustained mispredictions must.
+	c.Update(42, 0, true)
+	if c.LowConfidence(42, 0) {
+		t.Error("one miss flagged a well-predicted branch low-confidence")
+	}
+	for i := 0; i < 5; i++ {
+		c.Update(42, 0, true)
+	}
+	if !c.LowConfidence(42, 0) {
+		t.Error("sustained mispredictions did not drop confidence")
+	}
+	c.SetPenalty(0) // classic reset-to-zero JRS
+	c.Update(42, 0, true)
+	if !c.LowConfidence(42, 0) {
+		t.Error("reset-mode estimator not low after miss")
+	}
+}
+
+func TestConfidencePVNStats(t *testing.T) {
+	c := NewConfidence(64, 4, 14)
+	// 10 low-confidence updates, 4 of them mispredicted.
+	for i := 0; i < 10; i++ {
+		c.Update(1, 0, i < 4)
+		// Keep it low-confidence by injecting a miss whenever the counter
+		// would cross the threshold — with threshold 14 and only 10 updates
+		// it cannot cross.
+	}
+	if got := c.PVN(); got != 0.4 {
+		t.Errorf("PVN = %v, want 0.4", got)
+	}
+	if got := c.Coverage(); got != 1.0 {
+		t.Errorf("Coverage = %v, want 1 (no high-conf misses)", got)
+	}
+	c.ResetStats()
+	if c.PVN() != 0 {
+		t.Error("ResetStats did not clear PVN")
+	}
+}
+
+func TestConfidenceHistoryInIndex(t *testing.T) {
+	c := NewConfidence(4096, 12, 14)
+	// Same PC under different histories must use different counters.
+	for i := 0; i < 20; i++ {
+		c.Update(100, 0, false)
+	}
+	if c.LowConfidence(100, 0) {
+		t.Fatal("not confident under trained history")
+	}
+	if !c.LowConfidence(100, History(0xABC)) {
+		t.Error("confident under untrained history: index ignores history")
+	}
+}
+
+// TestPredictorQuickDeterminism: identical update sequences produce
+// identical predictions for both predictor implementations.
+func TestPredictorQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func() []Predictor {
+			return []Predictor{NewPerceptron(64, 16), NewGshare(10)}
+		}
+		a, b := mk(), mk()
+		rng := rand.New(rand.NewSource(seed))
+		var h History
+		for i := 0; i < 500; i++ {
+			pc := rng.Intn(1024)
+			taken := rng.Intn(2) == 0
+			for j := range a {
+				if a[j].Predict(pc, h) != b[j].Predict(pc, h) {
+					return false
+				}
+				a[j].Update(pc, h, taken)
+				b[j].Update(pc, h, taken)
+			}
+			h = h.Push(taken)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 4096: 4096, 4097: 8192}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

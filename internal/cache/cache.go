@@ -1,0 +1,178 @@
+// Package cache models the memory hierarchy of Table 1: a 64KB 2-way 2-cycle
+// I-cache, a 64KB 4-way 2-cycle D-cache, a shared 1MB 8-way 10-cycle L2, and
+// a 300-cycle-minimum main memory. Caches are set-associative with true LRU
+// replacement and 64-byte lines.
+//
+// The model is a latency model: an access returns the number of cycles until
+// the data is available, allocating lines along the way. Bandwidth and MSHR
+// contention are not modelled (loads are non-blocking in the pipeline model;
+// instruction fetch blocks on its own misses).
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the line size (64 in Table 1).
+	LineBytes int
+	// HitCycles is the access latency on a hit.
+	HitCycles int
+}
+
+// Table 1 configurations.
+var (
+	ICacheConfig = Config{Name: "L1I", SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, HitCycles: 2}
+	DCacheConfig = Config{Name: "L1D", SizeBytes: 64 << 10, Ways: 4, LineBytes: 64, HitCycles: 2}
+	L2Config     = Config{Name: "L2", SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, HitCycles: 10}
+)
+
+// MemoryLatency is the minimum main-memory latency in cycles (Table 1:
+// 300-cycle minimum plus a 40-cycle round-trip bus).
+const MemoryLatency = 300 + 40
+
+// Stats counts accesses per cache.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    int
+	lineSh  uint
+	setMask uint64
+	// tags[set*ways+way]; lru[set*ways+way] is a recency counter.
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	tick  uint64
+	stats Stats
+	next  *Cache // lower level, or nil for memory
+}
+
+// New creates a cache level backed by next (nil means main memory).
+func New(cfg Config, next *Cache) *Cache {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	lineSh := uint(0)
+	for 1<<lineSh < cfg.LineBytes {
+		lineSh++
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		lineSh:  lineSh,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, lines),
+		valid:   make([]bool, lines),
+		lru:     make([]uint64, lines),
+		next:    next,
+	}
+}
+
+// Stats returns the access statistics of this level.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up the byte address and returns the total latency in cycles.
+// Misses allocate in this level and recurse into the next level.
+func (c *Cache) Access(addr uint64) int {
+	c.stats.Accesses++
+	c.tick++
+	line := addr >> c.lineSh
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lru[i] = c.tick
+			return c.cfg.HitCycles
+		}
+	}
+	c.stats.Misses++
+	lower := MemoryLatency
+	if c.next != nil {
+		lower = c.next.Access(addr)
+	}
+	// Allocate: victim is the LRU way (or first invalid).
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.tick
+	return c.cfg.HitCycles + lower
+}
+
+// Probe reports whether the address currently hits without touching LRU
+// state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineSh
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Hierarchy bundles the Table 1 memory system.
+type Hierarchy struct {
+	I  *Cache
+	D  *Cache
+	L2 *Cache
+}
+
+// NewHierarchy builds the Table 1 hierarchy.
+func NewHierarchy() *Hierarchy {
+	l2 := New(L2Config, nil)
+	return &Hierarchy{
+		I:  New(ICacheConfig, l2),
+		D:  New(DCacheConfig, l2),
+		L2: l2,
+	}
+}
+
+// InstAddr converts an instruction address (one instruction per 8-byte word)
+// to a byte address in the instruction space.
+func InstAddr(pc int) uint64 { return uint64(pc) * 8 }
+
+// DataAddr converts a word address in data memory to a byte address in a
+// disjoint data space (high bit set) so code and data never alias in L2.
+func DataAddr(word int64) uint64 { return uint64(word)*8 | 1<<40 }

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(next *Cache) *Cache {
+	return New(Config{Name: "t", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitCycles: 2}, next)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small(nil)
+	lat := c.Access(0)
+	if lat != 2+MemoryLatency {
+		t.Errorf("cold access latency = %d, want %d", lat, 2+MemoryLatency)
+	}
+	if lat := c.Access(0); lat != 2 {
+		t.Errorf("hit latency = %d, want 2", lat)
+	}
+	// Same line, different byte offset: still a hit.
+	if lat := c.Access(63); lat != 2 {
+		t.Errorf("same-line hit latency = %d, want 2", lat)
+	}
+	// Next line: miss.
+	if lat := c.Access(64); lat != 2+MemoryLatency {
+		t.Errorf("next-line latency = %d", lat)
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1KB, 2-way, 64B lines => 8 sets. Addresses 0, 512, 1024 map to set 0.
+	c := small(nil)
+	c.Access(0)
+	c.Access(512)
+	c.Access(0)    // 0 is now MRU
+	c.Access(1024) // evicts 512
+	if !c.Probe(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(512) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Probe(1024) {
+		t.Error("new line not resident")
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := small(nil)
+	c.Access(0)
+	before := c.Stats()
+	c.Probe(0)
+	c.Probe(4096)
+	if c.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestTwoLevelLatency(t *testing.T) {
+	l2 := New(Config{Name: "l2", SizeBytes: 4096, Ways: 4, LineBytes: 64, HitCycles: 10}, nil)
+	l1 := New(Config{Name: "l1", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitCycles: 2}, l2)
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := l1.Access(0); lat != 2+10+MemoryLatency {
+		t.Errorf("cold two-level latency = %d, want %d", lat, 2+10+MemoryLatency)
+	}
+	// Evict from L1 but not L2, then re-access: L1 miss, L2 hit.
+	l1.Access(512)
+	l1.Access(1024)
+	l1.Access(1536) // set 0 of L1 now holds 1024,1536
+	if l1.Probe(0) {
+		t.Fatal("line 0 still in L1; eviction scheme changed?")
+	}
+	if lat := l1.Access(0); lat != 2+10 {
+		t.Errorf("L2-hit latency = %d, want 12", lat)
+	}
+}
+
+func TestHierarchySharedL2(t *testing.T) {
+	h := NewHierarchy()
+	if h.I.Config().SizeBytes != 64<<10 || h.I.Config().Ways != 2 {
+		t.Errorf("I config = %+v", h.I.Config())
+	}
+	if h.D.Config().Ways != 4 || h.L2.Config().Ways != 8 {
+		t.Error("D/L2 config wrong")
+	}
+	// Fetch brings the line into shared L2; a D access to the same byte
+	// address would hit L2 (disjoint address spaces prevent this for real
+	// code/data, so use raw Access on the same address).
+	h.I.Access(0x1000)
+	if lat := h.D.Access(0x1000); lat != 2+10 {
+		t.Errorf("D latency after I fetch = %d, want 12 (shared L2 hit)", lat)
+	}
+}
+
+func TestAddressSpacesDisjoint(t *testing.T) {
+	if InstAddr(100) == DataAddr(100) {
+		t.Error("instruction and data addresses alias")
+	}
+	if InstAddr(1) != 8 {
+		t.Errorf("InstAddr(1) = %d", InstAddr(1))
+	}
+	if DataAddr(0) == 0 {
+		t.Error("data space not offset")
+	}
+}
+
+func TestLineBytes(t *testing.T) {
+	c := small(nil)
+	if c.LineBytes() != 64 {
+		t.Errorf("LineBytes = %d", c.LineBytes())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 0, Ways: 1, LineBytes: 64}, nil)
+}
+
+func TestNonPow2SetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 192, Ways: 1, LineBytes: 64, HitCycles: 1}, nil)
+}
+
+// TestQuickInclusionAfterAccess: any address just accessed must probe as
+// resident (the line was allocated), for arbitrary access sequences.
+func TestQuickInclusionAfterAccess(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := small(nil)
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Probe(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCapacityBound: a cache never holds more distinct lines than its
+// capacity allows; accessing a working set that fits must stop missing.
+func TestQuickCapacityBound(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := small(nil)
+		// 1KB/64B = 16 lines capacity; a 8-line working set fits regardless
+		// of layout only if it maps across sets: use consecutive lines.
+		base := uint64(seed) * 64
+		for pass := 0; pass < 4; pass++ {
+			for i := uint64(0); i < 8; i++ {
+				c.Access(base + i*64)
+			}
+		}
+		return c.Stats().Misses == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package cfg recovers control-flow graphs from DISA binaries and provides
+// the graph analyses the diverge-branch selection compiler needs: dominators
+// and post-dominators (Cooper-Harvey-Kennedy), immediate post-dominators
+// (the exact CFM points of Section 3.2), natural-loop detection, and
+// frequency-bounded path enumeration (Alg-freq, Section 3.3).
+//
+// Graphs are intra-procedural. Direct calls are treated as straight-line
+// instructions (control returns to the following instruction), matching the
+// paper's binary analysis toolset. Register-indirect jumps have statically
+// unknown successors; their blocks are conservatively wired to the virtual
+// exit so that no hammock analysis ever claims a merge across them
+// (Section 6.1's limitation).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"dmp/internal/isa"
+)
+
+// Block is a basic block: a maximal single-entry straight-line run of
+// instructions [Start, End).
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	// Succs and Preds hold block IDs. ExitID marks an edge to the virtual
+	// exit (function return, halt, or unknown indirect target).
+	Succs []int
+	Preds []int
+	// HasIndirect marks a block terminated by a register-indirect jump.
+	HasIndirect bool
+	// HasReturn marks a block terminated by a return instruction.
+	HasReturn bool
+}
+
+// NumInsts returns the instruction count of the block.
+func (b *Block) NumInsts() int { return b.End - b.Start }
+
+// Graph is the control-flow graph of one function, plus a virtual exit node.
+type Graph struct {
+	Prog *isa.Program
+	Fn   isa.Func
+	// Blocks are ordered by start address. The virtual exit is not in this
+	// slice; it has ID ExitID == len(Blocks).
+	Blocks []*Block
+	// ExitID is the virtual exit node's ID.
+	ExitID int
+	// exitPreds lists blocks with an edge to the virtual exit.
+	exitPreds []int
+	starts    []int // Blocks[i].Start, for address lookup
+}
+
+// Build recovers the CFG of function fn in program p.
+func Build(p *isa.Program, fn isa.Func) (*Graph, error) {
+	if fn.Entry < 0 || fn.End > len(p.Code) || fn.Entry >= fn.End {
+		return nil, fmt.Errorf("cfg: function %q extent [%d,%d) invalid", fn.Name, fn.Entry, fn.End)
+	}
+	// Pass 1: find leaders.
+	leader := map[int]bool{fn.Entry: true}
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		in := p.Code[pc]
+		if !in.IsControl() || in.Op == isa.OpCall || in.Op == isa.OpCallR {
+			continue // calls are straight-line intra-procedurally
+		}
+		if pc+1 < fn.End {
+			leader[pc+1] = true
+		}
+		if in.IsDirect() && in.Op != isa.OpCall {
+			if in.Target < fn.Entry || in.Target >= fn.End {
+				return nil, fmt.Errorf("cfg: %q: branch at %d targets %d outside function", fn.Name, pc, in.Target)
+			}
+			leader[in.Target] = true
+		}
+	}
+	starts := make([]int, 0, len(leader))
+	for pc := range leader {
+		starts = append(starts, pc)
+	}
+	sort.Ints(starts)
+
+	g := &Graph{Prog: p, Fn: fn, starts: starts}
+	idOf := make(map[int]int, len(starts))
+	for i, s := range starts {
+		end := fn.End
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		g.Blocks = append(g.Blocks, &Block{ID: i, Start: s, End: end})
+		idOf[s] = i
+	}
+	g.ExitID = len(g.Blocks)
+
+	// Pass 2: wire successors.
+	for _, b := range g.Blocks {
+		last := p.Code[b.End-1]
+		addSucc := func(target int) {
+			id, ok := idOf[target]
+			if !ok {
+				// Target is not a leader of this function; treat as exit.
+				g.addExitEdge(b)
+				return
+			}
+			b.Succs = append(b.Succs, id)
+			g.Blocks[id].Preds = append(g.Blocks[id].Preds, b.ID)
+		}
+		switch {
+		case last.IsCondBranch():
+			// Not-taken (fall-through) first, then taken: successor order is
+			// [fallthrough, taken] and consumers rely on it.
+			if b.End < fn.End {
+				addSucc(b.End)
+			} else {
+				g.addExitEdge(b)
+			}
+			addSucc(last.Target)
+		case last.Op == isa.OpJmp:
+			addSucc(last.Target)
+		case last.Op == isa.OpRet:
+			b.HasReturn = true
+			g.addExitEdge(b)
+		case last.Op == isa.OpHalt:
+			g.addExitEdge(b)
+		case last.Op == isa.OpJr:
+			b.HasIndirect = true
+			g.addExitEdge(b)
+		default:
+			// Fall through (includes calls).
+			if b.End < fn.End {
+				addSucc(b.End)
+			} else {
+				g.addExitEdge(b)
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addExitEdge(b *Block) {
+	b.Succs = append(b.Succs, g.ExitID)
+	g.exitPreds = append(g.exitPreds, b.ID)
+}
+
+// BlockWeight returns the instruction count of a block with call
+// instructions weighted by callWeight (the selection algorithms treat a
+// call as standing for the callee's fetched body).
+func (g *Graph) BlockWeight(id, callWeight int) int {
+	if id < 0 || id >= len(g.Blocks) {
+		return 0
+	}
+	b := g.Blocks[id]
+	n := 0
+	for pc := b.Start; pc < b.End; pc++ {
+		if op := g.Prog.Code[pc].Op; op == isa.OpCall || op == isa.OpCallR {
+			n += callWeight
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// NumNodes returns the node count including the virtual exit.
+func (g *Graph) NumNodes() int { return len(g.Blocks) + 1 }
+
+// BlockAt returns the block containing address pc, or nil if pc is outside
+// the function.
+func (g *Graph) BlockAt(pc int) *Block {
+	if pc < g.Fn.Entry || pc >= g.Fn.End {
+		return nil
+	}
+	i := sort.SearchInts(g.starts, pc+1) - 1
+	if i < 0 {
+		return nil
+	}
+	return g.Blocks[i]
+}
+
+// Succs returns the successor IDs of node id (empty for the virtual exit).
+func (g *Graph) Succs(id int) []int {
+	if id == g.ExitID {
+		return nil
+	}
+	return g.Blocks[id].Succs
+}
+
+// Preds returns the predecessor IDs of node id.
+func (g *Graph) Preds(id int) []int {
+	if id == g.ExitID {
+		return g.exitPreds
+	}
+	return g.Blocks[id].Preds
+}
+
+// CondBranches returns the addresses of all conditional branches in the
+// function, in address order.
+func (g *Graph) CondBranches() []int {
+	var out []int
+	for _, b := range g.Blocks {
+		if g.Prog.Code[b.End-1].IsCondBranch() {
+			out = append(out, b.End-1)
+		}
+	}
+	return out
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("cfg %s [%d,%d):\n", g.Fn.Name, g.Fn.Entry, g.Fn.End)
+	for _, b := range g.Blocks {
+		s += fmt.Sprintf("  B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return s
+}

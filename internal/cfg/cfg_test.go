@@ -1,0 +1,368 @@
+package cfg
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+func link(t *testing.T, build func(b *isa.Builder)) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	build(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func mustBuild(t *testing.T, p *isa.Program, fname string) *Graph {
+	t.Helper()
+	f := p.FuncByName(fname)
+	if f == nil {
+		t.Fatalf("no function %q", fname)
+	}
+	g, err := Build(p, *f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// simpleHammock builds:  A: beqz -> C ; B(fallthrough); C: merge; halt
+func simpleHammock(t *testing.T) (*isa.Program, *Graph) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.In(1)
+		b.Beqz(1, "else") // block A ends here
+		b.ALUI(isa.OpAdd, 2, 2, 1)
+		b.Jmp("merge") // block B
+		b.Label("else")
+		b.ALUI(isa.OpSub, 2, 2, 1) // block C
+		b.Label("merge")
+		b.Out(2)
+		b.Halt() // block D
+	})
+	return p, mustBuild(t, p, "main")
+}
+
+func TestBuildSimpleHammock(t *testing.T) {
+	_, g := simpleHammock(t)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", len(g.Blocks), g)
+	}
+	// A -> [B, C] with fallthrough first.
+	a := g.Blocks[0]
+	if len(a.Succs) != 2 || a.Succs[0] != 1 || a.Succs[1] != 2 {
+		t.Errorf("A succs = %v, want [1 2]", a.Succs)
+	}
+	// B -> D, C -> D, D -> exit.
+	if g.Blocks[1].Succs[0] != 3 || g.Blocks[2].Succs[0] != 3 {
+		t.Errorf("arm succs: B=%v C=%v", g.Blocks[1].Succs, g.Blocks[2].Succs)
+	}
+	if g.Blocks[3].Succs[0] != g.ExitID {
+		t.Errorf("D succs = %v", g.Blocks[3].Succs)
+	}
+	if got := g.Preds(g.ExitID); len(got) != 1 || got[0] != 3 {
+		t.Errorf("exit preds = %v", got)
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	_, g := simpleHammock(t)
+	if b := g.BlockAt(0); b == nil || b.ID != 0 {
+		t.Errorf("BlockAt(0) = %v", b)
+	}
+	if b := g.BlockAt(1); b == nil || b.ID != 0 {
+		t.Errorf("BlockAt(1) = %v", b)
+	}
+	if b := g.BlockAt(4); b == nil || b.ID != 2 {
+		t.Errorf("BlockAt(4) = %v", b)
+	}
+	if b := g.BlockAt(-1); b != nil {
+		t.Errorf("BlockAt(-1) = %v", b)
+	}
+	if b := g.BlockAt(100); b != nil {
+		t.Errorf("BlockAt(100) = %v", b)
+	}
+}
+
+func TestCondBranches(t *testing.T) {
+	_, g := simpleHammock(t)
+	brs := g.CondBranches()
+	if len(brs) != 1 || brs[0] != 1 {
+		t.Errorf("CondBranches = %v, want [1]", brs)
+	}
+}
+
+func TestDominatorsSimpleHammock(t *testing.T) {
+	_, g := simpleHammock(t)
+	dom := Dominators(g)
+	// Entry dominates everything; D's idom is A (block 0).
+	if dom.Idom[3] != 0 {
+		t.Errorf("idom(D) = %d, want 0", dom.Idom[3])
+	}
+	if dom.Idom[1] != 0 || dom.Idom[2] != 0 {
+		t.Errorf("idom arms = %d,%d, want 0,0", dom.Idom[1], dom.Idom[2])
+	}
+	if !dom.Dominates(0, 3) || dom.Dominates(1, 3) {
+		t.Error("Dominates wrong for hammock")
+	}
+	if dom.Root() != 0 {
+		t.Errorf("root = %d", dom.Root())
+	}
+}
+
+func TestPostDominatorsAndIPosDom(t *testing.T) {
+	_, g := simpleHammock(t)
+	pdom := PostDominators(g)
+	// Merge block D post-dominates A; IPOSDOM of the branch at pc=1 is D.
+	if pdom.Idom[0] != 3 {
+		t.Errorf("pidom(A) = %d, want 3", pdom.Idom[0])
+	}
+	if got := IPosDom(g, pdom, 1); got != 3 {
+		t.Errorf("IPosDom(branch@1) = %d, want 3", got)
+	}
+	// Not a branch address.
+	if got := IPosDom(g, pdom, 0); got != -1 {
+		t.Errorf("IPosDom(non-branch) = %d, want -1", got)
+	}
+}
+
+// nestedHammock builds an if-else with a nested if inside the taken arm.
+func nestedHammock(t *testing.T) (*isa.Program, *Graph, int, int) {
+	var outerBr, innerBr int
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.In(1)
+		b.In(2)
+		outerBr = b.Beqz(1, "else")
+		innerBr = b.Beqz(2, "inner_else")
+		b.ALUI(isa.OpAdd, 3, 3, 1)
+		b.Jmp("inner_merge")
+		b.Label("inner_else")
+		b.ALUI(isa.OpAdd, 3, 3, 2)
+		b.Label("inner_merge")
+		b.Jmp("merge")
+		b.Label("else")
+		b.ALUI(isa.OpSub, 3, 3, 1)
+		b.Label("merge")
+		b.Out(3)
+		b.Halt()
+	})
+	return p, mustBuild(t, p, "main"), outerBr, innerBr
+}
+
+func TestNestedHammockIPosDom(t *testing.T) {
+	_, g, outerBr, innerBr := nestedHammock(t)
+	pdom := PostDominators(g)
+	outerMerge := IPosDom(g, pdom, outerBr)
+	innerMerge := IPosDom(g, pdom, innerBr)
+	if outerMerge == -1 || innerMerge == -1 {
+		t.Fatalf("merges: outer=%d inner=%d", outerMerge, innerMerge)
+	}
+	if outerMerge == innerMerge {
+		t.Errorf("outer and inner merge at same block %d", outerMerge)
+	}
+	// The outer merge block must start at the "merge" label, which is the
+	// final out/halt block; inner merge is the inner_merge jmp block.
+	if g.Blocks[innerMerge].Start >= g.Blocks[outerMerge].Start {
+		t.Errorf("inner merge %d not before outer merge %d",
+			g.Blocks[innerMerge].Start, g.Blocks[outerMerge].Start)
+	}
+}
+
+// loopProg builds: header cond-branch exits loop; body jumps back.
+func loopProg(t *testing.T) (*isa.Program, *Graph, int) {
+	var exitBr int
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.MovI(1, 10)
+		b.Label("head")
+		exitBr = b.Beqz(1, "done")
+		b.ALUI(isa.OpSub, 1, 1, 1)
+		b.Jmp("head")
+		b.Label("done")
+		b.Out(1)
+		b.Halt()
+	})
+	return p, mustBuild(t, p, "main"), exitBr
+}
+
+func TestNaturalLoops(t *testing.T) {
+	_, g, exitBr := loopProg(t)
+	dom := Dominators(g)
+	loops := NaturalLoops(g, dom)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(loops), g)
+	}
+	l := loops[0]
+	headBlock := g.BlockAt(exitBr)
+	if l.Header != headBlock.ID {
+		t.Errorf("header = %d, want %d", l.Header, headBlock.ID)
+	}
+	if len(l.Body) != 2 {
+		t.Errorf("body = %v, want 2 blocks", l.Body)
+	}
+	if len(l.ExitBranches) != 1 || l.ExitBranches[0] != exitBr {
+		t.Errorf("exit branches = %v, want [%d]", l.ExitBranches, exitBr)
+	}
+	if !l.Contains(l.Header) || l.Contains(99) {
+		t.Error("Contains wrong")
+	}
+	if n := l.NumInsts(g); n != 3 {
+		t.Errorf("loop insts = %d, want 3 (beqz, sub, jmp)", n)
+	}
+	if got := InnermostLoopWithExit(loops, exitBr); got != l {
+		t.Errorf("InnermostLoopWithExit = %v", got)
+	}
+	if got := InnermostLoopWithExit(loops, 0); got != nil {
+		t.Errorf("InnermostLoopWithExit(non-exit) = %v", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.MovI(1, 3)
+		b.Label("outer")
+		b.Beqz(1, "done")
+		b.MovI(2, 3)
+		b.Label("inner")
+		b.Beqz(2, "inner_done")
+		b.ALUI(isa.OpSub, 2, 2, 1)
+		b.Jmp("inner")
+		b.Label("inner_done")
+		b.ALUI(isa.OpSub, 1, 1, 1)
+		b.Jmp("outer")
+		b.Label("done")
+		b.Halt()
+	})
+	g := mustBuild(t, p, "main")
+	dom := Dominators(g)
+	loops := NaturalLoops(g, dom)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	// Inner loop body must be strictly smaller and contained in outer.
+	var inner, outer *Loop
+	if len(loops[0].Body) < len(loops[1].Body) {
+		inner, outer = loops[0], loops[1]
+	} else {
+		inner, outer = loops[1], loops[0]
+	}
+	for _, id := range inner.Body {
+		if !outer.Contains(id) {
+			t.Errorf("inner block %d not in outer body %v", id, outer.Body)
+		}
+	}
+}
+
+func TestIndirectJumpConservatism(t *testing.T) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.In(1)
+		b.Beqz(1, "other")
+		b.MovI(2, 8)
+		b.Emit(isa.Inst{Op: isa.OpJr, Rs1: 2}) // indirect: unknown target
+		b.Label("other")
+		b.Out(1)
+		b.Halt()
+	})
+	g := mustBuild(t, p, "main")
+	var indirect *Block
+	for _, b := range g.Blocks {
+		if b.HasIndirect {
+			indirect = b
+		}
+	}
+	if indirect == nil {
+		t.Fatal("no indirect block found")
+	}
+	if len(indirect.Succs) != 1 || indirect.Succs[0] != g.ExitID {
+		t.Errorf("indirect succs = %v, want virtual exit", indirect.Succs)
+	}
+	// The branch above must have no IPOSDOM other than exit: the indirect
+	// path never provably merges.
+	pdom := PostDominators(g)
+	if got := IPosDom(g, pdom, 1); got != -1 {
+		t.Errorf("IPosDom across indirect = %d, want -1", got)
+	}
+}
+
+func TestReturnBlocks(t *testing.T) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Call("f")
+		b.Halt()
+		b.Func("f")
+		b.In(1)
+		b.Beqz(1, "r2")
+		b.Ret()
+		b.Label("r2")
+		b.Ret()
+	})
+	g := mustBuild(t, p, "f")
+	nret := 0
+	for _, b := range g.Blocks {
+		if b.HasReturn {
+			nret++
+			if b.Succs[0] != g.ExitID {
+				t.Errorf("return block succs = %v", b.Succs)
+			}
+		}
+	}
+	if nret != 2 {
+		t.Errorf("return blocks = %d, want 2", nret)
+	}
+	// A branch whose both arms end in returns merges only at the virtual
+	// exit: no address CFM exists (this is the return-CFM case, Sec 3.5).
+	pdom := PostDominators(g)
+	brs := g.CondBranches()
+	if len(brs) != 1 {
+		t.Fatalf("branches = %v", brs)
+	}
+	if got := IPosDom(g, pdom, brs[0]); got != -1 {
+		t.Errorf("IPosDom = %d, want -1 (merge at return)", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Halt()
+	})
+	if _, err := Build(p, isa.Func{Name: "bad", Entry: 5, End: 2}); err == nil {
+		t.Error("invalid extent accepted")
+	}
+	// Branch targeting outside the function.
+	p2 := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.In(1)
+		b.Beqz(1, "away")
+		b.Halt()
+		b.Func("other")
+		b.Label("away")
+		b.Halt()
+	})
+	f := p2.FuncByName("main")
+	if _, err := Build(p2, *f); err == nil {
+		t.Error("cross-function branch accepted")
+	}
+}
+
+func TestCallsAreStraightLine(t *testing.T) {
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Call("f")
+		b.Out(1)
+		b.Halt()
+		b.Func("f")
+		b.Ret()
+	})
+	g := mustBuild(t, p, "main")
+	if len(g.Blocks) != 1 {
+		t.Errorf("call split a block: %d blocks\n%s", len(g.Blocks), g)
+	}
+}

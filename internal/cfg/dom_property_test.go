@@ -1,0 +1,178 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmp/internal/isa"
+)
+
+// Brute-force dominance: a dominates b iff removing a from the graph makes b
+// unreachable from the entry (respectively, unreachable backwards from the
+// exit for post-dominance). The Cooper-Harvey-Kennedy results must agree on
+// randomly generated CFGs.
+
+// reachableAvoiding returns the set of nodes reachable from start without
+// passing through `avoid` (-1 to disable).
+func reachableAvoiding(g *Graph, start, avoid int, succs func(int) []int) map[int]bool {
+	seen := map[int]bool{}
+	if start == avoid {
+		return seen
+	}
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs(v) {
+			if s == avoid || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return seen
+}
+
+// bruteDominates reports whether a dominates b (forward direction).
+func bruteDominates(g *Graph, a, b int) bool {
+	if a == b {
+		return true
+	}
+	return !reachableAvoiding(g, entryNode, a, g.Succs)[b]
+}
+
+// brutePostDominates reports whether a post-dominates b.
+func brutePostDominates(g *Graph, a, b int) bool {
+	if a == b {
+		return true
+	}
+	return !reachableAvoiding(g, g.ExitID, a, g.Preds)[b]
+}
+
+// randomCFG builds a random structured-ish program: a chain of regions, each
+// randomly a hammock, a loop, or straight-line code, with occasional
+// cross-region forward branches.
+func randomCFG(t *testing.T, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+	b.Func("main")
+	n := rng.Intn(6) + 2
+	for i := 0; i < n; i++ {
+		lbl := func(s string) string { return s + string(rune('a'+i)) }
+		switch rng.Intn(3) {
+		case 0: // hammock
+			b.In(1)
+			b.Beqz(1, lbl("else"))
+			b.ALUI(isa.OpAdd, 2, 2, 1)
+			if rng.Intn(2) == 0 {
+				b.Jmp(lbl("merge"))
+				b.Label(lbl("else"))
+				b.ALUI(isa.OpSub, 2, 2, 1)
+				b.Label(lbl("merge"))
+			} else {
+				b.Label(lbl("else"))
+			}
+			b.ALUI(isa.OpXor, 3, 3, 2)
+		case 1: // loop
+			b.MovI(1, int64(rng.Intn(5)+1))
+			b.Label(lbl("head"))
+			b.Beqz(1, lbl("exit"))
+			b.ALUI(isa.OpSub, 1, 1, 1)
+			b.Jmp(lbl("head"))
+			b.Label(lbl("exit"))
+		default: // straight line
+			for j := 0; j < rng.Intn(4)+1; j++ {
+				b.ALUI(isa.OpAdd, 4, 4, 1)
+			}
+		}
+	}
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	g, err := Build(p, *p.FuncByName("main"))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// TestQuickDominatorsMatchBruteForce cross-checks the CHK dominator tree
+// against brute-force dominance on random CFGs.
+func TestQuickDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomCFG(t, seed)
+		dom := Dominators(g)
+		for v := 0; v < len(g.Blocks); v++ {
+			for a := 0; a < len(g.Blocks); a++ {
+				if dom.Dominates(a, v) != bruteDominates(g, a, v) {
+					t.Logf("seed %d: dominance mismatch a=%d v=%d\n%s", seed, a, v, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPostDominatorsMatchBruteForce does the same for the reverse
+// direction, which the exact-CFM computation (IPOSDOM) relies on.
+func TestQuickPostDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomCFG(t, seed)
+		pdom := PostDominators(g)
+		nodes := g.NumNodes()
+		for v := 0; v < nodes; v++ {
+			for a := 0; a < nodes; a++ {
+				if pdom.Dominates(a, v) != brutePostDominates(g, a, v) {
+					t.Logf("seed %d: post-dominance mismatch a=%d v=%d\n%s", seed, a, v, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIPosDomIsFirstCommonMergePoint: the immediate post-dominator of a
+// branch must post-dominate both successors and be post-dominated by every
+// other common post-dominator (the "immediate" property).
+func TestQuickIPosDomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomCFG(t, seed)
+		pdom := PostDominators(g)
+		for _, brPC := range g.CondBranches() {
+			blk := g.BlockAt(brPC)
+			ip := IPosDom(g, pdom, brPC)
+			if ip < 0 {
+				continue
+			}
+			if !pdom.Dominates(ip, blk.Succs[0]) || !pdom.Dominates(ip, blk.Succs[1]) {
+				t.Logf("seed %d: IPOSDOM %d does not post-dominate both arms of %d", seed, ip, brPC)
+				return false
+			}
+			// Immediacy: every common post-dominator of the branch block
+			// post-dominates ip.
+			for c := 0; c < len(g.Blocks); c++ {
+				if c != blk.ID && pdom.Dominates(c, blk.ID) && !pdom.Dominates(c, ip) && c != ip {
+					t.Logf("seed %d: %d is a closer common post-dominator than %d", seed, c, ip)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Structural properties of natural-loop detection on random CFGs:
+//
+//  1. every loop header dominates all of its latches and its whole body;
+//  2. the body is closed under predecessors except through the header
+//     (the defining property of a natural loop);
+//  3. every exit branch lies inside the body and has a successor outside;
+//  4. two loops with different headers are either disjoint or nested.
+func TestQuickNaturalLoopProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomCFG(t, seed)
+		dom := Dominators(g)
+		loops := NaturalLoops(g, dom)
+		for _, l := range loops {
+			for _, latch := range l.Latches {
+				if !dom.Dominates(l.Header, latch) {
+					t.Logf("seed %d: header %d does not dominate latch %d", seed, l.Header, latch)
+					return false
+				}
+			}
+			for _, id := range l.Body {
+				if !dom.Dominates(l.Header, id) {
+					t.Logf("seed %d: header %d does not dominate body node %d", seed, l.Header, id)
+					return false
+				}
+				if id == l.Header {
+					continue
+				}
+				for _, p := range g.Preds(id) {
+					if !l.Contains(p) {
+						t.Logf("seed %d: body node %d has predecessor %d outside the loop", seed, id, p)
+						return false
+					}
+				}
+			}
+			for _, e := range l.ExitBranches {
+				blk := g.BlockAt(e)
+				if blk == nil || !l.Contains(blk.ID) {
+					t.Logf("seed %d: exit branch %d outside body", seed, e)
+					return false
+				}
+				outside := false
+				for _, s := range blk.Succs {
+					if s == g.ExitID || !l.Contains(s) {
+						outside = true
+					}
+				}
+				if !outside {
+					t.Logf("seed %d: exit branch %d has no outside successor", seed, e)
+					return false
+				}
+			}
+		}
+		// Nesting or disjointness.
+		for i := 0; i < len(loops); i++ {
+			for j := i + 1; j < len(loops); j++ {
+				a, b := loops[i], loops[j]
+				var shared, onlyA, onlyB bool
+				for _, id := range a.Body {
+					if b.Contains(id) {
+						shared = true
+					} else {
+						onlyA = true
+					}
+				}
+				for _, id := range b.Body {
+					if !a.Contains(id) {
+						onlyB = true
+					}
+				}
+				if shared && onlyA && onlyB {
+					t.Logf("seed %d: loops %d and %d partially overlap", seed, a.Header, b.Header)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+package cfg
+
+import "sort"
+
+// Path enumeration for Alg-freq (Section 3.3): a working-list/DFS algorithm
+// that computes all control-flow paths following one direction of a branch,
+// bounded by MAX_INSTR instructions and MAX_CBR conditional branches, and
+// following only branch directions executed with probability at least
+// MIN_EXEC_PROB in the profiling run.
+
+// PathEnd says why a path stopped.
+type PathEnd uint8
+
+const (
+	// EndMerged means the path reached the stop block (IPOSDOM).
+	EndMerged PathEnd = iota
+	// EndTruncated means the path hit the MAX_INSTR or MAX_CBR limit.
+	EndTruncated
+	// EndExit means the path left the function (return, halt, or an
+	// indirect jump with unknown target).
+	EndExit
+)
+
+// Path is one enumerated control-flow path after a branch.
+type Path struct {
+	// Blocks are the block IDs along the path in order, starting with the
+	// branch successor. When End == EndMerged the final element is the stop
+	// block itself (whose instructions are not counted in Insts).
+	Blocks []int
+	// Prob is the path probability under edge independence.
+	Prob float64
+	// Insts counts instructions on the path, excluding the stop block.
+	Insts int
+	// CondBrs counts conditional branches on the path, excluding the
+	// originating diverge branch and the stop block.
+	CondBrs int
+	// End is the termination reason.
+	End PathEnd
+}
+
+// FirstIndexOf returns the position of block id on the path, or -1.
+func (p *Path) FirstIndexOf(id int) int {
+	for i, b := range p.Blocks {
+		if b == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// PathLimits bounds path enumeration.
+type PathLimits struct {
+	// MaxInsts is the paper's MAX_INSTR threshold.
+	MaxInsts int
+	// MaxCondBrs is the paper's MAX_CBR threshold.
+	MaxCondBrs int
+	// MinExecProb is the paper's MIN_EXEC_PROB edge-frequency floor (0.001).
+	MinExecProb float64
+	// MaxPaths caps the number of enumerated paths per direction; an
+	// engineering bound absent from the paper (which could afford unbounded
+	// worklists on its workloads). 0 means DefaultMaxPaths.
+	MaxPaths int
+	// ProbFloor prunes DFS prefixes whose cumulative probability drops below
+	// this value. 0 means DefaultProbFloor.
+	ProbFloor float64
+	// CallWeight is the instruction-count weight of a call instruction in
+	// path-length accounting: a called function's body is fetched inside the
+	// dynamic predication region even though the call is a single
+	// instruction, so the selection algorithms treat calls as expensive.
+	// 0 means DefaultCallWeight; pass a negative value for weight 1.
+	CallWeight int
+}
+
+// Default engineering bounds for path enumeration.
+const (
+	DefaultMaxPaths   = 4096
+	DefaultProbFloor  = 1e-7
+	DefaultCallWeight = 25
+)
+
+func (l PathLimits) withDefaults() PathLimits {
+	if l.MaxPaths == 0 {
+		l.MaxPaths = DefaultMaxPaths
+	}
+	if l.ProbFloor == 0 {
+		l.ProbFloor = DefaultProbFloor
+	}
+	if l.CallWeight == 0 {
+		l.CallWeight = DefaultCallWeight
+	} else if l.CallWeight < 0 {
+		l.CallWeight = 1
+	}
+	return l
+}
+
+// EdgeProb returns the profiled probability of control flowing from block
+// `from` to node `to` (a block ID or the virtual exit), given that `from`
+// executes. Implementations are provided by the profile package.
+type EdgeProb func(g *Graph, from, to int) float64
+
+// PathSet holds the enumerated paths for one direction of a branch and the
+// first-reach probability of every block in the explored region.
+type PathSet struct {
+	Paths []Path
+	// Reach maps block ID to the probability that the block is ever reached
+	// on this direction (first-visit probability, summed over DFS prefixes).
+	Reach map[int]float64
+	// Complete is false when MaxPaths truncated the enumeration.
+	Complete bool
+}
+
+// MergeProb returns the probability that this direction reaches block id.
+func (s *PathSet) MergeProb(id int) float64 { return s.Reach[id] }
+
+// EnumeratePaths explores all paths from startBlock (a successor of a
+// diverge branch), stopping each path at stopBlock (pass -1 for none), at
+// the virtual exit, or at the limits.
+func EnumeratePaths(g *Graph, startBlock, stopBlock int, prob EdgeProb, limits PathLimits) *PathSet {
+	limits = limits.withDefaults()
+	set := &PathSet{Reach: map[int]float64{}, Complete: true}
+	if startBlock == g.ExitID {
+		return set
+	}
+
+	// Iterative DFS over path prefixes.
+	type frame struct {
+		block   int
+		prob    float64
+		insts   int
+		cbrs    int
+		nextSuc int
+	}
+	stack := []frame{}
+	var blocks []int
+
+	record := func(end PathEnd, prob float64, insts, cbrs int, withLast bool) {
+		if len(set.Paths) >= limits.MaxPaths {
+			set.Complete = false
+			return
+		}
+		n := len(blocks)
+		if withLast {
+			n++
+		}
+		p := Path{Blocks: make([]int, n), Prob: prob, Insts: insts, CondBrs: cbrs, End: end}
+		copy(p.Blocks, blocks)
+		if withLast {
+			p.Blocks[n-1] = stack[len(stack)-1].block
+		}
+		set.Paths = append(set.Paths, p)
+	}
+
+	// enter pushes a new block onto the DFS and handles terminal conditions.
+	// It returns false if the block terminated the path.
+	push := func(id int, prob float64, insts, cbrs int) bool {
+		stack = append(stack, frame{block: id, prob: prob, insts: insts, cbrs: cbrs})
+		if firstOnPath(blocks, id) {
+			set.Reach[id] += prob
+		}
+		if id == stopBlock {
+			record(EndMerged, prob, insts, cbrs, true)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		b := g.Blocks[id]
+		insts += g.BlockWeight(id, limits.CallWeight)
+		if g.Prog.Code[b.End-1].IsCondBranch() {
+			cbrs++
+		}
+		top := &stack[len(stack)-1]
+		top.insts = insts
+		top.cbrs = cbrs
+		if insts > limits.MaxInsts || cbrs > limits.MaxCondBrs {
+			record(EndTruncated, prob, insts, cbrs, true)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		blocks = append(blocks, id)
+		return true
+	}
+
+	if !push(startBlock, 1, 0, 0) {
+		return set
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succs := g.Succs(top.block)
+		advanced := false
+		for top.nextSuc < len(succs) {
+			s := succs[top.nextSuc]
+			top.nextSuc++
+			p := prob(g, top.block, s) * top.prob
+			if p < top.prob*limits.MinExecProb || p < limits.ProbFloor {
+				continue
+			}
+			if s == g.ExitID {
+				record(EndExit, p, top.insts, top.cbrs, false)
+				continue
+			}
+			if push(s, p, top.insts, top.cbrs) {
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		if top.nextSuc >= len(succs) {
+			if len(succs) == 0 {
+				record(EndExit, top.prob, top.insts, top.cbrs, false)
+			}
+			stack = stack[:len(stack)-1]
+			blocks = blocks[:len(blocks)-1]
+			continue
+		}
+	}
+	return set
+}
+
+func firstOnPath(blocks []int, id int) bool {
+	for _, b := range blocks {
+		if b == id {
+			return false
+		}
+	}
+	return true
+}
+
+// BranchPaths enumerates the taken- and not-taken-side path sets of the
+// conditional branch at branchPC. stopBlock is typically IPOSDOM of the
+// branch (-1 when none).
+func BranchPaths(g *Graph, branchPC, stopBlock int, prob EdgeProb, limits PathLimits) (taken, notTaken *PathSet) {
+	b := g.BlockAt(branchPC)
+	if b == nil || b.End-1 != branchPC || !g.Prog.Code[branchPC].IsCondBranch() {
+		return &PathSet{Reach: map[int]float64{}, Complete: true}, &PathSet{Reach: map[int]float64{}, Complete: true}
+	}
+	// Successor order is [fallthrough, taken] (see Build).
+	nt, tk := b.Succs[0], b.Succs[1]
+	taken = EnumeratePaths(g, tk, stopBlock, prob, limits)
+	notTaken = EnumeratePaths(g, nt, stopBlock, prob, limits)
+	return taken, notTaken
+}
+
+// CommonBlocks returns the block IDs reached on both directions, sorted by
+// descending joint reach probability (the CFM candidate order of Alg-freq).
+func CommonBlocks(taken, notTaken *PathSet) []int {
+	var out []int
+	for id := range taken.Reach {
+		if notTaken.Reach[id] > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi := taken.Reach[out[i]] * notTaken.Reach[out[i]]
+		pj := taken.Reach[out[j]] * notTaken.Reach[out[j]]
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

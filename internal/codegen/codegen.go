@@ -1,0 +1,432 @@
+// Package codegen lowers IR programs to DISA binaries.
+//
+// Register convention:
+//
+//	r0          hardwired zero
+//	r1..r7      argument registers; r1 doubles as the return value
+//	r8..r47     local slots (callee-saved; one register per named local)
+//	r48..r59    expression temporaries (caller-clobbered; irgen guarantees
+//	            none is live across a call)
+//	r60, r61    code-generator scratch
+//	r62         stack pointer
+//	r63         link register
+//
+// Functions save their used local registers (and the link register when they
+// make calls) in their stack frame. Globals live at fixed word addresses at
+// the bottom of data memory and are initialised by the _start stub, which
+// then calls main and halts.
+package codegen
+
+import (
+	"fmt"
+
+	"dmp/internal/ir"
+	"dmp/internal/isa"
+)
+
+// Register-convention constants.
+const (
+	regArg0     = 1
+	regRet      = 1
+	regLocal0   = 8
+	numLocals   = 40
+	regTemp0    = 48
+	numTemps    = 12
+	regScratch  = 60
+	regScratch2 = 61
+)
+
+// Compile lowers an IR program to a linked DISA binary. The IR must verify.
+func Compile(p *ir.Program) (*isa.Program, error) {
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	if p.FuncByName("main") == nil {
+		return nil, fmt.Errorf("codegen: no main function")
+	}
+	c := &compiler{prog: p, b: isa.NewBuilder(), globalAddr: map[string]int64{}}
+	var next int64
+	for _, g := range p.Globals {
+		c.globalAddr[g.Name] = next
+		next += int64(g.Words)
+	}
+	c.b.SetGlobals(int(next))
+
+	// _start: initialise global scalars, call main, halt.
+	c.b.Func("_start")
+	for _, g := range p.Globals {
+		if !g.IsArray && g.Init != 0 {
+			c.b.MovI(regScratch, g.Init)
+			c.b.St(isa.RegZero, c.globalAddr[g.Name], regScratch)
+		}
+	}
+	c.b.Call("main")
+	c.b.Halt()
+
+	for _, f := range p.Funcs {
+		if err := c.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	bin, err := c.b.Link()
+	if err != nil {
+		return nil, fmt.Errorf("codegen: link: %w", err)
+	}
+	if start := bin.FuncByName("_start"); start != nil {
+		bin.Entry = start.Entry
+	}
+	return bin, nil
+}
+
+type compiler struct {
+	prog       *ir.Program
+	b          *isa.Builder
+	globalAddr map[string]int64
+}
+
+type funcCtx struct {
+	f          *ir.Func
+	makesCalls bool
+	// saved lists the registers the prologue saves, in frame order.
+	saved []uint8
+}
+
+func (c *compiler) genFunc(f *ir.Func) error {
+	if len(f.Locals) > numLocals {
+		return fmt.Errorf("codegen: %s: %d locals exceed the %d register slots", f.Name, len(f.Locals), numLocals)
+	}
+	if f.NumTemps > numTemps {
+		return fmt.Errorf("codegen: %s: expression depth %d exceeds the %d temp registers", f.Name, f.NumTemps, numTemps)
+	}
+	fc := &funcCtx{f: f}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if _, ok := in.(ir.Call); ok {
+				fc.makesCalls = true
+			}
+		}
+	}
+	for i := range f.Locals {
+		fc.saved = append(fc.saved, uint8(regLocal0+i))
+	}
+	if fc.makesCalls {
+		fc.saved = append(fc.saved, isa.RegLR)
+	}
+
+	c.b.Func(f.Name)
+	// Prologue.
+	if len(fc.saved) > 0 {
+		c.b.ALUI(isa.OpSub, isa.RegSP, isa.RegSP, int64(len(fc.saved)))
+		for i, r := range fc.saved {
+			c.b.St(isa.RegSP, int64(i), r)
+		}
+	}
+	for i := range f.Params {
+		c.b.Mov(uint8(regLocal0+i), uint8(regArg0+i))
+	}
+
+	for bi, blk := range f.Blocks {
+		c.b.Label(c.blockLabel(f, blk))
+		for _, in := range blk.Instrs {
+			if err := c.genInstr(fc, in); err != nil {
+				return err
+			}
+		}
+		var next *ir.Block
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1]
+		}
+		if err := c.genTerm(fc, blk.Term, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genEpilogue restores the saved registers and returns. Epilogues are
+// emitted inline at every return site (no shared tail), so functions with
+// multiple source-level returns end in distinct return instructions — the
+// control-flow shape the return-CFM mechanism (Section 3.5) targets.
+func (c *compiler) genEpilogue(fc *funcCtx) {
+	for i, r := range fc.saved {
+		c.b.Ld(r, isa.RegSP, int64(i))
+	}
+	if len(fc.saved) > 0 {
+		c.b.ALUI(isa.OpAdd, isa.RegSP, isa.RegSP, int64(len(fc.saved)))
+	}
+	c.b.Ret()
+}
+
+func (c *compiler) blockLabel(f *ir.Func, b *ir.Block) string {
+	return fmt.Sprintf("%s.b%d", f.Name, b.ID)
+}
+
+// ensureReg returns a register holding operand o. Constants and globals are
+// materialised into the given scratch register.
+func (c *compiler) ensureReg(o ir.Operand, scratch uint8) (uint8, error) {
+	switch o.Kind {
+	case ir.Const:
+		if o.Val == 0 {
+			return isa.RegZero, nil
+		}
+		c.b.MovI(scratch, o.Val)
+		return scratch, nil
+	case ir.Temp:
+		return uint8(regTemp0 + o.Index), nil
+	case ir.Local:
+		return uint8(regLocal0 + o.Index), nil
+	case ir.GlobalScalar:
+		c.b.Ld(scratch, isa.RegZero, c.globalAddr[o.Name])
+		return scratch, nil
+	}
+	return 0, fmt.Errorf("codegen: bad operand %v", o)
+}
+
+// destReg returns the register to compute a destination into, and whether
+// the result must be stored back to a global afterwards.
+func (c *compiler) destReg(d ir.Dest) (reg uint8, storeGlobal bool, err error) {
+	switch d.Kind {
+	case ir.Temp:
+		return uint8(regTemp0 + d.Index), false, nil
+	case ir.Local:
+		return uint8(regLocal0 + d.Index), false, nil
+	case ir.GlobalScalar:
+		return regScratch2, true, nil
+	}
+	return 0, false, fmt.Errorf("codegen: bad destination %v", d)
+}
+
+func (c *compiler) storeDest(d ir.Dest, reg uint8) {
+	if d.Kind == ir.GlobalScalar {
+		c.b.St(isa.RegZero, c.globalAddr[d.Name], reg)
+	}
+}
+
+func binOpcode(k ir.BinKind) isa.Op {
+	switch k {
+	case ir.Add:
+		return isa.OpAdd
+	case ir.Sub:
+		return isa.OpSub
+	case ir.Mul:
+		return isa.OpMul
+	case ir.Div:
+		return isa.OpDiv
+	case ir.Rem:
+		return isa.OpRem
+	case ir.And:
+		return isa.OpAnd
+	case ir.Or:
+		return isa.OpOr
+	case ir.Xor:
+		return isa.OpXor
+	case ir.Shl:
+		return isa.OpShl
+	case ir.Shr:
+		return isa.OpShr
+	case ir.CmpEQ:
+		return isa.OpCmpEQ
+	case ir.CmpNE:
+		return isa.OpCmpNE
+	case ir.CmpLT:
+		return isa.OpCmpLT
+	case ir.CmpLE:
+		return isa.OpCmpLE
+	case ir.CmpGT:
+		return isa.OpCmpGT
+	case ir.CmpGE:
+		return isa.OpCmpGE
+	}
+	return isa.OpNop
+}
+
+func (c *compiler) genInstr(fc *funcCtx, in ir.Instr) error {
+	switch v := in.(type) {
+	case ir.BinOp:
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		a, err := c.ensureReg(v.A, regScratch)
+		if err != nil {
+			return err
+		}
+		if v.B.Kind == ir.Const {
+			c.b.ALUI(binOpcode(v.Op), dst, a, v.B.Val)
+		} else {
+			b, err := c.ensureReg(v.B, regScratch2)
+			if err != nil {
+				return err
+			}
+			c.b.ALU(binOpcode(v.Op), dst, a, b)
+		}
+		if isGlobal {
+			c.storeDest(v.Dst, dst)
+		}
+		return nil
+	case ir.Copy:
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		switch v.Src.Kind {
+		case ir.Const:
+			c.b.MovI(dst, v.Src.Val)
+		case ir.GlobalScalar:
+			c.b.Ld(dst, isa.RegZero, c.globalAddr[v.Src.Name])
+		default:
+			src, err := c.ensureReg(v.Src, regScratch)
+			if err != nil {
+				return err
+			}
+			c.b.Mov(dst, src)
+		}
+		if isGlobal {
+			c.storeDest(v.Dst, dst)
+		}
+		return nil
+	case ir.LoadIdx:
+		base, ok := c.globalAddr[v.Array]
+		if !ok {
+			return fmt.Errorf("codegen: unknown array %q", v.Array)
+		}
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		idx, err := c.ensureReg(v.Index, regScratch)
+		if err != nil {
+			return err
+		}
+		c.b.Ld(dst, idx, base)
+		if isGlobal {
+			c.storeDest(v.Dst, dst)
+		}
+		return nil
+	case ir.StoreIdx:
+		base, ok := c.globalAddr[v.Array]
+		if !ok {
+			return fmt.Errorf("codegen: unknown array %q", v.Array)
+		}
+		idx, err := c.ensureReg(v.Index, regScratch)
+		if err != nil {
+			return err
+		}
+		val, err := c.ensureReg(v.Val, regScratch2)
+		if err != nil {
+			return err
+		}
+		c.b.St(idx, base, val)
+		return nil
+	case ir.Call:
+		for i, a := range v.Args {
+			argReg := uint8(regArg0 + i)
+			switch a.Kind {
+			case ir.Const:
+				c.b.MovI(argReg, a.Val)
+			case ir.GlobalScalar:
+				c.b.Ld(argReg, isa.RegZero, c.globalAddr[a.Name])
+			case ir.Local:
+				c.b.Mov(argReg, uint8(regLocal0+a.Index))
+			default:
+				return fmt.Errorf("codegen: %s: call argument %v is a temp (irgen invariant violated)", fc.f.Name, a)
+			}
+		}
+		c.b.Call(v.Fn)
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		if isGlobal {
+			c.storeDest(v.Dst, regRet)
+		} else if dst != regRet {
+			c.b.Mov(dst, regRet)
+		}
+		return nil
+	case ir.Input:
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		c.b.In(dst)
+		if isGlobal {
+			c.storeDest(v.Dst, dst)
+		}
+		return nil
+	case ir.InputAvail:
+		dst, isGlobal, err := c.destReg(v.Dst)
+		if err != nil {
+			return err
+		}
+		c.b.InAvail(dst)
+		if isGlobal {
+			c.storeDest(v.Dst, dst)
+		}
+		return nil
+	case ir.Output:
+		r, err := c.ensureReg(v.Val, regScratch)
+		if err != nil {
+			return err
+		}
+		c.b.Out(r)
+		return nil
+	}
+	return fmt.Errorf("codegen: unknown instruction %T", in)
+}
+
+func (c *compiler) genTerm(fc *funcCtx, t ir.Terminator, next *ir.Block) error {
+	switch v := t.(type) {
+	case ir.Jmp:
+		if v.Target != next {
+			c.b.Jmp(c.blockLabel(fc.f, v.Target))
+		}
+		return nil
+	case ir.Br:
+		cond, err := c.ensureReg(v.Cond, regScratch)
+		if err != nil {
+			return err
+		}
+		switch {
+		case v.False == next:
+			c.b.Bnez(cond, c.blockLabel(fc.f, v.True))
+		case v.True == next:
+			c.b.Beqz(cond, c.blockLabel(fc.f, v.False))
+		default:
+			c.b.Bnez(cond, c.blockLabel(fc.f, v.True))
+			c.b.Jmp(c.blockLabel(fc.f, v.False))
+		}
+		return nil
+	case ir.Ret:
+		switch v.Val.Kind {
+		case ir.Const:
+			c.b.MovI(regRet, v.Val.Val)
+		case ir.GlobalScalar:
+			c.b.Ld(regRet, isa.RegZero, c.globalAddr[v.Val.Name])
+		default:
+			r, err := c.ensureReg(v.Val, regScratch)
+			if err != nil {
+				return err
+			}
+			if r != regRet {
+				c.b.Mov(regRet, r)
+			}
+		}
+		c.genEpilogue(fc)
+		return nil
+	}
+	return fmt.Errorf("codegen: unknown terminator %T", t)
+}
+
+// CompileSource is a convenience helper: parse, check, lower and compile DML
+// source text to a DISA binary.
+func CompileSource(src string) (*isa.Program, error) {
+	f, err := parseAndCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	irProg, err := genIR(f)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(irProg)
+}

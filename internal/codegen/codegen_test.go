@@ -1,0 +1,399 @@
+package codegen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmp/internal/emu"
+	"dmp/internal/ir"
+)
+
+// runBinary compiles DML source and executes the binary on the emulator.
+func runBinary(t *testing.T, src string, input []int64) []int64 {
+	t.Helper()
+	bin, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("CompileSource: %v", err)
+	}
+	if err := bin.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m := emu.New(bin, input, 0)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("emulate: %v", err)
+	}
+	return m.Output
+}
+
+// runIR interprets the same source at the IR level (the semantic reference).
+func runIR(t *testing.T, src string, input []int64) []int64 {
+	t.Helper()
+	p, err := CompileSourceToIR(src)
+	if err != nil {
+		t.Fatalf("CompileSourceToIR: %v", err)
+	}
+	it := ir.NewInterpreter(p, input)
+	if _, err := it.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return it.Output
+}
+
+// diffTest checks binary output == IR interpreter output.
+func diffTest(t *testing.T, src string, input []int64) {
+	t.Helper()
+	want := runIR(t, src, input)
+	got := runBinary(t, src, input)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("binary output %v != IR output %v", got, want)
+	}
+}
+
+func TestEndToEndBasics(t *testing.T) {
+	diffTest(t, `func main() { out(2 + 3 * 4); out(-7); out(!5); }`, nil)
+	diffTest(t, `func main() { out(100 / 7); out(100 % 7); out(3 << 4); out(-64 >> 3); }`, nil)
+	diffTest(t, `func main() { out(5 & 3); out(5 | 3); out(5 ^ 3); }`, nil)
+}
+
+func TestEndToEndGlobalsInit(t *testing.T) {
+	diffTest(t, `
+var a = 11;
+var b = -4;
+var zero = 0;
+func main() { out(a); out(b); out(zero); }`, nil)
+}
+
+func TestEndToEndArrays(t *testing.T) {
+	diffTest(t, `
+var grid[64];
+func main() {
+	for (var i = 0; i < 64; i = i + 1) { grid[i] = i * 3; }
+	var s = 0;
+	for (var j = 0; j < 64; j = j + 1) { s = s + grid[j]; }
+	out(s);
+	grid[10] += 100;
+	grid[10] -= 1;
+	out(grid[10]);
+}`, nil)
+}
+
+func TestEndToEndControlFlow(t *testing.T) {
+	diffTest(t, `
+func main() {
+	var n = 0;
+	while (inavail()) {
+		var v = in();
+		if (v > 10 && v % 2 == 0) { n = n + 2; }
+		else if (v > 10 || v < -10) { n = n + 1; }
+		else { n = n - 1; }
+	}
+	out(n);
+}`, []int64{12, 11, 5, -20, 14, 3, 0, 100})
+}
+
+func TestEndToEndCalls(t *testing.T) {
+	diffTest(t, `
+func max(a, b) { if (a > b) { return a; } return b; }
+func clamp(v, lo, hi) { return max(lo, 0 - max(0 - v, 0 - hi)); }
+func main() {
+	out(clamp(5, 0, 10));
+	out(clamp(-5, 0, 10));
+	out(clamp(15, 0, 10));
+}`, nil)
+}
+
+func TestEndToEndRecursion(t *testing.T) {
+	diffTest(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func ack(m, n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+func main() { out(fib(15)); out(ack(2, 3)); }`, nil)
+}
+
+func TestEndToEndShortCircuitEffects(t *testing.T) {
+	diffTest(t, `
+var calls = 0;
+func f(v) { calls = calls + 1; return v; }
+func main() {
+	if (f(0) && f(1)) { out(111); }
+	out(calls);
+	var x = f(1) || f(1);
+	out(x); out(calls);
+}`, nil)
+}
+
+func TestEndToEndSevenParams(t *testing.T) {
+	diffTest(t, `
+func sum7(a, b, c, d, e, f, g) { return a + b + c + d + e + f + g; }
+func main() { out(sum7(1, 2, 3, 4, 5, 6, 7)); }`, nil)
+}
+
+func TestEndToEndNestedCallsClobber(t *testing.T) {
+	// Callee must not clobber the caller's locals (callee-saved discipline).
+	diffTest(t, `
+func noisy() {
+	var a = 1; var b = 2; var c = 3; var d = 4; var e = 5;
+	return a + b + c + d + e;
+}
+func main() {
+	var x = 10; var y = 20; var z = 30;
+	var r = noisy();
+	out(x + y + z + r);
+}`, nil)
+}
+
+func TestEndToEndInputDriven(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	input := make([]int64, 500)
+	for i := range input {
+		input[i] = int64(rng.Intn(200) - 100)
+	}
+	diffTest(t, `
+var hist[16];
+func bucket(v) {
+	if (v < 0) { v = 0 - v; }
+	return v % 16;
+}
+func main() {
+	while (inavail()) {
+		var v = in();
+		hist[bucket(v)] += 1;
+	}
+	for (var i = 0; i < 16; i = i + 1) { out(hist[i]); }
+}`, input)
+}
+
+func TestTooDeepExpression(t *testing.T) {
+	// Build an expression requiring more than 12 live temps: a fully
+	// parenthesised right-leaning chain keeps the left operands alive.
+	expr := "1"
+	for i := 0; i < 14; i++ {
+		expr = "(1 + " + expr + ")"
+	}
+	// Left operands of + are constants (no temp), so lean the other way:
+	expr = "1"
+	for i := 0; i < 14; i++ {
+		expr = "(" + expr + " + (1 - in()))"
+	}
+	_, err := CompileSource(`func main() { out(` + expr + `); }`)
+	// Either it compiles (constant operands may not consume temps) or it
+	// fails with the depth diagnostic; it must not panic or emit bad code.
+	if err != nil && !strings.Contains(err.Error(), "temp registers") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTooManyLocals(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("func main() {\n")
+	for i := 0; i < 45; i++ {
+		sb.WriteString("var v")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString(string(rune('a' + i/26)))
+		sb.WriteString(" = 1;\n")
+	}
+	sb.WriteString("}\n")
+	_, err := CompileSource(sb.String())
+	if err == nil || !strings.Contains(err.Error(), "register slots") {
+		t.Errorf("err = %v, want too-many-locals diagnostic", err)
+	}
+}
+
+func TestCompileSourceErrors(t *testing.T) {
+	if _, err := CompileSource("not a program"); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := CompileSource("func main() { x = 1; }"); err == nil {
+		t.Error("check error not propagated")
+	}
+}
+
+func TestEntryIsStart(t *testing.T) {
+	bin, err := CompileSource(`func main() { out(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := bin.FuncByName("_start")
+	if start == nil || bin.Entry != start.Entry {
+		t.Errorf("entry = %d, start = %+v", bin.Entry, start)
+	}
+	if bin.FuncByName("main") == nil {
+		t.Error("main symbol missing")
+	}
+}
+
+func TestBranchLayoutFallthrough(t *testing.T) {
+	// The common if/else should produce exactly one conditional branch plus
+	// one jump (then-arm jumps over else), not two jumps.
+	bin, err := CompileSource(`
+func main() {
+	var v = in();
+	if (v) { out(1); } else { out(2); }
+	out(3);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := bin.Disassemble()
+	if n := strings.Count(asm, "beqz"); n != 1 {
+		t.Errorf("beqz count = %d, want 1\n%s", n, asm)
+	}
+}
+
+// TestQuickDifferentialRandomPrograms compiles a family of random-but-valid
+// programs and diffs emulator output against the IR interpreter.
+func TestQuickDifferentialRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Template: random arithmetic over inputs with branches and a loop.
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^"}
+		op1 := ops[rng.Intn(len(ops))]
+		op2 := ops[rng.Intn(len(ops))]
+		k1 := rng.Intn(19) + 1
+		k2 := rng.Intn(19) + 1
+		src := `
+var acc = 0;
+func step(v, k) {
+	if (v > k) { return v ` + op1 + ` k; }
+	return v ` + op2 + ` ` + itoa(k2) + `;
+}
+func main() {
+	while (inavail()) {
+		acc = acc + step(in(), ` + itoa(k1) + `);
+	}
+	out(acc);
+}`
+		input := make([]int64, 64)
+		for i := range input {
+			input[i] = int64(rng.Intn(100) - 50)
+		}
+		want := runIR(t, src, input)
+		got := runBinary(t, src, input)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestOptimizedDifferential compiles every differential program both ways
+// and checks (a) identical output and (b) the optimized binary retires no
+// more instructions than the unoptimized one.
+func TestOptimizedDifferential(t *testing.T) {
+	srcs := []string{
+		`func main() { out(2 * 3 + 4 * 0); out(1 << 10); }`,
+		`
+var lut[16];
+func mix(v) {
+	var k = 3 * 4;
+	if (v > k) { return v - k + 0; }
+	return v * 1;
+}
+func main() {
+	var i = 0;
+	while (i < 16) { lut[i] = mix(i * 5); i = i + 1; }
+	var s = 0;
+	for (var j = 0; j < 16; j = j + 1) { s = s + lut[j]; }
+	out(s);
+}`,
+		`
+var c = 0;
+func side() { c = c + 1; return c; }
+func main() {
+	if (1) { out(side()); } else { out(999); }
+	if (0 && side() > 0) { out(888); }
+	out(c);
+}`,
+	}
+	for i, src := range srcs {
+		plain, err := CompileSource(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		opt, err := CompileSourceOptimized(src)
+		if err != nil {
+			t.Fatalf("case %d optimized: %v", i, err)
+		}
+		mp := emu.New(plain, nil, 0)
+		if _, err := mp.Run(10_000_000); err != nil {
+			t.Fatalf("case %d plain run: %v", i, err)
+		}
+		mo := emu.New(opt, nil, 0)
+		if _, err := mo.Run(10_000_000); err != nil {
+			t.Fatalf("case %d optimized run: %v", i, err)
+		}
+		if !reflect.DeepEqual(mp.Output, mo.Output) {
+			t.Errorf("case %d: output differs: %v vs %v", i, mp.Output, mo.Output)
+		}
+		if mo.Retired > mp.Retired {
+			t.Errorf("case %d: optimized retired %d > plain %d", i, mo.Retired, mp.Retired)
+		}
+	}
+}
+
+// TestOptimizedBenchmarkEquivalence runs the optimizer over a real corpus
+// program and diffs outputs end to end.
+func TestOptimizedCorpusProgram(t *testing.T) {
+	src := `
+var dict[16];
+var found = 0;
+func main() {
+	var i = 0;
+	while (i < 16) { dict[i] = i * 61; i = i + 1; }
+	while (inavail()) {
+		var w = in();
+		var j = 0;
+		while (j < 16 && dict[j] < w) { j = j + 1; }
+		if (j < 16 && dict[j] == w) { found = found + 1; }
+	}
+	out(found);
+}`
+	input := make([]int64, 400)
+	rng := rand.New(rand.NewSource(17))
+	for i := range input {
+		input[i] = int64(rng.Intn(1000))
+	}
+	want := runBinary(t, src, input)
+	opt, err := CompileSourceOptimized(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(opt, input, 0)
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Output, want) {
+		t.Errorf("optimized output %v != %v", m.Output, want)
+	}
+}

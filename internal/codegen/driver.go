@@ -1,0 +1,50 @@
+package codegen
+
+import (
+	"dmp/internal/ir"
+	"dmp/internal/irgen"
+	"dmp/internal/isa"
+	"dmp/internal/lang"
+)
+
+// parseAndCheck runs the front end.
+func parseAndCheck(src string) (*lang.File, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// genIR lowers a checked file.
+func genIR(f *lang.File) (*ir.Program, error) { return irgen.Generate(f) }
+
+// CompileSourceToIR parses, checks and lowers DML source to IR without
+// running the back end. Used by tools that want to inspect the IR.
+func CompileSourceToIR(src string) (*ir.Program, error) {
+	f, err := parseAndCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	return genIR(f)
+}
+
+// CompileSourceOptimized is CompileSource with the IR optimizer (constant
+// folding, copy propagation, branch simplification, unreachable-block
+// elimination) run between lowering and code generation. The benchmark
+// corpus deliberately does not use it — the recorded evaluation is
+// calibrated on unoptimized code — but the toolchain exposes it via
+// `dmpcc -O`.
+func CompileSourceOptimized(src string) (*isa.Program, error) {
+	irProg, err := CompileSourceToIR(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Optimize(irProg); err != nil {
+		return nil, err
+	}
+	return Compile(irProg)
+}

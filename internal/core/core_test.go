@@ -1,0 +1,587 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+)
+
+func mustLink(t *testing.T, build func(b *isa.Builder)) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	build(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func collect(t *testing.T, p *isa.Program, input []int64) *profile.Profile {
+	t.Helper()
+	prof, err := profile.Collect(p, input, profile.Options{})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return prof
+}
+
+func randBits(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(2))
+	}
+	return in
+}
+
+// inputLoopHammock builds a program looping over inputs with a hammock of
+// the given arm length branching on the input value.
+func inputLoopHammock(t *testing.T, armLen int) (*isa.Program, int, int) {
+	var brPC, mergePC int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		brPC = b.Beqz(2, "else")
+		for i := 0; i < armLen; i++ {
+			b.ALUI(isa.OpAdd, 3, 3, 1)
+		}
+		b.Jmp("merge")
+		b.Label("else")
+		for i := 0; i < armLen; i++ {
+			b.ALUI(isa.OpSub, 3, 3, 1)
+		}
+		b.Label("merge")
+		mergePC = b.PC()
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(3)
+		b.Halt()
+	})
+	return p, brPC, mergePC
+}
+
+func TestSelectSimpleHammock(t *testing.T) {
+	p, brPC, mergePC := inputLoopHammock(t, 3)
+	prof := collect(t, p, randBits(1, 500))
+	params := HeuristicParams()
+	params.EnableShort = false // keep it a plain simple hammock
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := res.Annots[brPC]
+	if annot == nil {
+		t.Fatalf("hammock branch %d not selected; annots=%v", brPC, res.Annots)
+	}
+	if len(annot.CFMs) != 1 || annot.CFMs[0].Addr != mergePC {
+		t.Errorf("CFMs = %v, want single CFM at %d", annot.CFMs, mergePC)
+	}
+	if annot.CFMs[0].MergeProb < 0.99 {
+		t.Errorf("exact hammock merge prob = %v, want 1", annot.CFMs[0].MergeProb)
+	}
+	if res.Stats.Simple != 1 {
+		t.Errorf("stats = %+v, want one simple hammock", res.Stats)
+	}
+}
+
+func TestShortHammockHeuristic(t *testing.T) {
+	p, brPC, _ := inputLoopHammock(t, 3)
+
+	// Random input: branch mispredicts heavily -> short hammock selected.
+	prof := collect(t, p, randBits(2, 800))
+	res, err := Select(p, prof, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res.Annots[brPC]; a == nil || !a.Short {
+		t.Errorf("mispredicted short hammock not marked Short: %+v", a)
+	}
+	if res.Stats.Short != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+
+	// Biased input: branch predictable -> not Short (misp rate below 5%).
+	biased := make([]int64, 800)
+	for i := range biased {
+		biased[i] = 1
+	}
+	prof2 := collect(t, p, biased)
+	res2, err := Select(p, prof2, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res2.Annots[brPC]; a != nil && a.Short {
+		t.Error("predictable hammock marked Short")
+	}
+}
+
+func TestMaxInstrRejectsLargeHammock(t *testing.T) {
+	p, brPC, _ := inputLoopHammock(t, 80) // 80-instruction arms
+	prof := collect(t, p, randBits(3, 300))
+	params := HeuristicParams() // MaxInstr = 50
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annots[brPC] != nil {
+		t.Error("oversized hammock selected despite MAX_INSTR")
+	}
+	// With a larger bound it is selected.
+	params.MaxInstr = 200
+	params.MaxCbr = 20
+	res2, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Annots[brPC] == nil {
+		t.Error("hammock not selected with MAX_INSTR=200")
+	}
+}
+
+func TestSelectNestedHammock(t *testing.T) {
+	var outerBr int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		b.In(3)
+		outerBr = b.Beqz(2, "else")
+		b.Beqz(3, "inner_else")
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Jmp("inner_merge")
+		b.Label("inner_else")
+		b.ALUI(isa.OpSub, 4, 4, 1)
+		b.Label("inner_merge")
+		b.Jmp("merge")
+		b.Label("else")
+		b.ALUI(isa.OpSub, 4, 4, 2)
+		b.Label("merge")
+		b.ALUI(isa.OpAdd, 5, 5, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(4)
+		b.Halt()
+	})
+	prof := collect(t, p, randBits(4, 600))
+	params := HeuristicParams()
+	params.EnableShort = false
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annots[outerBr] == nil {
+		t.Fatal("nested hammock outer branch not selected")
+	}
+	if res.Stats.Nested == 0 {
+		t.Errorf("stats = %+v, want a nested hammock", res.Stats)
+	}
+}
+
+// freqHammockProg builds a frequently-hammock: the taken side usually merges
+// but can escape to a separate exit (controlled by a second input bit).
+func freqHammockProg(t *testing.T) (*isa.Program, int, int) {
+	var brPC, mergePC int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		b.In(3)
+		brPC = b.Beqz(2, "right")
+		// Left side: usually falls to merge, rarely escapes.
+		b.Bnez(3, "escape")
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Jmp("merge")
+		b.Label("escape")
+		// A long cleanup (beyond MAX_INSTR) so the escape path never merges
+		// within the analysis bounds: the hammock is only a hammock on the
+		// frequently executed paths.
+		for i := 0; i < 60; i++ {
+			b.ALUI(isa.OpAdd, 5, 5, 1)
+		}
+		b.Jmp("loop")
+		b.Label("right")
+		b.ALUI(isa.OpSub, 4, 4, 1)
+		b.Label("merge")
+		mergePC = b.PC()
+		b.ALUI(isa.OpAdd, 6, 6, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(4)
+		b.Halt()
+	})
+	return p, brPC, mergePC
+}
+
+// freqInputs: first bit random (the diverge branch), second bit mostly 0
+// (rare escape).
+func freqInputs(seed int64, n int, escapeProb float64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, 2*n)
+	for i := 0; i < n; i++ {
+		in[2*i] = int64(rng.Intn(2))
+		if rng.Float64() < escapeProb {
+			in[2*i+1] = 1
+		}
+	}
+	return in
+}
+
+func TestSelectFrequentlyHammock(t *testing.T) {
+	p, brPC, mergePC := freqHammockProg(t)
+	prof := collect(t, p, freqInputs(5, 600, 0.1))
+	params := HeuristicParams()
+	params.EnableShort = false
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := res.Annots[brPC]
+	if annot == nil {
+		t.Fatal("frequently-hammock branch not selected")
+	}
+	if res.Stats.Freq == 0 {
+		t.Errorf("stats = %+v, want a frequently-hammock", res.Stats)
+	}
+	found := false
+	for _, c := range annot.CFMs {
+		if c.Addr == mergePC {
+			found = true
+			if c.MergeProb > 0.999 || c.MergeProb < 0.5 {
+				t.Errorf("approximate merge prob = %v, want in (0.5, 1)", c.MergeProb)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("CFM at merge %d not found: %v", mergePC, annot.CFMs)
+	}
+
+	// With a very high MIN_MERGE_PROB the candidate is rejected.
+	params.MinMergeProb = 0.99
+	params.EnableRetCFM = false
+	res2, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Annots[brPC] != nil {
+		t.Error("selected despite MIN_MERGE_PROB=0.99")
+	}
+}
+
+func TestChainReduction(t *testing.T) {
+	// Figure 4 shape: two CFM candidates where one is on every path to the
+	// other; only one may be selected.
+	var brPC int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		b.In(3)
+		brPC = b.Beqz(2, "B")
+		// Taken side (C then D).
+		b.Label("C")
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Label("D")
+		b.ALUI(isa.OpAdd, 5, 5, 1)
+		b.Jmp("loop")
+		b.Label("B")
+		b.Bnez(3, "C") // usually joins at C, sometimes at D directly
+		b.Jmp("D")
+		b.Label("done")
+		b.Out(4)
+		b.Halt()
+	})
+	// Hmm: taken side of brPC goes to B?; direction semantics: Beqz taken ->
+	// label "B"; fallthrough is C/D chain.
+	prof := collect(t, p, freqInputs(6, 500, 0.5))
+	params := HeuristicParams()
+	params.EnableShort = false
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := res.Annots[brPC]
+	if annot == nil {
+		t.Fatal("chain branch not selected")
+	}
+	if len(annot.CFMs) != 1 {
+		t.Errorf("chain not reduced: CFMs = %v", annot.CFMs)
+	}
+}
+
+func TestReturnCFMSelection(t *testing.T) {
+	var brPC int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.Call("f")
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(3)
+		b.Halt()
+		b.Func("f")
+		b.In(2)
+		brPC = b.Beqz(2, "f.else")
+		b.ALUI(isa.OpAdd, 3, 3, 1)
+		b.Ret()
+		b.Label("f.else")
+		b.ALUI(isa.OpSub, 3, 3, 1)
+		b.Ret()
+	})
+	prof := collect(t, p, randBits(7, 500))
+	params := HeuristicParams()
+	params.EnableShort = false
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := res.Annots[brPC]
+	if annot == nil {
+		t.Fatal("return-merged branch not selected")
+	}
+	if len(annot.CFMs) != 1 || annot.CFMs[0].Kind != isa.CFMReturn {
+		t.Errorf("CFMs = %v, want a return CFM", annot.CFMs)
+	}
+	if res.Stats.RetCFM != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+
+	// Without the mechanism the branch is not selected.
+	params.EnableRetCFM = false
+	res2, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Annots[brPC] != nil {
+		t.Error("selected without return-CFM support")
+	}
+}
+
+// innerLoopProg builds an outer input loop with an inner counted loop whose
+// trip count comes from the input.
+func innerLoopProg(t *testing.T, bodyExtra int) (*isa.Program, int) {
+	var exitBr int
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("outer")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		b.Label("inner")
+		exitBr = b.Beqz(2, "post")
+		b.ALUI(isa.OpSub, 2, 2, 1)
+		for i := 0; i < bodyExtra; i++ {
+			b.ALUI(isa.OpAdd, 3, 3, 1)
+		}
+		b.Jmp("inner")
+		b.Label("post")
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Jmp("outer")
+		b.Label("done")
+		b.Out(3)
+		b.Halt()
+	})
+	return p, exitBr
+}
+
+func loopInputs(seed int64, n, maxIter int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(maxIter) + 1)
+	}
+	return in
+}
+
+func TestSelectDivergeLoop(t *testing.T) {
+	p, exitBr := innerLoopProg(t, 2)
+	prof := collect(t, p, loopInputs(8, 300, 5))
+	res, err := Select(p, prof, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := res.Annots[exitBr]
+	if annot == nil || !annot.Loop {
+		t.Fatalf("loop exit branch not selected as diverge loop: %+v", annot)
+	}
+	if !annot.LoopExitTaken {
+		t.Error("LoopExitTaken wrong: beqz to post is the taken exit")
+	}
+	if res.Stats.Loop != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+
+	// Disabled loops: not selected.
+	params := HeuristicParams()
+	params.EnableLoops = false
+	res2, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Annots[exitBr] != nil {
+		t.Error("loop selected with EnableLoops=false")
+	}
+}
+
+func TestLoopHeuristicRejections(t *testing.T) {
+	// Big static body: rejected by STATIC_LOOP_SIZE.
+	pBig, exitBig := innerLoopProg(t, 40)
+	profBig := collect(t, pBig, loopInputs(9, 200, 5))
+	res, err := Select(pBig, profBig, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annots[exitBig] != nil {
+		t.Error("oversized loop body selected")
+	}
+
+	// High iteration count: rejected by LOOP_ITER.
+	pIter, exitIter := innerLoopProg(t, 2)
+	profIter := collect(t, pIter, loopInputs(10, 100, 60))
+	res2, err := Select(pIter, profIter, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Annots[exitIter] != nil {
+		t.Error("high-iteration loop selected")
+	}
+}
+
+func TestCostModelSelectsProfitable(t *testing.T) {
+	p, brPC, _ := inputLoopHammock(t, 3)
+	prof := collect(t, p, randBits(11, 600))
+	for _, m := range []OverheadMethod{LongestPath, EdgeWeighted} {
+		params := CostParams(m)
+		params.EnableShort = false
+		res, err := Select(p, prof, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Annots[brPC] == nil {
+			t.Errorf("method %d: profitable hammock rejected by cost model", m)
+		}
+	}
+}
+
+func TestCostModelRejectsUnprofitable(t *testing.T) {
+	// Arms of 140 instructions: useless ~140, overhead 140/8 = 17.5;
+	// cost = 17.5*0.6 + (17.5-25)*0.4 = 10.5 - 3 = +7.5 -> rejected.
+	p, brPC, _ := inputLoopHammock(t, 140)
+	prof := collect(t, p, randBits(12, 300))
+	params := CostParams(EdgeWeighted)
+	params.EnableShort = false
+	res, err := Select(p, prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annots[brPC] != nil {
+		t.Error("unprofitable large hammock accepted by cost model")
+	}
+	if res.Stats.RejectedByCost == 0 {
+		t.Errorf("stats = %+v, want a cost rejection", res.Stats)
+	}
+}
+
+func TestDpredCostEquation(t *testing.T) {
+	p := HeuristicParams()
+	// Zero overhead: cost = -penalty*AccConf < 0.
+	if got := dpredCost(0, p); got != -25*0.4 {
+		t.Errorf("dpredCost(0) = %v", got)
+	}
+	// Overhead equal to penalty: cost = penalty*(1-AccConf) > 0.
+	if got := dpredCost(25, p); got != 25*0.6 {
+		t.Errorf("dpredCost(25) = %v", got)
+	}
+	// Break-even: overhead = penalty*AccConf.
+	if got := dpredCost(10, p); got != 10*0.6+(10-25)*0.4 {
+		t.Errorf("dpredCost(10) = %v", got)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	p, brPC, _ := inputLoopHammock(t, 3)
+	prof := collect(t, p, randBits(13, 600))
+
+	every, err := SelectBaseline(p, prof, EveryBranch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, err := SelectBaseline(p, prof, Immediate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifelse, err := SelectBaseline(p, prof, IfElse, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := SelectBaseline(p, prof, Random50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SelectBaseline(p, prof, HighBP5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(every.Annots) < len(imm.Annots) || len(imm.Annots) < len(ifelse.Annots) {
+		t.Errorf("ordering violated: every=%d imm=%d ifelse=%d",
+			len(every.Annots), len(imm.Annots), len(ifelse.Annots))
+	}
+	if len(every.Annots) == 0 {
+		t.Fatal("Every-br selected nothing")
+	}
+	if len(rnd.Annots) >= len(every.Annots) {
+		t.Errorf("Random-50 = %d, want < Every-br %d", len(rnd.Annots), len(every.Annots))
+	}
+	// The random hammock branch mispredicts heavily: High-BP-5 includes it.
+	if high.Annots[brPC] == nil {
+		t.Error("High-BP-5 missed the mispredicted branch")
+	}
+	// If-else finds the simple hammock.
+	if ifelse.Annots[brPC] == nil {
+		t.Error("If-else missed the simple hammock")
+	}
+	// Baseline names.
+	for b, want := range map[Baseline]string{
+		EveryBranch: "Every-br", Random50: "Random-50", HighBP5: "High-BP-5",
+		Immediate: "Immediate", IfElse: "If-else",
+	} {
+		if b.String() != want {
+			t.Errorf("String(%d) = %q", b, b.String())
+		}
+	}
+}
+
+func TestSelectedAnnotationsValidate(t *testing.T) {
+	p, _, _ := inputLoopHammock(t, 3)
+	prof := collect(t, p, randBits(14, 500))
+	res, err := Select(p, prof, HeuristicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithAnnots(res.Annots)
+	if err := q.Validate(); err != nil {
+		t.Errorf("selected annotations do not validate: %v", err)
+	}
+}
+
+func TestSelStatsSelected(t *testing.T) {
+	s := SelStats{Simple: 1, Nested: 2, Freq: 3, Loop: 4}
+	if s.Selected() != 10 {
+		t.Errorf("Selected = %d", s.Selected())
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"dmp/internal/profile"
+)
+
+// TestTwoDFilterExcludesEasyBranches: with the 2D filter, branches that are
+// easy to predict in every slice must be excluded while hard branches stay.
+func TestTwoDFilterExcludesEasyBranches(t *testing.T) {
+	p, brPC, _ := inputLoopHammock(t, 3)
+
+	// A biased input: the hammock branch is ~12% taken — mispredicted
+	// enough to be selected normally, but we compare against a steadier one.
+	input := make([]int64, 4000)
+	for i := range input {
+		if i%2 == 0 {
+			input[i] = int64(i % 5 & 1) // weak pattern
+		} else {
+			input[i] = 1
+		}
+	}
+	prof, sp, err := profile.Collect2D(p, input, profile.TwoDOptions{SliceLen: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := HeuristicParams()
+	resPlain, err := Select(p, prof, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filtered := plain
+	filtered.TwoD = sp
+	// An absurdly high floor: every branch is "easy", so nothing survives.
+	filtered.TwoDMinRate = 0.99
+	resFiltered, err := Select(p, prof, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resFiltered.Annots) != 0 {
+		t.Errorf("99%% floor left %d annotations", len(resFiltered.Annots))
+	}
+	if resFiltered.Stats.Rejected2D == 0 {
+		t.Error("no 2D rejections recorded")
+	}
+
+	// With the default floor, hard branches survive.
+	filtered.TwoDMinRate = 0
+	resDefault, err := Select(p, prof, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resDefault.Annots) > len(resPlain.Annots) {
+		t.Errorf("2D filter grew the selection: %d > %d", len(resDefault.Annots), len(resPlain.Annots))
+	}
+	if resDefault.Annots[brPC] == nil && resPlain.Annots[brPC] != nil {
+		// The main hammock is mispredicted; it must survive the default
+		// filter whenever the unfiltered selection keeps it.
+		t.Error("2D filter dropped the hard hammock branch")
+	}
+}

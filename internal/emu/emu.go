@@ -1,0 +1,245 @@
+// Package emu implements a functional (architectural) emulator for DISA
+// binaries. It executes one instruction per Step and reports a retirement
+// trace entry that downstream consumers use: the edge profiler replays the
+// trace to collect profiles, and the cycle-level pipeline model consumes it
+// as the correct execution path while synthesising wrong-path activity
+// itself.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"dmp/internal/isa"
+)
+
+// DefaultMemWords is the default data-memory size in 8-byte words.
+const DefaultMemWords = 1 << 20
+
+// ErrHalted is returned by Step after the machine has executed a halt.
+var ErrHalted = errors.New("emu: machine halted")
+
+// Trace describes one architecturally retired instruction.
+type Trace struct {
+	// PC is the address of the retired instruction.
+	PC int
+	// Inst is the instruction itself.
+	Inst isa.Inst
+	// NextPC is the address of the next instruction in program order.
+	NextPC int
+	// Taken is valid for conditional branches.
+	Taken bool
+	// Addr is the effective memory address for loads and stores, else 0.
+	Addr int64
+}
+
+// Machine is a DISA architectural machine: registers, a flat word-addressed
+// data memory, an input tape and an output stream.
+type Machine struct {
+	prog *isa.Program
+	// Regs holds the 64 architectural registers. Regs[0] stays zero.
+	Regs [isa.NumRegs]int64
+	// Mem is the data memory in words. Globals live at its bottom; the stack
+	// grows down from the top.
+	Mem []int64
+	// PC is the next instruction to execute.
+	PC int
+	// Output accumulates values written with the out instruction.
+	Output []int64
+
+	input  []int64
+	inPos  int
+	halted bool
+	// Retired counts architecturally executed instructions.
+	Retired uint64
+}
+
+// New creates a machine for the program with memWords of data memory
+// (DefaultMemWords if memWords <= 0) and the given input tape. The stack
+// pointer starts at the top of memory.
+func New(p *isa.Program, input []int64, memWords int) *Machine {
+	if memWords <= 0 {
+		memWords = DefaultMemWords
+	}
+	if memWords < p.GlobalWords+1024 {
+		memWords = p.GlobalWords + 1024
+	}
+	m := &Machine{
+		prog:  p,
+		Mem:   make([]int64, memWords),
+		PC:    p.Entry,
+		input: input,
+	}
+	m.Regs[isa.RegSP] = int64(memWords)
+	return m
+}
+
+// Program returns the program being executed.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// Halted reports whether the machine has executed a halt instruction.
+func (m *Machine) Halted() bool { return m.halted }
+
+// InputRemaining returns the number of unread input-tape values.
+func (m *Machine) InputRemaining() int { return len(m.input) - m.inPos }
+
+// Step executes one instruction and returns its trace entry. After the
+// machine halts, Step returns ErrHalted.
+func (m *Machine) Step() (Trace, error) {
+	if m.halted {
+		return Trace{}, ErrHalted
+	}
+	if m.PC < 0 || m.PC >= len(m.prog.Code) {
+		return Trace{}, fmt.Errorf("emu: pc %d out of range", m.PC)
+	}
+	pc := m.PC
+	in := m.prog.Code[pc]
+	tr := Trace{PC: pc, Inst: in}
+	next := pc + 1
+
+	src2 := func() int64 {
+		if in.UseImm {
+			return in.Imm
+		}
+		return m.Regs[in.Rs2]
+	}
+	setRd := func(v int64) {
+		if in.Rd != isa.RegZero {
+			m.Regs[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		setRd(m.Regs[in.Rs1] + src2())
+	case isa.OpSub:
+		setRd(m.Regs[in.Rs1] - src2())
+	case isa.OpMul:
+		setRd(m.Regs[in.Rs1] * src2())
+	case isa.OpDiv:
+		d := src2()
+		if d == 0 {
+			setRd(0)
+		} else {
+			setRd(m.Regs[in.Rs1] / d)
+		}
+	case isa.OpRem:
+		d := src2()
+		if d == 0 {
+			setRd(0)
+		} else {
+			setRd(m.Regs[in.Rs1] % d)
+		}
+	case isa.OpAnd:
+		setRd(m.Regs[in.Rs1] & src2())
+	case isa.OpOr:
+		setRd(m.Regs[in.Rs1] | src2())
+	case isa.OpXor:
+		setRd(m.Regs[in.Rs1] ^ src2())
+	case isa.OpShl:
+		setRd(m.Regs[in.Rs1] << (uint64(src2()) & 63))
+	case isa.OpShr:
+		setRd(m.Regs[in.Rs1] >> (uint64(src2()) & 63))
+	case isa.OpCmpEQ:
+		setRd(b2i(m.Regs[in.Rs1] == src2()))
+	case isa.OpCmpNE:
+		setRd(b2i(m.Regs[in.Rs1] != src2()))
+	case isa.OpCmpLT:
+		setRd(b2i(m.Regs[in.Rs1] < src2()))
+	case isa.OpCmpLE:
+		setRd(b2i(m.Regs[in.Rs1] <= src2()))
+	case isa.OpCmpGT:
+		setRd(b2i(m.Regs[in.Rs1] > src2()))
+	case isa.OpCmpGE:
+		setRd(b2i(m.Regs[in.Rs1] >= src2()))
+	case isa.OpMovI:
+		setRd(in.Imm)
+	case isa.OpMov:
+		setRd(m.Regs[in.Rs1])
+	case isa.OpLd:
+		addr := m.Regs[in.Rs1] + in.Imm
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return Trace{}, fmt.Errorf("emu: pc %d: load address %d out of range", pc, addr)
+		}
+		tr.Addr = addr
+		setRd(m.Mem[addr])
+	case isa.OpSt:
+		addr := m.Regs[in.Rs1] + in.Imm
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return Trace{}, fmt.Errorf("emu: pc %d: store address %d out of range", pc, addr)
+		}
+		tr.Addr = addr
+		m.Mem[addr] = m.Regs[in.Rs2]
+	case isa.OpBeqz:
+		if m.Regs[in.Rs1] == 0 {
+			tr.Taken = true
+			next = in.Target
+		}
+	case isa.OpBnez:
+		if m.Regs[in.Rs1] != 0 {
+			tr.Taken = true
+			next = in.Target
+		}
+	case isa.OpJmp:
+		next = in.Target
+	case isa.OpCall:
+		m.Regs[isa.RegLR] = int64(pc + 1)
+		next = in.Target
+	case isa.OpCallR:
+		m.Regs[isa.RegLR] = int64(pc + 1)
+		next = int(m.Regs[in.Rs1])
+	case isa.OpRet:
+		next = int(m.Regs[isa.RegLR])
+	case isa.OpJr:
+		next = int(m.Regs[in.Rs1])
+	case isa.OpIn:
+		if m.inPos < len(m.input) {
+			setRd(m.input[m.inPos])
+			m.inPos++
+		} else {
+			setRd(0)
+		}
+	case isa.OpInAvail:
+		setRd(int64(len(m.input) - m.inPos))
+	case isa.OpOut:
+		m.Output = append(m.Output, m.Regs[in.Rs1])
+	case isa.OpHalt:
+		m.halted = true
+		next = pc
+	default:
+		return Trace{}, fmt.Errorf("emu: pc %d: unimplemented opcode %s", pc, in.Op)
+	}
+
+	if !m.halted && (next < 0 || next >= len(m.prog.Code)) {
+		return Trace{}, fmt.Errorf("emu: pc %d: control transfer to %d out of range", pc, next)
+	}
+	m.PC = next
+	tr.NextPC = next
+	m.Retired++
+	return tr, nil
+}
+
+// Run executes until halt or until maxInsts instructions have retired
+// (maxInsts <= 0 means no limit). It returns the number of instructions
+// retired by this call.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var n uint64
+	for !m.halted {
+		if maxInsts > 0 && n >= maxInsts {
+			return n, fmt.Errorf("emu: instruction limit %d exceeded", maxInsts)
+		}
+		if _, err := m.Step(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,267 @@
+// Package harness orchestrates the paper's evaluation: it compiles the
+// benchmark corpus, collects profiles, runs the selection algorithms, drives
+// the cycle-level simulator, and regenerates every table and figure of the
+// evaluation section (Tables 1-2, Figures 5-10).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dmp/internal/bench"
+	"dmp/internal/core"
+	"dmp/internal/isa"
+	"dmp/internal/pipeline"
+	"dmp/internal/profile"
+)
+
+// Options configures a harness session.
+type Options struct {
+	// Scale multiplies every benchmark's input size (1 = default).
+	Scale int
+	// MaxInsts caps the simulated instructions per run (0 = to completion).
+	MaxInsts uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Benchmarks restricts the corpus (nil = all).
+	Benchmarks []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Workload is one prepared benchmark: compiled binary, both input tapes and
+// both profiles.
+type Workload struct {
+	Bench     *bench.Benchmark
+	Prog      *isa.Program
+	RunInput  []int64
+	TrainIn   []int64
+	ProfRun   *profile.Profile
+	ProfTrain *profile.Profile
+
+	opts     Options
+	baseOnce sync.Once
+	base     pipeline.Stats
+	baseErr  error
+}
+
+// Session holds prepared workloads and shared options.
+type Session struct {
+	Workloads []*Workload
+	Opts      Options
+}
+
+// NewSession compiles and profiles the corpus.
+func NewSession(opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	list := bench.All()
+	if opts.Benchmarks != nil {
+		list = nil
+		for _, name := range opts.Benchmarks {
+			b := bench.ByName(name)
+			if b == nil {
+				return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+			}
+			list = append(list, b)
+		}
+	}
+	s := &Session{Opts: opts}
+	s.Workloads = make([]*Workload, len(list))
+	err := s.forEachIdx(len(list), func(i int) error {
+		b := list[i]
+		prog, err := b.Compile()
+		if err != nil {
+			return err
+		}
+		w := &Workload{
+			Bench:    b,
+			Prog:     prog,
+			RunInput: b.Input(bench.RunInput, opts.Scale),
+			TrainIn:  b.Input(bench.TrainInput, opts.Scale),
+			opts:     opts,
+		}
+		if w.ProfRun, err = profile.Collect(prog, w.RunInput, profile.Options{}); err != nil {
+			return fmt.Errorf("%s: run profile: %w", b.Name, err)
+		}
+		if w.ProfTrain, err = profile.Collect(prog, w.TrainIn, profile.Options{}); err != nil {
+			return fmt.Errorf("%s: train profile: %w", b.Name, err)
+		}
+		s.Workloads[i] = w
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Names returns the benchmark names of the session in order.
+func (s *Session) Names() []string {
+	out := make([]string, len(s.Workloads))
+	for i, w := range s.Workloads {
+		out[i] = w.Bench.Name
+	}
+	return out
+}
+
+// forEachIdx runs fn(0..n-1) with bounded parallelism, returning the first
+// error.
+func (s *Session) forEachIdx(n int, fn func(int) error) error {
+	sem := make(chan struct{}, s.Opts.Parallelism)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// simConfig returns the Table 1 machine for this session.
+func (w *Workload) simConfig(dmp bool) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.DMP = dmp
+	cfg.MaxInsts = w.opts.MaxInsts
+	return cfg
+}
+
+// Baseline simulates the un-annotated binary on the run input (cached).
+func (w *Workload) Baseline() (pipeline.Stats, error) {
+	w.baseOnce.Do(func() {
+		w.base, w.baseErr = pipeline.Run(w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
+		if w.baseErr != nil {
+			w.baseErr = fmt.Errorf("%s: baseline: %w", w.Bench.Name, w.baseErr)
+		}
+	})
+	return w.base, w.baseErr
+}
+
+// RunDMP simulates the binary with the given annotations on the run input.
+func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, error) {
+	st, err := pipeline.Run(w.Prog.WithAnnots(annots), w.RunInput, w.simConfig(true))
+	if err != nil {
+		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
+	}
+	return st, nil
+}
+
+// Improvement returns the DMP speedup over baseline in percent.
+func Improvement(base, dmp pipeline.Stats) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return (dmp.IPC()/base.IPC() - 1) * 100
+}
+
+// Select runs a selection configuration against the chosen profile.
+func (w *Workload) Select(p core.Params, train bool) (*core.Result, error) {
+	prof := w.ProfRun
+	if train {
+		prof = w.ProfTrain
+	}
+	res, err := core.Select(w.Prog, prof, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: select: %w", w.Bench.Name, err)
+	}
+	return res, nil
+}
+
+// SelectBaseline runs one of the Section 7.2 simple algorithms.
+func (w *Workload) SelectBaseline(b core.Baseline) (*core.Result, error) {
+	res, err := core.SelectBaseline(w.Prog, w.ProfRun, b, 50)
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline select: %w", w.Bench.Name, err)
+	}
+	return res, nil
+}
+
+// HeuristicConfigs returns the cumulative Figure 5 (left) configurations in
+// order: exact, exact+freq, +short, +ret, +loop (All-best-heur).
+func HeuristicConfigs() []struct {
+	Name   string
+	Params core.Params
+} {
+	exact := core.HeuristicParams()
+	exact.EnableFreq = false
+	exact.EnableShort = false
+	exact.EnableRetCFM = false
+	exact.EnableLoops = false
+
+	freq := exact
+	freq.EnableFreq = true
+
+	short := freq
+	short.EnableShort = true
+
+	ret := short
+	ret.EnableRetCFM = true
+
+	loop := ret
+	loop.EnableLoops = true
+
+	return []struct {
+		Name   string
+		Params core.Params
+	}{
+		{"exact", exact},
+		{"exact+freq", freq},
+		{"exact+freq+short", short},
+		{"exact+freq+short+ret", ret},
+		{"All-best-heur", loop},
+	}
+}
+
+// CostConfigs returns the Figure 5 (right) configurations in order:
+// cost-long, cost-edge, cost-edge+short, +ret, +loop (All-best-cost).
+func CostConfigs() []struct {
+	Name   string
+	Params core.Params
+} {
+	long := core.CostParams(core.LongestPath)
+	long.EnableShort = false
+	long.EnableRetCFM = false
+	long.EnableLoops = false
+
+	edge := core.CostParams(core.EdgeWeighted)
+	edge.EnableShort = false
+	edge.EnableRetCFM = false
+	edge.EnableLoops = false
+
+	short := edge
+	short.EnableShort = true
+
+	ret := short
+	ret.EnableRetCFM = true
+
+	loop := ret
+	loop.EnableLoops = true
+
+	return []struct {
+		Name   string
+		Params core.Params
+	}{
+		{"cost-long", long},
+		{"cost-edge", edge},
+		{"cost-edge+short", short},
+		{"cost-edge+short+ret", ret},
+		{"All-best-cost", loop},
+	}
+}

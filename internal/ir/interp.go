@@ -1,0 +1,266 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpreter executes IR programs directly. It serves as the semantic
+// reference for differential testing: the code generator's output running on
+// the DISA emulator must produce exactly the same output stream as the
+// interpreter running the same IR on the same input tape.
+type Interpreter struct {
+	prog    *Program
+	globals map[string][]int64
+	input   []int64
+	inPos   int
+	// Output is the collected output stream.
+	Output []int64
+	// Steps counts executed IR instructions (for run-away detection).
+	Steps uint64
+	// MaxSteps bounds execution (0 = DefaultMaxSteps).
+	MaxSteps uint64
+}
+
+// DefaultMaxSteps bounds interpretation to catch non-terminating programs.
+const DefaultMaxSteps = 100_000_000
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("ir: step limit exceeded")
+
+// NewInterpreter creates an interpreter for the program and input tape.
+func NewInterpreter(p *Program, input []int64) *Interpreter {
+	it := &Interpreter{prog: p, globals: map[string][]int64{}, input: input}
+	for _, g := range p.Globals {
+		cells := make([]int64, g.Words)
+		if !g.IsArray {
+			cells[0] = g.Init
+		}
+		it.globals[g.Name] = cells
+	}
+	return it
+}
+
+// Run executes main and returns its return value.
+func (it *Interpreter) Run() (int64, error) {
+	main := it.prog.FuncByName("main")
+	if main == nil {
+		return 0, fmt.Errorf("ir: no main function")
+	}
+	return it.call(main, nil, 0)
+}
+
+func (it *Interpreter) call(f *Func, args []int64, depth int) (int64, error) {
+	if depth > 10000 {
+		return 0, fmt.Errorf("ir: call stack overflow in %s", f.Name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("ir: %s: arity mismatch", f.Name)
+	}
+	locals := make([]int64, len(f.Locals))
+	copy(locals, args)
+	temps := make([]int64, f.NumTemps)
+
+	get := func(o Operand) (int64, error) {
+		switch o.Kind {
+		case Const:
+			return o.Val, nil
+		case Temp:
+			return temps[o.Index], nil
+		case Local:
+			return locals[o.Index], nil
+		case GlobalScalar:
+			return it.globals[o.Name][0], nil
+		}
+		return 0, fmt.Errorf("ir: bad operand kind %d", o.Kind)
+	}
+	set := func(d Dest, v int64) error {
+		switch d.Kind {
+		case Temp:
+			temps[d.Index] = v
+		case Local:
+			locals[d.Index] = v
+		case GlobalScalar:
+			it.globals[d.Name][0] = v
+		default:
+			return fmt.Errorf("ir: bad destination kind %d", d.Kind)
+		}
+		return nil
+	}
+
+	max := it.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	blk := f.Blocks[0]
+	for {
+		for _, in := range blk.Instrs {
+			it.Steps++
+			if it.Steps > max {
+				return 0, ErrStepLimit
+			}
+			switch v := in.(type) {
+			case BinOp:
+				a, err := get(v.A)
+				if err != nil {
+					return 0, err
+				}
+				b, err := get(v.B)
+				if err != nil {
+					return 0, err
+				}
+				if err := set(v.Dst, evalBin(v.Op, a, b)); err != nil {
+					return 0, err
+				}
+			case Copy:
+				x, err := get(v.Src)
+				if err != nil {
+					return 0, err
+				}
+				if err := set(v.Dst, x); err != nil {
+					return 0, err
+				}
+			case LoadIdx:
+				idx, err := get(v.Index)
+				if err != nil {
+					return 0, err
+				}
+				arr := it.globals[v.Array]
+				if idx < 0 || idx >= int64(len(arr)) {
+					return 0, fmt.Errorf("ir: %s: index %d out of range for %s[%d]", f.Name, idx, v.Array, len(arr))
+				}
+				if err := set(v.Dst, arr[idx]); err != nil {
+					return 0, err
+				}
+			case StoreIdx:
+				idx, err := get(v.Index)
+				if err != nil {
+					return 0, err
+				}
+				val, err := get(v.Val)
+				if err != nil {
+					return 0, err
+				}
+				arr := it.globals[v.Array]
+				if idx < 0 || idx >= int64(len(arr)) {
+					return 0, fmt.Errorf("ir: %s: index %d out of range for %s[%d]", f.Name, idx, v.Array, len(arr))
+				}
+				arr[idx] = val
+			case Call:
+				callee := it.prog.FuncByName(v.Fn)
+				if callee == nil {
+					return 0, fmt.Errorf("ir: call to undefined %q", v.Fn)
+				}
+				cargs := make([]int64, len(v.Args))
+				for i, a := range v.Args {
+					x, err := get(a)
+					if err != nil {
+						return 0, err
+					}
+					cargs[i] = x
+				}
+				ret, err := it.call(callee, cargs, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				if err := set(v.Dst, ret); err != nil {
+					return 0, err
+				}
+			case Input:
+				var x int64
+				if it.inPos < len(it.input) {
+					x = it.input[it.inPos]
+					it.inPos++
+				}
+				if err := set(v.Dst, x); err != nil {
+					return 0, err
+				}
+			case InputAvail:
+				if err := set(v.Dst, int64(len(it.input)-it.inPos)); err != nil {
+					return 0, err
+				}
+			case Output:
+				x, err := get(v.Val)
+				if err != nil {
+					return 0, err
+				}
+				it.Output = append(it.Output, x)
+			default:
+				return 0, fmt.Errorf("ir: unknown instruction %T", in)
+			}
+		}
+		it.Steps++
+		if it.Steps > max {
+			return 0, ErrStepLimit
+		}
+		switch t := blk.Term.(type) {
+		case Jmp:
+			blk = t.Target
+		case Br:
+			c, err := get(t.Cond)
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				blk = t.True
+			} else {
+				blk = t.False
+			}
+		case Ret:
+			return get(t.Val)
+		default:
+			return 0, fmt.Errorf("ir: unknown terminator %T", t)
+		}
+	}
+}
+
+func evalBin(op BinKind, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case Rem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return a >> (uint64(b) & 63)
+	case CmpEQ:
+		return b2i(a == b)
+	case CmpNE:
+		return b2i(a != b)
+	case CmpLT:
+		return b2i(a < b)
+	case CmpLE:
+		return b2i(a <= b)
+	case CmpGT:
+		return b2i(a > b)
+	case CmpGE:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,311 @@
+// Package ir defines the mid-level intermediate representation of the DML
+// compiler: functions of basic blocks holding three-address instructions
+// over named storage (parameters, locals, compiler temporaries, globals).
+//
+// The IR is deliberately simple — it exists so that the front end (lang,
+// irgen) and the back end (codegen) meet at a well-defined, verifiable
+// boundary, in the style of a classic ahead-of-time compiler:
+//
+//	DML source --lang--> AST --irgen--> ir.Program --codegen--> isa.Program
+//
+// Invariants (checked by Verify):
+//   - every block ends in exactly one terminator and contains no terminator
+//     mid-block;
+//   - temporaries obey stack discipline within a block: each temp is defined
+//     before use and is not live across block boundaries or calls (irgen
+//     hoists side-effecting subexpressions into locals to guarantee this);
+//   - operands reference declared storage.
+package ir
+
+import "fmt"
+
+// Program is a compiled DML compilation unit.
+type Program struct {
+	// Globals declares global scalars and arrays with their word sizes
+	// (scalars have size 1), in declaration order.
+	Globals []Global
+	Funcs   []*Func
+}
+
+// Global is one global variable.
+type Global struct {
+	Name string
+	// Words is 1 for scalars, the element count for arrays.
+	Words int
+	// Init is the initial value for scalars (arrays are zero-initialised).
+	Init int64
+	// IsArray distinguishes arrays from scalars of size 1.
+	IsArray bool
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the named global, or nil.
+func (p *Program) GlobalByName(name string) *Global {
+	for i := range p.Globals {
+		if p.Globals[i].Name == name {
+			return &p.Globals[i]
+		}
+	}
+	return nil
+}
+
+// Func is one function in IR form.
+type Func struct {
+	Name string
+	// Params are the parameter names, a prefix of Locals.
+	Params []string
+	// Locals lists all named scalar slots (params first, then declared and
+	// compiler-generated locals).
+	Locals []string
+	// Blocks[0] is the entry block.
+	Blocks []*Block
+	// NumTemps is the number of distinct temporaries used (t0..tN-1).
+	NumTemps int
+}
+
+// NewBlock appends a new empty block with the given name suffix.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: fmt.Sprintf("%s.%d", name, len(f.Blocks))}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// LocalIndex returns the slot index of a named local, or -1.
+func (f *Func) LocalIndex(name string) int {
+	for i, l := range f.Locals {
+		if l == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Block is a basic block: straight-line instructions plus one terminator.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Term   Terminator
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+const (
+	// Const is an integer literal.
+	Const OperandKind = iota
+	// Temp is an expression temporary t<N>.
+	Temp
+	// Local is a named local slot (parameter or local variable).
+	Local
+	// GlobalScalar is a global scalar variable.
+	GlobalScalar
+)
+
+// Operand is a value reference.
+type Operand struct {
+	Kind OperandKind
+	// Val is the literal for Const.
+	Val int64
+	// Index is the temp number for Temp or the local slot for Local.
+	Index int
+	// Name is the global name for GlobalScalar.
+	Name string
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(v int64) Operand { return Operand{Kind: Const, Val: v} }
+
+// TempOp returns a temporary operand.
+func TempOp(i int) Operand { return Operand{Kind: Temp, Index: i} }
+
+// LocalOp returns a local-slot operand.
+func LocalOp(i int) Operand { return Operand{Kind: Local, Index: i} }
+
+// GlobalOp returns a global-scalar operand.
+func GlobalOp(name string) Operand { return Operand{Kind: GlobalScalar, Name: name} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case Const:
+		return fmt.Sprintf("%d", o.Val)
+	case Temp:
+		return fmt.Sprintf("t%d", o.Index)
+	case Local:
+		return fmt.Sprintf("l%d", o.Index)
+	case GlobalScalar:
+		return "@" + o.Name
+	}
+	return "?"
+}
+
+// BinKind enumerates binary operations.
+type BinKind uint8
+
+// Binary operations. Comparison ops produce 0/1.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+var binNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+	CmpGT: "cmpgt", CmpGE: "cmpge",
+}
+
+func (k BinKind) String() string {
+	if int(k) < len(binNames) {
+		return binNames[k]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(k))
+}
+
+// Dest is an assignable location: a temp, local, or global scalar.
+type Dest = Operand
+
+// Instr is a non-terminator IR instruction.
+type Instr interface {
+	fmt.Stringer
+	instr()
+}
+
+// BinOp computes Dst = A <op> B.
+type BinOp struct {
+	Dst  Dest
+	Op   BinKind
+	A, B Operand
+}
+
+// Copy computes Dst = Src.
+type Copy struct {
+	Dst Dest
+	Src Operand
+}
+
+// LoadIdx computes Dst = Array[Index].
+type LoadIdx struct {
+	Dst   Dest
+	Array string
+	Index Operand
+}
+
+// StoreIdx computes Array[Index] = Val.
+type StoreIdx struct {
+	Array string
+	Index Operand
+	Val   Operand
+}
+
+// Call computes Dst = Fn(Args...). Dst may be a temp, local or global.
+type Call struct {
+	Dst  Dest
+	Fn   string
+	Args []Operand
+}
+
+// Input computes Dst = next input value.
+type Input struct{ Dst Dest }
+
+// InputAvail computes Dst = remaining input count.
+type InputAvail struct{ Dst Dest }
+
+// Output emits Val to the output stream.
+type Output struct{ Val Operand }
+
+func (BinOp) instr()      {}
+func (Copy) instr()       {}
+func (LoadIdx) instr()    {}
+func (StoreIdx) instr()   {}
+func (Call) instr()       {}
+func (Input) instr()      {}
+func (InputAvail) instr() {}
+func (Output) instr()     {}
+
+func (i BinOp) String() string { return fmt.Sprintf("%s = %s %s, %s", i.Dst, i.Op, i.A, i.B) }
+func (i Copy) String() string  { return fmt.Sprintf("%s = %s", i.Dst, i.Src) }
+func (i LoadIdx) String() string {
+	return fmt.Sprintf("%s = @%s[%s]", i.Dst, i.Array, i.Index)
+}
+func (i StoreIdx) String() string {
+	return fmt.Sprintf("@%s[%s] = %s", i.Array, i.Index, i.Val)
+}
+func (i Call) String() string {
+	s := fmt.Sprintf("%s = call %s(", i.Dst, i.Fn)
+	for j, a := range i.Args {
+		if j > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+func (i Input) String() string      { return fmt.Sprintf("%s = in()", i.Dst) }
+func (i InputAvail) String() string { return fmt.Sprintf("%s = inavail()", i.Dst) }
+func (i Output) String() string     { return fmt.Sprintf("out(%s)", i.Val) }
+
+// Terminator ends a block.
+type Terminator interface {
+	fmt.Stringer
+	term()
+}
+
+// Br branches to True if Cond is nonzero, else to False.
+type Br struct {
+	Cond        Operand
+	True, False *Block
+}
+
+// Jmp jumps unconditionally.
+type Jmp struct{ Target *Block }
+
+// Ret returns Val from the function.
+type Ret struct{ Val Operand }
+
+func (Br) term()  {}
+func (Jmp) term() {}
+func (Ret) term() {}
+
+func (t Br) String() string  { return fmt.Sprintf("br %s, %s, %s", t.Cond, t.True.Name, t.False.Name) }
+func (t Jmp) String() string { return "jmp " + t.Target.Name }
+func (t Ret) String() string { return "ret " + t.Val.String() }
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	s := fmt.Sprintf("func %s(%d params, %d locals, %d temps)\n",
+		f.Name, len(f.Params), len(f.Locals), f.NumTemps)
+	for _, b := range f.Blocks {
+		s += b.Name + ":\n"
+		for _, in := range b.Instrs {
+			s += "  " + in.String() + "\n"
+		}
+		if b.Term != nil {
+			s += "  " + b.Term.String() + "\n"
+		}
+	}
+	return s
+}

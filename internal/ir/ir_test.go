@@ -1,0 +1,288 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFunc constructs a minimal valid one-block function returning 0.
+func buildFunc(name string) *Func {
+	f := &Func{Name: name}
+	b := f.NewBlock("entry")
+	b.Term = Ret{Val: ConstOp(0)}
+	return f
+}
+
+func validProgram() *Program {
+	p := &Program{
+		Globals: []Global{
+			{Name: "g", Words: 1, Init: 5},
+			{Name: "arr", Words: 8, IsArray: true},
+		},
+	}
+	p.Funcs = append(p.Funcs, buildFunc("main"))
+	return p
+}
+
+func TestVerifyValid(t *testing.T) {
+	if err := Verify(validProgram()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestVerifyGlobals(t *testing.T) {
+	p := validProgram()
+	p.Globals = append(p.Globals, Global{Name: "g", Words: 1})
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "duplicate global") {
+		t.Errorf("err = %v", err)
+	}
+	p = validProgram()
+	p.Globals = append(p.Globals, Global{Name: "", Words: 1})
+	if err := Verify(p); err == nil {
+		t.Error("empty global name accepted")
+	}
+	p = validProgram()
+	p.Globals = append(p.Globals, Global{Name: "z", Words: 0})
+	if err := Verify(p); err == nil {
+		t.Error("zero-size global accepted")
+	}
+}
+
+func TestVerifyDuplicateFunc(t *testing.T) {
+	p := validProgram()
+	p.Funcs = append(p.Funcs, buildFunc("main"))
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyMissingTerminator(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f"}
+	f.NewBlock("entry") // no terminator
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyTempBeforeDef(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, Output{Val: TempOp(0)})
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "used before definition") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyTempDoubleUse(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs,
+		Copy{Dst: TempOp(0), Src: ConstOp(1)},
+		Output{Val: TempOp(0)},
+		Output{Val: TempOp(0)}, // second use
+	)
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil {
+		t.Error("double use of temp accepted")
+	}
+}
+
+func TestVerifyTempLiveAcrossCall(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs,
+		Copy{Dst: TempOp(0), Src: ConstOp(1)},
+		Call{Dst: LocalOp(0), Fn: "main"},
+		Output{Val: TempOp(0)},
+	)
+	b.Term = Ret{Val: ConstOp(0)}
+	f.Locals = []string{"x"}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "live across call") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyOperandRanges(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", NumTemps: 0}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, Output{Val: LocalOp(3)}) // no locals
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyGlobalMisuse(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f"}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, Output{Val: GlobalOp("arr")}) // array as scalar
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "array") {
+		t.Errorf("err = %v", err)
+	}
+
+	p = validProgram()
+	f2 := &Func{Name: "f2", NumTemps: 1}
+	b2 := f2.NewBlock("entry")
+	b2.Instrs = append(b2.Instrs, LoadIdx{Dst: TempOp(0), Array: "g", Index: ConstOp(0)})
+	b2.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f2)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "indexed as array") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyCallUndefined(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", Locals: []string{"x"}}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, Call{Dst: LocalOp(0), Fn: "ghost"})
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyForeignBlock(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f"}
+	b := f.NewBlock("entry")
+	other := &Block{ID: 99, Name: "foreign"}
+	b.Term = Jmp{Target: other}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "foreign block") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyParamPrefix(t *testing.T) {
+	p := validProgram()
+	f := buildFunc("f")
+	f.Params = []string{"a"}
+	f.Locals = []string{"b"}
+	p.Funcs = append(p.Funcs, f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	cases := map[string]Operand{
+		"7": ConstOp(7), "t2": TempOp(2), "l1": LocalOp(1), "@g": GlobalOp("g"),
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   interface{ String() string }
+		want string
+	}{
+		{BinOp{Dst: TempOp(0), Op: Add, A: LocalOp(1), B: ConstOp(2)}, "t0 = add l1, 2"},
+		{Copy{Dst: GlobalOp("g"), Src: TempOp(1)}, "@g = t1"},
+		{LoadIdx{Dst: TempOp(0), Array: "a", Index: ConstOp(3)}, "t0 = @a[3]"},
+		{StoreIdx{Array: "a", Index: ConstOp(3), Val: TempOp(0)}, "@a[3] = t0"},
+		{Call{Dst: LocalOp(0), Fn: "f", Args: []Operand{ConstOp(1), ConstOp(2)}}, "l0 = call f(1, 2)"},
+		{Input{Dst: LocalOp(0)}, "l0 = in()"},
+		{InputAvail{Dst: LocalOp(0)}, "l0 = inavail()"},
+		{Output{Val: LocalOp(0)}, "out(l0)"},
+		{Ret{Val: ConstOp(0)}, "ret 0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != want(c.want) {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func want(s string) string { return s }
+
+func TestFuncString(t *testing.T) {
+	f := buildFunc("demo")
+	s := f.String()
+	if !strings.Contains(s, "func demo") || !strings.Contains(s, "ret 0") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestLocalIndex(t *testing.T) {
+	f := &Func{Locals: []string{"a", "b"}}
+	if f.LocalIndex("b") != 1 || f.LocalIndex("z") != -1 {
+		t.Error("LocalIndex wrong")
+	}
+}
+
+func TestInterpreterGlobalsInit(t *testing.T) {
+	p := validProgram()
+	f := p.Funcs[0]
+	f.Blocks[0].Term = Ret{Val: GlobalOp("g")}
+	it := NewInterpreter(p, nil)
+	ret, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 5 {
+		t.Errorf("ret = %d, want initialised global 5", ret)
+	}
+}
+
+func TestInterpreterArrayBounds(t *testing.T) {
+	p := validProgram()
+	f := &Func{Name: "f", NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, LoadIdx{Dst: TempOp(0), Array: "arr", Index: ConstOp(100)})
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = nil
+	p.Funcs = append(p.Funcs, f)
+	f.Name = "main"
+	it := NewInterpreter(p, nil)
+	if _, err := it.Run(); err == nil {
+		t.Error("out-of-range load accepted")
+	}
+}
+
+func TestInterpreterNoMain(t *testing.T) {
+	p := &Program{}
+	it := NewInterpreter(p, nil)
+	if _, err := it.Run(); err == nil {
+		t.Error("missing main accepted")
+	}
+}
+
+func TestEvalBinTable(t *testing.T) {
+	cases := []struct {
+		op   BinKind
+		a, b int64
+		want int64
+	}{
+		{Add, 2, 3, 5}, {Sub, 2, 3, -1}, {Mul, 2, 3, 6},
+		{Div, 7, 2, 3}, {Div, 7, 0, 0}, {Rem, 7, 2, 1}, {Rem, 7, 0, 0},
+		{And, 6, 3, 2}, {Or, 6, 3, 7}, {Xor, 6, 3, 5},
+		{Shl, 1, 4, 16}, {Shr, -8, 1, -4}, {Shl, 1, 64, 1},
+		{CmpEQ, 1, 1, 1}, {CmpNE, 1, 1, 0}, {CmpLT, 1, 2, 1},
+		{CmpLE, 2, 2, 1}, {CmpGT, 3, 2, 1}, {CmpGE, 1, 2, 0},
+	}
+	for _, c := range cases {
+		if got := evalBin(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}

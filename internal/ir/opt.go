@@ -1,0 +1,290 @@
+package ir
+
+// Optimize performs classic scalar optimizations on an IR program, in the
+// style of a conventional -O1 pipeline:
+//
+//   - block-local constant and copy propagation over temps and locals;
+//   - constant folding of binary operations and algebraic identities
+//     (x+0, x*1, x*0, x&0, x^0, ...);
+//   - branch simplification: a Br on a constant condition becomes a Jmp;
+//   - unreachable-block elimination.
+//
+// The pass is deliberately opt-in (dmpcc -O): the benchmark corpus and the
+// recorded evaluation run un-optimized code, because changing the generated
+// instruction sequences changes every measured number.
+//
+// Optimize preserves the temp stack discipline the verifier enforces and
+// re-verifies the program before returning.
+func Optimize(p *Program) error {
+	for _, f := range p.Funcs {
+		optimizeFunc(p, f)
+	}
+	return Verify(p)
+}
+
+// knownVals tracks constant values for temps and locals inside one block.
+type knownVals struct {
+	temp  map[int]int64
+	local map[int]int64
+}
+
+func newKnown() *knownVals {
+	return &knownVals{temp: map[int]int64{}, local: map[int]int64{}}
+}
+
+// lookup resolves an operand to a constant if its value is known.
+func (k *knownVals) lookup(o Operand) Operand {
+	switch o.Kind {
+	case Temp:
+		if v, ok := k.temp[o.Index]; ok {
+			return ConstOp(v)
+		}
+	case Local:
+		if v, ok := k.local[o.Index]; ok {
+			return ConstOp(v)
+		}
+	}
+	return o
+}
+
+// set records the destination's value (or invalidates it when v is nil).
+func (k *knownVals) set(d Dest, v *int64) {
+	switch d.Kind {
+	case Temp:
+		if v == nil {
+			delete(k.temp, d.Index)
+		} else {
+			k.temp[d.Index] = *v
+		}
+	case Local:
+		if v == nil {
+			delete(k.local, d.Index)
+		} else {
+			k.local[d.Index] = *v
+		}
+	}
+}
+
+func optimizeFunc(p *Program, f *Func) {
+	for _, b := range f.Blocks {
+		optimizeBlock(b)
+		sweepDeadTemps(b)
+	}
+	removeUnreachable(f)
+}
+
+// sweepDeadTemps removes pure instructions whose temp destination is never
+// used later in the block. Constant propagation orphans such definitions,
+// and an orphaned temp def before a call would violate the
+// no-temp-live-across-call invariant.
+func sweepDeadTemps(b *Block) {
+	used := map[int]bool{}
+	markUse := func(o Operand) {
+		if o.Kind == Temp {
+			used[o.Index] = true
+		}
+	}
+	switch t := b.Term.(type) {
+	case Br:
+		markUse(t.Cond)
+	case Ret:
+		markUse(t.Val)
+	}
+	keep := make([]bool, len(b.Instrs))
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		drop := false
+		switch v := in.(type) {
+		case BinOp:
+			if v.Dst.Kind == Temp && !used[v.Dst.Index] {
+				drop = true
+			} else {
+				markUse(v.A)
+				markUse(v.B)
+			}
+		case Copy:
+			if v.Dst.Kind == Temp && !used[v.Dst.Index] {
+				drop = true
+			} else {
+				markUse(v.Src)
+			}
+		case LoadIdx:
+			if v.Dst.Kind == Temp && !used[v.Dst.Index] {
+				drop = true
+			} else {
+				markUse(v.Index)
+			}
+		case StoreIdx:
+			markUse(v.Index)
+			markUse(v.Val)
+		case Call:
+			for _, a := range v.Args {
+				markUse(a)
+			}
+		case Output:
+			markUse(v.Val)
+		}
+		if drop {
+			// The def is gone; its temp may have been defined earlier too,
+			// so clear the used mark only if this was the defining write —
+			// stack discipline guarantees defs precede uses, so clearing is
+			// safe here.
+			switch v := in.(type) {
+			case BinOp:
+				used[v.Dst.Index] = false
+			case Copy:
+				used[v.Dst.Index] = false
+			case LoadIdx:
+				used[v.Dst.Index] = false
+			}
+		}
+		keep[i] = !drop
+	}
+	out := b.Instrs[:0]
+	for i, in := range b.Instrs {
+		if keep[i] {
+			out = append(out, in)
+		}
+	}
+	b.Instrs = out
+}
+
+func optimizeBlock(b *Block) {
+	k := newKnown()
+	out := b.Instrs[:0]
+	for _, in := range b.Instrs {
+		switch v := in.(type) {
+		case BinOp:
+			v.A = k.lookup(v.A)
+			v.B = k.lookup(v.B)
+			if folded, ok := foldBin(v); ok {
+				in = folded
+				if c, isCopy := folded.(Copy); isCopy && c.Src.Kind == Const {
+					val := c.Src.Val
+					k.set(c.Dst, &val)
+				} else {
+					k.set(v.Dst, nil)
+				}
+			} else {
+				in = v
+				k.set(v.Dst, nil)
+			}
+		case Copy:
+			v.Src = k.lookup(v.Src)
+			in = v
+			if v.Src.Kind == Const {
+				val := v.Src.Val
+				k.set(v.Dst, &val)
+			} else {
+				k.set(v.Dst, nil)
+			}
+		case LoadIdx:
+			v.Index = k.lookup(v.Index)
+			in = v
+			k.set(v.Dst, nil)
+		case StoreIdx:
+			v.Index = k.lookup(v.Index)
+			v.Val = k.lookup(v.Val)
+			in = v
+		case Call:
+			for i := range v.Args {
+				v.Args[i] = k.lookup(v.Args[i])
+			}
+			in = v
+			k.set(v.Dst, nil)
+		case Input:
+			k.set(v.Dst, nil)
+		case InputAvail:
+			k.set(v.Dst, nil)
+		case Output:
+			v.Val = k.lookup(v.Val)
+			in = v
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+
+	switch t := b.Term.(type) {
+	case Br:
+		t.Cond = k.lookup(t.Cond)
+		if t.Cond.Kind == Const {
+			if t.Cond.Val != 0 {
+				b.Term = Jmp{Target: t.True}
+			} else {
+				b.Term = Jmp{Target: t.False}
+			}
+		} else {
+			b.Term = t
+		}
+	case Ret:
+		t.Val = k.lookup(t.Val)
+		b.Term = t
+	}
+}
+
+// foldBin simplifies a binary operation whose operands are (partially)
+// constant. It returns a replacement instruction and true when simplified.
+func foldBin(v BinOp) (Instr, bool) {
+	if v.A.Kind == Const && v.B.Kind == Const {
+		return Copy{Dst: v.Dst, Src: ConstOp(evalBin(v.Op, v.A.Val, v.B.Val))}, true
+	}
+	// Algebraic identities with a constant on one side.
+	if v.B.Kind == Const {
+		switch {
+		case v.B.Val == 0 && (v.Op == Add || v.Op == Sub || v.Op == Or ||
+			v.Op == Xor || v.Op == Shl || v.Op == Shr):
+			return Copy{Dst: v.Dst, Src: v.A}, true
+		case v.B.Val == 1 && (v.Op == Mul || v.Op == Div):
+			return Copy{Dst: v.Dst, Src: v.A}, true
+		case v.B.Val == 0 && (v.Op == Mul || v.Op == And):
+			return Copy{Dst: v.Dst, Src: ConstOp(0)}, true
+		}
+	}
+	if v.A.Kind == Const {
+		switch {
+		case v.A.Val == 0 && (v.Op == Add || v.Op == Or || v.Op == Xor):
+			return Copy{Dst: v.Dst, Src: v.B}, true
+		case v.A.Val == 1 && v.Op == Mul:
+			return Copy{Dst: v.Dst, Src: v.B}, true
+		case v.A.Val == 0 && (v.Op == Mul || v.Op == And || v.Op == Div || v.Op == Rem):
+			return Copy{Dst: v.Dst, Src: ConstOp(0)}, true
+		}
+	}
+	return nil, false
+}
+
+// removeUnreachable drops blocks not reachable from the entry and renumbers
+// the survivors.
+func removeUnreachable(f *Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reach := map[*Block]bool{}
+	stack := []*Block{f.Blocks[0]}
+	reach[f.Blocks[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var succs []*Block
+		switch t := b.Term.(type) {
+		case Jmp:
+			succs = []*Block{t.Target}
+		case Br:
+			succs = []*Block{t.True, t.False}
+		}
+		for _, s := range succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+}

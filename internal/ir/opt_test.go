@@ -1,0 +1,196 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildOptProg constructs a program whose main exercises the folding cases.
+func constChain() *Program {
+	p := &Program{Globals: []Global{{Name: "g", Words: 1}}}
+	f := &Func{Name: "main", Locals: []string{"x"}, NumTemps: 3}
+	b := f.NewBlock("entry")
+	b.Instrs = []Instr{
+		Copy{Dst: LocalOp(0), Src: ConstOp(6)},                       // x = 6
+		BinOp{Dst: TempOp(0), Op: Mul, A: LocalOp(0), B: ConstOp(7)}, // t0 = x*7 -> 42
+		BinOp{Dst: TempOp(1), Op: Add, A: TempOp(0), B: ConstOp(0)},  // t1 = t0+0 -> t0
+		Output{Val: TempOp(1)},
+		BinOp{Dst: TempOp(2), Op: And, A: GlobalOp("g"), B: ConstOp(0)}, // -> 0
+		Output{Val: TempOp(2)},
+	}
+	b.Term = Ret{Val: LocalOp(0)}
+	p.Funcs = []*Func{f}
+	return p
+}
+
+func runMain(t *testing.T, p *Program, input []int64) []int64 {
+	t.Helper()
+	it := NewInterpreter(p, input)
+	if _, err := it.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return it.Output
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	p := constChain()
+	want := runMain(t, p, nil)
+	if err := Optimize(p); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	got := runMain(t, p, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("semantics changed: %v != %v", got, want)
+	}
+	// Everything should have folded to constant outputs.
+	b := p.Funcs[0].Blocks[0]
+	for _, in := range b.Instrs {
+		if bo, ok := in.(BinOp); ok {
+			t.Errorf("unfolded binop survived: %v", bo)
+		}
+	}
+	outs := 0
+	for _, in := range b.Instrs {
+		if o, ok := in.(Output); ok {
+			outs++
+			if o.Val.Kind != Const {
+				t.Errorf("output operand not folded: %v", o)
+			}
+		}
+	}
+	if outs != 2 {
+		t.Errorf("outputs = %d, want 2", outs)
+	}
+}
+
+func TestOptimizeBranchOnConstant(t *testing.T) {
+	p := &Program{}
+	f := &Func{Name: "main", NumTemps: 1}
+	entry := f.NewBlock("entry")
+	dead := f.NewBlock("dead")
+	live := f.NewBlock("live")
+	entry.Instrs = []Instr{Copy{Dst: TempOp(0), Src: ConstOp(1)}}
+	entry.Term = Br{Cond: TempOp(0), True: live, False: dead}
+	dead.Instrs = []Instr{Output{Val: ConstOp(666)}}
+	dead.Term = Ret{Val: ConstOp(0)}
+	live.Instrs = []Instr{Output{Val: ConstOp(1)}}
+	live.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = []*Func{f}
+
+	want := runMain(t, p, nil)
+	if err := Optimize(p); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if !reflect.DeepEqual(runMain(t, p, nil), want) {
+		t.Fatal("semantics changed")
+	}
+	if _, ok := p.Funcs[0].Blocks[0].Term.(Jmp); !ok {
+		t.Errorf("constant branch not simplified: %v", p.Funcs[0].Blocks[0].Term)
+	}
+	for _, b := range p.Funcs[0].Blocks {
+		if b.Name == "dead.1" {
+			t.Error("unreachable block survived")
+		}
+	}
+	if len(p.Funcs[0].Blocks) != 2 {
+		t.Errorf("blocks = %d, want 2 (entry + live)", len(p.Funcs[0].Blocks))
+	}
+	for i, b := range p.Funcs[0].Blocks {
+		if b.ID != i {
+			t.Errorf("block %q not renumbered: id=%d idx=%d", b.Name, b.ID, i)
+		}
+	}
+}
+
+func TestOptimizeNoDeadTempAcrossCall(t *testing.T) {
+	// After const-prop, the temp def would be dead before the call; the
+	// sweep must remove it or Verify fails.
+	p := &Program{}
+	callee := &Func{Name: "f"}
+	cb := callee.NewBlock("entry")
+	cb.Term = Ret{Val: ConstOp(9)}
+	f := &Func{Name: "main", Locals: []string{"r"}, NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = []Instr{
+		Copy{Dst: TempOp(0), Src: ConstOp(5)},
+		Copy{Dst: LocalOp(0), Src: TempOp(0)}, // r = t0; t0's use folds away
+		Call{Dst: LocalOp(0), Fn: "f"},
+		Output{Val: LocalOp(0)},
+	}
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = []*Func{f, callee}
+	want := runMain(t, p, nil)
+	if err := Optimize(p); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if !reflect.DeepEqual(runMain(t, p, nil), want) {
+		t.Fatal("semantics changed")
+	}
+}
+
+func TestOptimizeInvalidation(t *testing.T) {
+	// A call must invalidate known global values but keep local knowledge;
+	// loads invalidate their destination.
+	p := &Program{Globals: []Global{{Name: "g", Words: 1}, {Name: "a", Words: 4, IsArray: true}}}
+	callee := &Func{Name: "bump"}
+	cb := callee.NewBlock("entry")
+	cb.Instrs = []Instr{BinOp{Dst: GlobalOp("g"), Op: Add, A: GlobalOp("g"), B: ConstOp(1)}}
+	cb.Term = Ret{Val: ConstOp(0)}
+
+	f := &Func{Name: "main", Locals: []string{"x", "y"}, NumTemps: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = []Instr{
+		Copy{Dst: GlobalOp("g"), Src: ConstOp(10)},
+		Copy{Dst: LocalOp(0), Src: ConstOp(3)}, // x = 3 (stays known)
+		Call{Dst: LocalOp(1), Fn: "bump"},      // g becomes 11
+		Output{Val: GlobalOp("g")},             // must print 11, not a folded 10
+		Output{Val: LocalOp(0)},                // may fold to 3
+	}
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = []*Func{f, callee}
+
+	want := runMain(t, p, nil)
+	if err := Optimize(p); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	got := runMain(t, p, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("semantics changed: %v != %v", got, want)
+	}
+	if want[0] != 11 || want[1] != 3 {
+		t.Fatalf("reference run wrong: %v", want)
+	}
+}
+
+func TestFoldBinIdentities(t *testing.T) {
+	cases := []struct {
+		op      BinKind
+		a, b    Operand
+		wantSrc Operand
+	}{
+		{Add, LocalOp(0), ConstOp(0), LocalOp(0)},
+		{Sub, LocalOp(0), ConstOp(0), LocalOp(0)},
+		{Mul, LocalOp(0), ConstOp(1), LocalOp(0)},
+		{Mul, LocalOp(0), ConstOp(0), ConstOp(0)},
+		{And, LocalOp(0), ConstOp(0), ConstOp(0)},
+		{Add, ConstOp(0), LocalOp(1), LocalOp(1)},
+		{Mul, ConstOp(1), LocalOp(1), LocalOp(1)},
+		{Div, ConstOp(0), LocalOp(1), ConstOp(0)},
+		{Add, ConstOp(2), ConstOp(3), ConstOp(5)},
+	}
+	for _, c := range cases {
+		in, ok := foldBin(BinOp{Dst: TempOp(0), Op: c.op, A: c.a, B: c.b})
+		if !ok {
+			t.Errorf("%v %v %v: not folded", c.a, c.op, c.b)
+			continue
+		}
+		cp, isCopy := in.(Copy)
+		if !isCopy || cp.Src != c.wantSrc {
+			t.Errorf("%v %v %v -> %v, want copy of %v", c.a, c.op, c.b, in, c.wantSrc)
+		}
+	}
+	// Non-foldable stays.
+	if _, ok := foldBin(BinOp{Dst: TempOp(0), Op: Add, A: LocalOp(0), B: LocalOp(1)}); ok {
+		t.Error("variable+variable folded")
+	}
+}

@@ -1,0 +1,199 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural invariants of an IR program. It returns the
+// first violation found, or nil.
+func Verify(p *Program) error {
+	seenGlobal := map[string]bool{}
+	for _, g := range p.Globals {
+		if g.Name == "" || g.Words <= 0 {
+			return fmt.Errorf("ir: invalid global %+v", g)
+		}
+		if seenGlobal[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		seenGlobal[g.Name] = true
+	}
+	seenFunc := map[string]bool{}
+	for _, f := range p.Funcs {
+		if seenFunc[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		seenFunc[f.Name] = true
+		if err := verifyFunc(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(p *Program, f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	if len(f.Params) > len(f.Locals) {
+		return fmt.Errorf("ir: %s: params exceed locals", f.Name)
+	}
+	for i, name := range f.Params {
+		if f.Locals[i] != name {
+			return fmt.Errorf("ir: %s: param %q not a prefix of locals", f.Name, name)
+		}
+	}
+	blockSet := map[*Block]bool{}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("ir: %s: block %q has ID %d at index %d", f.Name, b.Name, b.ID, i)
+		}
+		blockSet[b] = true
+	}
+	for _, b := range f.Blocks {
+		if b.Term == nil {
+			return fmt.Errorf("ir: %s: block %s lacks a terminator", f.Name, b.Name)
+		}
+		// Temp stack discipline: every temp is defined before its single use
+		// within the same block, and no temp is live at a call. Uses consume
+		// (kill) the temp, which also enforces single-use.
+		live := map[int]bool{}
+		def := func(d Dest) error {
+			if err := checkOperandDecl(p, f, d); err != nil {
+				return err
+			}
+			if d.Kind == Temp {
+				live[d.Index] = true
+			}
+			return nil
+		}
+		use := func(o Operand) error {
+			if err := checkOperandDecl(p, f, o); err != nil {
+				return err
+			}
+			if o.Kind == Temp {
+				if !live[o.Index] {
+					return fmt.Errorf("ir: %s: %s: temp t%d used before definition in block (or reused)", f.Name, b.Name, o.Index)
+				}
+				delete(live, o.Index)
+			}
+			return nil
+		}
+		for _, in := range b.Instrs {
+			var err error
+			switch v := in.(type) {
+			case BinOp:
+				if err = use(v.A); err == nil {
+					if err = use(v.B); err == nil {
+						err = def(v.Dst)
+					}
+				}
+			case Copy:
+				if err = use(v.Src); err == nil {
+					err = def(v.Dst)
+				}
+			case LoadIdx:
+				if err = checkArray(p, f, v.Array); err == nil {
+					if err = use(v.Index); err == nil {
+						err = def(v.Dst)
+					}
+				}
+			case StoreIdx:
+				if err = checkArray(p, f, v.Array); err == nil {
+					if err = use(v.Index); err == nil {
+						err = use(v.Val)
+					}
+				}
+			case Call:
+				if p.FuncByName(v.Fn) == nil {
+					err = fmt.Errorf("ir: %s: call to undefined function %q", f.Name, v.Fn)
+					break
+				}
+				for _, a := range v.Args {
+					if err = use(a); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					// No temp may be live across a call (codegen's temp
+					// registers are caller-clobbered).
+					for t := range live {
+						return fmt.Errorf("ir: %s: %s: temp t%d live across call to %s", f.Name, b.Name, t, v.Fn)
+					}
+					err = def(v.Dst)
+				}
+			case Input:
+				err = def(v.Dst)
+			case InputAvail:
+				err = def(v.Dst)
+			case Output:
+				err = use(v.Val)
+			default:
+				err = fmt.Errorf("ir: %s: unknown instruction %T", f.Name, in)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		switch t := b.Term.(type) {
+		case Br:
+			if err := checkOperandDecl(p, f, t.Cond); err != nil {
+				return err
+			}
+			if t.Cond.Kind == Temp && !live[t.Cond.Index] {
+				return fmt.Errorf("ir: %s: %s: branch condition t%d not defined in block", f.Name, b.Name, t.Cond.Index)
+			}
+			if !blockSet[t.True] || !blockSet[t.False] {
+				return fmt.Errorf("ir: %s: %s: branch to foreign block", f.Name, b.Name)
+			}
+		case Jmp:
+			if !blockSet[t.Target] {
+				return fmt.Errorf("ir: %s: %s: jump to foreign block", f.Name, b.Name)
+			}
+		case Ret:
+			if err := checkOperandDecl(p, f, t.Val); err != nil {
+				return err
+			}
+			if t.Val.Kind == Temp && !live[t.Val.Index] {
+				return fmt.Errorf("ir: %s: %s: return value t%d not defined in block", f.Name, b.Name, t.Val.Index)
+			}
+		default:
+			return fmt.Errorf("ir: %s: %s: unknown terminator %T", f.Name, b.Name, t)
+		}
+	}
+	return nil
+}
+
+func checkOperandDecl(p *Program, f *Func, o Operand) error {
+	switch o.Kind {
+	case Const:
+		return nil
+	case Temp:
+		if o.Index < 0 || o.Index >= f.NumTemps {
+			return fmt.Errorf("ir: %s: temp t%d out of range [0,%d)", f.Name, o.Index, f.NumTemps)
+		}
+	case Local:
+		if o.Index < 0 || o.Index >= len(f.Locals) {
+			return fmt.Errorf("ir: %s: local l%d out of range [0,%d)", f.Name, o.Index, len(f.Locals))
+		}
+	case GlobalScalar:
+		g := p.GlobalByName(o.Name)
+		if g == nil {
+			return fmt.Errorf("ir: %s: undefined global %q", f.Name, o.Name)
+		}
+		if g.IsArray {
+			return fmt.Errorf("ir: %s: array %q used as scalar", f.Name, o.Name)
+		}
+	default:
+		return fmt.Errorf("ir: %s: invalid operand kind %d", f.Name, o.Kind)
+	}
+	return nil
+}
+
+func checkArray(p *Program, f *Func, name string) error {
+	g := p.GlobalByName(name)
+	if g == nil {
+		return fmt.Errorf("ir: %s: undefined array %q", f.Name, name)
+	}
+	if !g.IsArray {
+		return fmt.Errorf("ir: %s: scalar %q indexed as array", f.Name, name)
+	}
+	return nil
+}

@@ -1,0 +1,598 @@
+// Package irgen lowers a checked DML AST to the mid-level IR.
+//
+// Lowering strategy:
+//
+//   - Short-circuit && and || always lower to control flow, both in branch
+//     conditions (producing the nested- and frequently-hammock CFG shapes
+//     the paper studies) and in value contexts (materialising 0/1 into a
+//     compiler-generated local).
+//   - Side-effecting subexpressions (calls, in(), inavail(), out()) are
+//     hoisted out of expressions into compiler-generated locals in
+//     left-to-right order, so that pure expression evaluation can use block-
+//     local temporaries that are never live across a call — the invariant
+//     the code generator's temp-register pool relies on.
+//   - Pure residues of expression statements are elided.
+package irgen
+
+import (
+	"fmt"
+
+	"dmp/internal/ir"
+	"dmp/internal/lang"
+)
+
+// Generate lowers a checked file to an IR program. The input must have
+// passed lang.Check; Generate still reports (rather than panics on) errors
+// it happens to detect.
+func Generate(f *lang.File) (*ir.Program, error) {
+	p := &ir.Program{}
+	for _, g := range f.Globals {
+		words := 1
+		if g.IsArray {
+			words = int(g.Size)
+		}
+		p.Globals = append(p.Globals, ir.Global{
+			Name: g.Name, Words: words, Init: g.Init, IsArray: g.IsArray,
+		})
+	}
+	for _, fn := range f.Funcs {
+		irf, err := genFunc(p, fn)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, irf)
+	}
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("irgen: internal error: %w", err)
+	}
+	return p, nil
+}
+
+type gen struct {
+	prog *ir.Program
+	fn   *ir.Func
+	cur  *ir.Block
+	// tempDepth is the live temp stack depth; fn.NumTemps tracks the max.
+	tempDepth int
+	// loop stack for break/continue targets.
+	breaks    []*ir.Block
+	continues []*ir.Block
+	nextLocal int
+}
+
+func genFunc(p *ir.Program, decl *lang.FuncDecl) (*ir.Func, error) {
+	f := &ir.Func{Name: decl.Name}
+	f.Params = append(f.Params, decl.Params...)
+	f.Locals = append(f.Locals, decl.Params...)
+	g := &gen{prog: p, fn: f}
+	g.cur = f.NewBlock("entry")
+	if err := g.block(decl.Body); err != nil {
+		return nil, err
+	}
+	// Implicit `return 0` for functions that fall off the end.
+	if g.cur.Term == nil {
+		g.cur.Term = ir.Ret{Val: ir.ConstOp(0)}
+	}
+	return f, nil
+}
+
+func (g *gen) errf(pos lang.Pos, format string, args ...interface{}) error {
+	return &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *gen) emit(in ir.Instr) { g.cur.Instrs = append(g.cur.Instrs, in) }
+
+// seal sets the current block's terminator and switches to next (which may
+// be nil when the caller will set cur itself).
+func (g *gen) seal(t ir.Terminator, next *ir.Block) {
+	if g.cur.Term == nil {
+		g.cur.Term = t
+	}
+	if next != nil {
+		g.cur = next
+	}
+}
+
+// startDead begins an unreachable block after a return/break/continue so
+// that subsequent statements still have a home.
+func (g *gen) startDead() {
+	g.cur = g.fn.NewBlock("dead")
+}
+
+// newLocal allocates a compiler-generated local and returns its operand.
+func (g *gen) newLocal() ir.Operand {
+	name := fmt.Sprintf(".c%d", g.nextLocal)
+	g.nextLocal++
+	g.fn.Locals = append(g.fn.Locals, name)
+	return ir.LocalOp(len(g.fn.Locals) - 1)
+}
+
+// pushTemp allocates the next stack temp.
+func (g *gen) pushTemp() ir.Operand {
+	t := ir.TempOp(g.tempDepth)
+	g.tempDepth++
+	if g.tempDepth > g.fn.NumTemps {
+		g.fn.NumTemps = g.tempDepth
+	}
+	return t
+}
+
+func (g *gen) popTemp(n int) { g.tempDepth -= n }
+
+// lookupVar resolves a scalar name to an operand.
+func (g *gen) lookupVar(pos lang.Pos, name string) (ir.Operand, error) {
+	if i := g.fn.LocalIndex(name); i >= 0 {
+		return ir.LocalOp(i), nil
+	}
+	if gl := g.prog.GlobalByName(name); gl != nil && !gl.IsArray {
+		return ir.GlobalOp(name), nil
+	}
+	return ir.Operand{}, g.errf(pos, "undefined scalar %q", name)
+}
+
+// ---- statements ----
+
+func (g *gen) block(b *lang.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s lang.Stmt) error {
+	switch v := s.(type) {
+	case *lang.BlockStmt:
+		return g.block(v)
+	case *lang.VarStmt:
+		g.fn.Locals = append(g.fn.Locals, v.Name)
+		dst := ir.LocalOp(len(g.fn.Locals) - 1)
+		if v.Init == nil {
+			g.emit(ir.Copy{Dst: dst, Src: ir.ConstOp(0)})
+			return nil
+		}
+		return g.evalInto(dst, v.Init)
+	case *lang.AssignStmt:
+		return g.assign(v)
+	case *lang.IfStmt:
+		return g.ifStmt(v)
+	case *lang.WhileStmt:
+		return g.whileStmt(v)
+	case *lang.ForStmt:
+		return g.forStmt(v)
+	case *lang.ReturnStmt:
+		val := ir.ConstOp(0)
+		if v.Value != nil {
+			x, err := g.expr(v.Value)
+			if err != nil {
+				return err
+			}
+			val = x
+			g.dropIfTemp(x)
+		}
+		g.seal(ir.Ret{Val: val}, nil)
+		g.startDead()
+		return nil
+	case *lang.BreakStmt:
+		if len(g.breaks) == 0 {
+			return g.errf(v.Pos, "break outside loop")
+		}
+		g.seal(ir.Jmp{Target: g.breaks[len(g.breaks)-1]}, nil)
+		g.startDead()
+		return nil
+	case *lang.ContinueStmt:
+		if len(g.continues) == 0 {
+			return g.errf(v.Pos, "continue outside loop")
+		}
+		g.seal(ir.Jmp{Target: g.continues[len(g.continues)-1]}, nil)
+		g.startDead()
+		return nil
+	case *lang.ExprStmt:
+		// Evaluate for side effects only: hoist the effects, drop the pure
+		// residue.
+		_, err := g.hoist(v.X)
+		return err
+	}
+	return fmt.Errorf("irgen: unknown statement %T", s)
+}
+
+// evalInto evaluates e and assigns the result to dst (a local or global).
+func (g *gen) evalInto(dst ir.Dest, e lang.Expr) error {
+	op, err := g.expr(e)
+	if err != nil {
+		return err
+	}
+	g.emit(ir.Copy{Dst: dst, Src: op})
+	g.dropIfTemp(op)
+	return nil
+}
+
+func (g *gen) dropIfTemp(op ir.Operand) {
+	if op.Kind == ir.Temp {
+		g.popTemp(1)
+	}
+}
+
+func (g *gen) assign(v *lang.AssignStmt) error {
+	if v.Index == nil {
+		dst, err := g.lookupVar(v.Pos, v.Name)
+		if err != nil {
+			return err
+		}
+		if v.Op == 0 {
+			return g.evalInto(dst, v.X)
+		}
+		rhs, err := g.expr(v.X)
+		if err != nil {
+			return err
+		}
+		op := ir.Add
+		if v.Op == '-' {
+			op = ir.Sub
+		}
+		g.emit(ir.BinOp{Dst: dst, Op: op, A: dst, B: rhs})
+		g.dropIfTemp(rhs)
+		return nil
+	}
+	// Array element. Hoist both index and rhs first so that evaluation below
+	// is pure (no temp lives across a call).
+	idxExpr, err := g.hoist(v.Index)
+	if err != nil {
+		return err
+	}
+	rhsExpr, err := g.hoist(v.X)
+	if err != nil {
+		return err
+	}
+	idx, err := g.pure(idxExpr)
+	if err != nil {
+		return err
+	}
+	if v.Op != 0 && idx.Kind == ir.Temp {
+		// Compound assignment uses the index twice (load and store), so pin
+		// a temp index into a local before evaluating the right-hand side.
+		pin := g.newLocal()
+		g.emit(ir.Copy{Dst: pin, Src: idx})
+		g.popTemp(1)
+		idx = pin
+	}
+	rhs, err := g.pure(rhsExpr)
+	if err != nil {
+		return err
+	}
+	if v.Op != 0 {
+		cur := g.pushTemp()
+		g.emit(ir.LoadIdx{Dst: cur, Array: v.Name, Index: idx})
+		op := ir.Add
+		if v.Op == '-' {
+			op = ir.Sub
+		}
+		upd := g.pushTemp()
+		g.emit(ir.BinOp{Dst: upd, Op: op, A: cur, B: rhs})
+		g.emit(ir.StoreIdx{Array: v.Name, Index: idx, Val: upd})
+		g.popTemp(2)
+		g.dropIfTemp(rhs)
+		return nil
+	}
+	g.emit(ir.StoreIdx{Array: v.Name, Index: idx, Val: rhs})
+	g.dropIfTemp(rhs)
+	g.dropIfTemp(idx)
+	return nil
+}
+
+func (g *gen) ifStmt(v *lang.IfStmt) error {
+	then := g.fn.NewBlock("then")
+	merge := g.fn.NewBlock("merge")
+	els := merge
+	if v.Else != nil {
+		els = g.fn.NewBlock("else")
+	}
+	if err := g.cond(v.Cond, then, els); err != nil {
+		return err
+	}
+	g.cur = then
+	if err := g.block(v.Then); err != nil {
+		return err
+	}
+	g.seal(ir.Jmp{Target: merge}, nil)
+	if v.Else != nil {
+		g.cur = els
+		if err := g.stmt(v.Else); err != nil {
+			return err
+		}
+		g.seal(ir.Jmp{Target: merge}, nil)
+	}
+	g.cur = merge
+	return nil
+}
+
+func (g *gen) whileStmt(v *lang.WhileStmt) error {
+	head := g.fn.NewBlock("while.head")
+	body := g.fn.NewBlock("while.body")
+	exit := g.fn.NewBlock("while.exit")
+	g.seal(ir.Jmp{Target: head}, head)
+	if err := g.cond(v.Cond, body, exit); err != nil {
+		return err
+	}
+	g.breaks = append(g.breaks, exit)
+	g.continues = append(g.continues, head)
+	g.cur = body
+	err := g.block(v.Body)
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.continues = g.continues[:len(g.continues)-1]
+	if err != nil {
+		return err
+	}
+	g.seal(ir.Jmp{Target: head}, exit)
+	return nil
+}
+
+func (g *gen) forStmt(v *lang.ForStmt) error {
+	if v.Init != nil {
+		if err := g.stmt(v.Init); err != nil {
+			return err
+		}
+	}
+	head := g.fn.NewBlock("for.head")
+	body := g.fn.NewBlock("for.body")
+	post := g.fn.NewBlock("for.post")
+	exit := g.fn.NewBlock("for.exit")
+	g.seal(ir.Jmp{Target: head}, head)
+	if v.Cond != nil {
+		if err := g.cond(v.Cond, body, exit); err != nil {
+			return err
+		}
+	} else {
+		g.seal(ir.Jmp{Target: body}, nil)
+	}
+	g.breaks = append(g.breaks, exit)
+	g.continues = append(g.continues, post)
+	g.cur = body
+	err := g.block(v.Body)
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.continues = g.continues[:len(g.continues)-1]
+	if err != nil {
+		return err
+	}
+	g.seal(ir.Jmp{Target: post}, post)
+	if v.Post != nil {
+		if err := g.stmt(v.Post); err != nil {
+			return err
+		}
+	}
+	g.seal(ir.Jmp{Target: head}, exit)
+	return nil
+}
+
+// cond lowers a boolean expression to control flow: jump to t when nonzero,
+// else to f.
+func (g *gen) cond(e lang.Expr, t, f *ir.Block) error {
+	switch v := e.(type) {
+	case *lang.BinaryExpr:
+		switch v.Op {
+		case lang.TokAndAnd:
+			mid := g.fn.NewBlock("and")
+			if err := g.cond(v.L, mid, f); err != nil {
+				return err
+			}
+			g.cur = mid
+			return g.cond(v.R, t, f)
+		case lang.TokOrOr:
+			mid := g.fn.NewBlock("or")
+			if err := g.cond(v.L, t, mid); err != nil {
+				return err
+			}
+			g.cur = mid
+			return g.cond(v.R, t, f)
+		}
+	case *lang.UnaryExpr:
+		if v.Op == lang.TokNot {
+			return g.cond(v.X, f, t)
+		}
+	}
+	op, err := g.expr(e)
+	if err != nil {
+		return err
+	}
+	g.dropIfTemp(op)
+	g.seal(ir.Br{Cond: op, True: t, False: f}, nil)
+	return nil
+}
+
+// ---- expressions ----
+
+// expr evaluates e (hoisting side effects first) and returns its operand.
+// The operand may be a fresh temp (caller must drop it) or a stable
+// local/global/const.
+func (g *gen) expr(e lang.Expr) (ir.Operand, error) {
+	pure, err := g.hoist(e)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	return g.pure(pure)
+}
+
+// hoist rewrites e so that every side-effecting subexpression (calls,
+// input/output builtins and short-circuit operators) is evaluated now, in
+// left-to-right order, into compiler-generated locals. The returned
+// expression is pure.
+func (g *gen) hoist(e lang.Expr) (lang.Expr, error) {
+	switch v := e.(type) {
+	case *lang.NumLit, *lang.VarRef:
+		return e, nil
+	case *lang.IndexExpr:
+		idx, err := g.hoist(v.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.IndexExpr{Pos: v.Pos, Name: v.Name, Index: idx}, nil
+	case *lang.UnaryExpr:
+		x, err := g.hoist(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.UnaryExpr{Pos: v.Pos, Op: v.Op, X: x}, nil
+	case *lang.BinaryExpr:
+		if v.Op == lang.TokAndAnd || v.Op == lang.TokOrOr {
+			// Materialise lazily via control flow into a local.
+			dst := g.newLocal()
+			t := g.fn.NewBlock("sc.true")
+			f := g.fn.NewBlock("sc.false")
+			m := g.fn.NewBlock("sc.merge")
+			if err := g.cond(v, t, f); err != nil {
+				return nil, err
+			}
+			g.cur = t
+			g.emit(ir.Copy{Dst: dst, Src: ir.ConstOp(1)})
+			g.seal(ir.Jmp{Target: m}, f)
+			g.emit(ir.Copy{Dst: dst, Src: ir.ConstOp(0)})
+			g.seal(ir.Jmp{Target: m}, m)
+			return localRef(g, dst), nil
+		}
+		l, err := g.hoist(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.hoist(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.BinaryExpr{Pos: v.Pos, Op: v.Op, L: l, R: r}, nil
+	case *lang.CallExpr:
+		dst := g.newLocal()
+		switch v.Name {
+		case lang.BuiltinIn:
+			g.emit(ir.Input{Dst: dst})
+		case lang.BuiltinInAvail:
+			g.emit(ir.InputAvail{Dst: dst})
+		case lang.BuiltinOut:
+			arg, err := g.expr(v.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			g.emit(ir.Output{Val: arg})
+			g.dropIfTemp(arg)
+			g.emit(ir.Copy{Dst: dst, Src: ir.ConstOp(0)})
+		default:
+			// Evaluate arguments left to right into pinned locals so that no
+			// temp is live across the call and nested calls stay ordered.
+			args := make([]ir.Operand, len(v.Args))
+			for i, a := range v.Args {
+				op, err := g.expr(a)
+				if err != nil {
+					return nil, err
+				}
+				if op.Kind == ir.Temp {
+					pin := g.newLocal()
+					g.emit(ir.Copy{Dst: pin, Src: op})
+					g.popTemp(1)
+					op = pin
+				}
+				args[i] = op
+			}
+			g.emit(ir.Call{Dst: dst, Fn: v.Name, Args: args})
+		}
+		return localRef(g, dst), nil
+	}
+	return nil, fmt.Errorf("irgen: unknown expression %T", e)
+}
+
+// localRef wraps a compiler local operand as an AST reference that pure()
+// resolves back to the same operand.
+func localRef(g *gen, op ir.Operand) lang.Expr {
+	return &lang.VarRef{Name: g.fn.Locals[op.Index]}
+}
+
+// pure evaluates a side-effect-free expression to an operand using block
+// temporaries in stack discipline.
+func (g *gen) pure(e lang.Expr) (ir.Operand, error) {
+	switch v := e.(type) {
+	case *lang.NumLit:
+		return ir.ConstOp(v.Val), nil
+	case *lang.VarRef:
+		return g.lookupVar(v.Pos, v.Name)
+	case *lang.IndexExpr:
+		idx, err := g.pure(v.Index)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		g.dropIfTemp(idx)
+		dst := g.pushTemp()
+		g.emit(ir.LoadIdx{Dst: dst, Array: v.Name, Index: idx})
+		return dst, nil
+	case *lang.UnaryExpr:
+		x, err := g.pure(v.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		g.dropIfTemp(x)
+		dst := g.pushTemp()
+		switch v.Op {
+		case lang.TokMinus:
+			g.emit(ir.BinOp{Dst: dst, Op: ir.Sub, A: ir.ConstOp(0), B: x})
+		case lang.TokNot:
+			g.emit(ir.BinOp{Dst: dst, Op: ir.CmpEQ, A: x, B: ir.ConstOp(0)})
+		default:
+			return ir.Operand{}, g.errf(v.Pos, "unknown unary operator %s", v.Op)
+		}
+		return dst, nil
+	case *lang.BinaryExpr:
+		kind, ok := binKind(v.Op)
+		if !ok {
+			return ir.Operand{}, g.errf(v.Pos, "operator %s in pure context", v.Op)
+		}
+		l, err := g.pure(v.L)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		r, err := g.pure(v.R)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		g.dropIfTemp(r)
+		g.dropIfTemp(l)
+		dst := g.pushTemp()
+		g.emit(ir.BinOp{Dst: dst, Op: kind, A: l, B: r})
+		return dst, nil
+	}
+	return ir.Operand{}, fmt.Errorf("irgen: impure expression %T in pure context", e)
+}
+
+func binKind(op lang.TokKind) (ir.BinKind, bool) {
+	switch op {
+	case lang.TokPlus:
+		return ir.Add, true
+	case lang.TokMinus:
+		return ir.Sub, true
+	case lang.TokStar:
+		return ir.Mul, true
+	case lang.TokSlash:
+		return ir.Div, true
+	case lang.TokPercent:
+		return ir.Rem, true
+	case lang.TokAmp:
+		return ir.And, true
+	case lang.TokPipe:
+		return ir.Or, true
+	case lang.TokCaret:
+		return ir.Xor, true
+	case lang.TokShl:
+		return ir.Shl, true
+	case lang.TokShr:
+		return ir.Shr, true
+	case lang.TokEQ:
+		return ir.CmpEQ, true
+	case lang.TokNE:
+		return ir.CmpNE, true
+	case lang.TokLT:
+		return ir.CmpLT, true
+	case lang.TokLE:
+		return ir.CmpLE, true
+	case lang.TokGT:
+		return ir.CmpGT, true
+	case lang.TokGE:
+		return ir.CmpGE, true
+	}
+	return 0, false
+}

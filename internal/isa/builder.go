@@ -1,0 +1,171 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally. Control-flow targets may be
+// forward references expressed as string labels that are resolved by Link.
+//
+// The zero value is ready to use.
+type Builder struct {
+	code   []Inst
+	funcs  []Func
+	labels map[string]int
+	// fixups maps code index -> label for unresolved targets.
+	fixups  map[int]string
+	curFunc int // index into funcs of the open function, or -1
+	globals int
+	errs    []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: map[string]int{}, fixups: map[int]string{}, curFunc: -1}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+// SetGlobals reserves n words of global data at the bottom of memory.
+func (b *Builder) SetGlobals(n int) { b.globals = n }
+
+// Func opens a new function. Any previously open function is closed at the
+// current PC.
+func (b *Builder) Func(name string) {
+	b.closeFunc()
+	b.funcs = append(b.funcs, Func{Name: name, Entry: len(b.code)})
+	b.curFunc = len(b.funcs) - 1
+	b.Label("func." + name)
+}
+
+func (b *Builder) closeFunc() {
+	if b.curFunc >= 0 {
+		b.funcs[b.curFunc].End = len(b.code)
+		if b.funcs[b.curFunc].End == b.funcs[b.curFunc].Entry {
+			b.errs = append(b.errs, fmt.Errorf("isa: function %q is empty", b.funcs[b.curFunc].Name))
+		}
+		b.curFunc = -1
+	}
+}
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Emit appends a raw instruction and returns its address.
+func (b *Builder) Emit(in Inst) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// EmitTo appends a control-flow instruction targeting the given label.
+func (b *Builder) EmitTo(in Inst, label string) int {
+	pc := b.Emit(in)
+	if addr, ok := b.labels[label]; ok {
+		b.code[pc].Target = addr
+	} else {
+		b.fixups[pc] = label
+	}
+	return pc
+}
+
+// Convenience emitters used heavily by the code generator and tests.
+
+// ALU appends a three-register arithmetic instruction.
+func (b *Builder) ALU(op Op, rd, rs1, rs2 uint8) int {
+	return b.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ALUI appends a register-immediate arithmetic instruction.
+func (b *Builder) ALUI(op Op, rd, rs1 uint8, imm int64) int {
+	return b.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, UseImm: true, Imm: imm})
+}
+
+// MovI appends rd = imm.
+func (b *Builder) MovI(rd uint8, imm int64) int { return b.Emit(Inst{Op: OpMovI, Rd: rd, Imm: imm}) }
+
+// Mov appends rd = rs.
+func (b *Builder) Mov(rd, rs uint8) int { return b.Emit(Inst{Op: OpMov, Rd: rd, Rs1: rs}) }
+
+// Ld appends rd = Mem[rs+off].
+func (b *Builder) Ld(rd, rs uint8, off int64) int {
+	return b.Emit(Inst{Op: OpLd, Rd: rd, Rs1: rs, Imm: off})
+}
+
+// St appends Mem[rs1+off] = rs2.
+func (b *Builder) St(rs1 uint8, off int64, rs2 uint8) int {
+	return b.Emit(Inst{Op: OpSt, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Beqz appends a branch-if-zero to label.
+func (b *Builder) Beqz(rs uint8, label string) int {
+	return b.EmitTo(Inst{Op: OpBeqz, Rs1: rs}, label)
+}
+
+// Bnez appends a branch-if-nonzero to label.
+func (b *Builder) Bnez(rs uint8, label string) int {
+	return b.EmitTo(Inst{Op: OpBnez, Rs1: rs}, label)
+}
+
+// Jmp appends an unconditional jump to label.
+func (b *Builder) Jmp(label string) int { return b.EmitTo(Inst{Op: OpJmp}, label) }
+
+// Call appends a direct call to the named function.
+func (b *Builder) Call(fn string) int { return b.EmitTo(Inst{Op: OpCall}, "func."+fn) }
+
+// Ret appends a return.
+func (b *Builder) Ret() int { return b.Emit(Inst{Op: OpRet}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() int { return b.Emit(Inst{Op: OpHalt}) }
+
+// In appends rd = next input value.
+func (b *Builder) In(rd uint8) int { return b.Emit(Inst{Op: OpIn, Rd: rd}) }
+
+// InAvail appends rd = remaining input count.
+func (b *Builder) InAvail(rd uint8) int { return b.Emit(Inst{Op: OpInAvail, Rd: rd}) }
+
+// Out appends output of rs.
+func (b *Builder) Out(rs uint8) int { return b.Emit(Inst{Op: OpOut, Rs1: rs}) }
+
+// LabelAddr returns the address a label is bound to. It is only valid after
+// the label has been defined.
+func (b *Builder) LabelAddr(name string) (int, bool) {
+	a, ok := b.labels[name]
+	return a, ok
+}
+
+// Link resolves forward references, closes the open function and returns the
+// finished program with entry at the function named "main" (or address 0 if
+// there is no main).
+func (b *Builder) Link() (*Program, error) {
+	b.closeFunc()
+	for pc, label := range b.fixups {
+		addr, ok := b.labels[label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("isa: undefined label %q at pc %d", label, pc))
+			continue
+		}
+		b.code[pc].Target = addr
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{
+		Code:        b.code,
+		Funcs:       b.funcs,
+		GlobalWords: b.globals,
+		Annots:      map[int]*DivergeInfo{},
+	}
+	if f := p.FuncByName("main"); f != nil {
+		p.Entry = f.Entry
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

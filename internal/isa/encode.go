@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary container format for DISA programs.
+//
+// The file starts with a fixed header, followed by the code segment (one
+// 16-byte record per instruction), the function symbol table, and finally the
+// diverge-branch annotation section. All integers are little-endian.
+
+const (
+	binMagic   = 0x444d5031 // "DMP1"
+	binVersion = 2
+)
+
+type binHeader struct {
+	Magic       uint32
+	Version     uint32
+	NumInsts    uint32
+	Entry       uint32
+	NumFuncs    uint32
+	GlobalWords uint32
+	NumAnnots   uint32
+	Reserved    uint32
+}
+
+// WriteTo serialises the program to w in the DMP1 container format.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	h := binHeader{
+		Magic:       binMagic,
+		Version:     binVersion,
+		NumInsts:    uint32(len(p.Code)),
+		Entry:       uint32(p.Entry),
+		NumFuncs:    uint32(len(p.Funcs)),
+		GlobalWords: uint32(p.GlobalWords),
+		NumAnnots:   uint32(len(p.Annots)),
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+		return 0, err
+	}
+	for _, in := range p.Code {
+		if err := writeInst(&buf, in); err != nil {
+			return 0, err
+		}
+	}
+	for _, f := range p.Funcs {
+		writeString(&buf, f.Name)
+		writeUvarint(&buf, uint64(f.Entry))
+		writeUvarint(&buf, uint64(f.End))
+	}
+	pcs := make([]int, 0, len(p.Annots))
+	for pc := range p.Annots {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		d := p.Annots[pc]
+		writeUvarint(&buf, uint64(pc))
+		var flags byte
+		if d.Loop {
+			flags |= 1
+		}
+		if d.Short {
+			flags |= 2
+		}
+		if d.LoopExitTaken {
+			flags |= 4
+		}
+		buf.WriteByte(flags)
+		writeUvarint(&buf, uint64(d.LoopHead))
+		writeUvarint(&buf, uint64(len(d.CFMs)))
+		for _, c := range d.CFMs {
+			buf.WriteByte(byte(c.Kind))
+			writeUvarint(&buf, uint64(c.Addr))
+			writeUvarint(&buf, uint64(c.MergeProb*1e6))
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadProgram parses a DMP1 container from r.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var h binHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("isa: reading header: %w", err)
+	}
+	if h.Magic != binMagic {
+		return nil, fmt.Errorf("isa: bad magic %#x", h.Magic)
+	}
+	if h.Version != binVersion {
+		return nil, fmt.Errorf("isa: unsupported version %d", h.Version)
+	}
+	const maxInsts = 1 << 26
+	if h.NumInsts == 0 || h.NumInsts > maxInsts {
+		return nil, fmt.Errorf("isa: implausible instruction count %d", h.NumInsts)
+	}
+	br := newByteReader(r)
+	p := &Program{
+		Code:        make([]Inst, h.NumInsts),
+		Entry:       int(h.Entry),
+		GlobalWords: int(h.GlobalWords),
+		Annots:      make(map[int]*DivergeInfo, h.NumAnnots),
+	}
+	for i := range p.Code {
+		in, err := readInst(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: reading inst %d: %w", i, err)
+		}
+		p.Code[i] = in
+	}
+	for i := 0; i < int(h.NumFuncs); i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: reading func %d: %w", i, err)
+		}
+		entry, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		end, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, Func{Name: name, Entry: int(entry), End: int(end)})
+	}
+	for i := 0; i < int(h.NumAnnots); i++ {
+		pc, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: reading annot %d: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		head, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ncfm, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if ncfm > 64 {
+			return nil, fmt.Errorf("isa: implausible CFM count %d", ncfm)
+		}
+		d := &DivergeInfo{Loop: flags&1 != 0, Short: flags&2 != 0, LoopExitTaken: flags&4 != 0, LoopHead: int(head)}
+		for j := uint64(0); j < ncfm; j++ {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			addr, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			mp, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			d.CFMs = append(d.CFMs, CFM{Kind: CFMKind(kind), Addr: int(addr), MergeProb: float64(mp) / 1e6})
+		}
+		p.Annots[int(pc)] = d
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeInst(buf *bytes.Buffer, in Inst) error {
+	var flags byte
+	if in.UseImm {
+		flags = 1
+	}
+	rec := [16]byte{0: byte(in.Op), 1: in.Rd, 2: in.Rs1, 3: in.Rs2, 4: flags}
+	binary.LittleEndian.PutUint32(rec[8:], uint32(int32(in.Target)))
+	buf.Write(rec[:])
+	// Imm is written separately as a varint-coded 64-bit value to keep the
+	// fixed record small while allowing full-range immediates.
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], in.Imm)
+	buf.Write(tmp[:n])
+	return nil
+}
+
+func readInst(br *byteReader) (Inst, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(br, rec[:]); err != nil {
+		return Inst{}, err
+	}
+	imm, err := binary.ReadVarint(br)
+	if err != nil {
+		return Inst{}, err
+	}
+	in := Inst{
+		Op:     Op(rec[0]),
+		Rd:     rec[1],
+		Rs1:    rec[2],
+		Rs2:    rec[3],
+		UseImm: rec[4]&1 != 0,
+		Target: int(int32(binary.LittleEndian.Uint32(rec[8:]))),
+		Imm:    imm,
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("invalid opcode %d", rec[0])
+	}
+	return in, nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(br *byteReader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func readUvarint(br *byteReader) (uint64, error) { return binary.ReadUvarint(br) }
+
+// byteReader adapts an io.Reader to io.ByteReader without double-buffering
+// when the underlying reader already implements both.
+type byteReader struct {
+	r io.Reader
+	b [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (br *byteReader) Read(p []byte) (int, error) { return io.ReadFull(br.r, p) }
+
+func (br *byteReader) ReadByte() (byte, error) {
+	if rb, ok := br.r.(io.ByteReader); ok {
+		return rb.ReadByte()
+	}
+	_, err := io.ReadFull(br.r, br.b[:])
+	return br.b[0], err
+}

@@ -1,0 +1,230 @@
+// Package isa defines DISA, the instruction set architecture targeted by the
+// DML compiler and executed by the functional emulator and the cycle-level
+// diverge-merge processor model.
+//
+// DISA is a 64-bit, word-addressed RISC. Every instruction occupies one code
+// word. The register file has 64 general registers; R0 is hardwired to zero,
+// R62 is the stack pointer and R63 the link register by software convention.
+//
+// Diverge-branch information (the DMP ISA extension of Kim et al.) is not
+// encoded into instruction words. As in the paper's toolflow, it is a sidecar
+// annotation attached to the binary: a map from the address of a conditional
+// branch to its DivergeInfo (CFM points, loop/short flags). The hardware
+// model consults the annotation at fetch.
+package isa
+
+import "fmt"
+
+// Op enumerates DISA opcodes.
+type Op uint8
+
+// Opcode space. Arithmetic ops come first, then memory, control flow and
+// system operations. The order is stable: it is part of the binary encoding.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpAdd computes Rd = Rs1 + src2.
+	OpAdd
+	// OpSub computes Rd = Rs1 - src2.
+	OpSub
+	// OpMul computes Rd = Rs1 * src2.
+	OpMul
+	// OpDiv computes Rd = Rs1 / src2 (0 if src2 == 0).
+	OpDiv
+	// OpRem computes Rd = Rs1 % src2 (0 if src2 == 0).
+	OpRem
+	// OpAnd computes Rd = Rs1 & src2.
+	OpAnd
+	// OpOr computes Rd = Rs1 | src2.
+	OpOr
+	// OpXor computes Rd = Rs1 ^ src2.
+	OpXor
+	// OpShl computes Rd = Rs1 << (src2 & 63).
+	OpShl
+	// OpShr computes Rd = int64(Rs1) >> (src2 & 63) (arithmetic).
+	OpShr
+	// OpCmpEQ computes Rd = 1 if Rs1 == src2 else 0.
+	OpCmpEQ
+	// OpCmpNE computes Rd = 1 if Rs1 != src2 else 0.
+	OpCmpNE
+	// OpCmpLT computes Rd = 1 if Rs1 < src2 else 0 (signed).
+	OpCmpLT
+	// OpCmpLE computes Rd = 1 if Rs1 <= src2 else 0 (signed).
+	OpCmpLE
+	// OpCmpGT computes Rd = 1 if Rs1 > src2 else 0 (signed).
+	OpCmpGT
+	// OpCmpGE computes Rd = 1 if Rs1 >= src2 else 0 (signed).
+	OpCmpGE
+	// OpMovI sets Rd = Imm.
+	OpMovI
+	// OpMov sets Rd = Rs1.
+	OpMov
+	// OpLd loads Rd = Mem[Rs1 + Imm].
+	OpLd
+	// OpSt stores Mem[Rs1 + Imm] = Rs2.
+	OpSt
+	// OpBeqz branches to Target if Rs1 == 0.
+	OpBeqz
+	// OpBnez branches to Target if Rs1 != 0.
+	OpBnez
+	// OpJmp jumps unconditionally to Target.
+	OpJmp
+	// OpCall jumps to Target, setting R63 (LR) to the return address.
+	OpCall
+	// OpCallR jumps to the address in Rs1, setting R63 to the return address.
+	OpCallR
+	// OpRet jumps to the address in R63.
+	OpRet
+	// OpJr jumps to the address in Rs1 (indirect jump).
+	OpJr
+	// OpIn reads the next value from the input tape into Rd (0 at EOF).
+	OpIn
+	// OpInAvail sets Rd to the number of unread input-tape values.
+	OpInAvail
+	// OpOut appends Rs1 to the output stream.
+	OpOut
+	// OpHalt stops the machine.
+	OpHalt
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt",
+	OpCmpLE: "cmple", OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpMovI: "movi",
+	OpMov: "mov", OpLd: "ld", OpSt: "st", OpBeqz: "beqz", OpBnez: "bnez",
+	OpJmp: "jmp", OpCall: "call", OpCallR: "callr", OpRet: "ret", OpJr: "jr",
+	OpIn: "in", OpInAvail: "inavail", OpOut: "out", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Software register conventions.
+const (
+	// RegZero is hardwired to zero.
+	RegZero = 0
+	// RegSP is the stack pointer by convention.
+	RegSP = 62
+	// RegLR is the link register written by call instructions.
+	RegLR = 63
+	// NumRegs is the architectural register count.
+	NumRegs = 64
+)
+
+// Inst is a single DISA instruction. Target is an absolute code address for
+// control-flow instructions. If UseImm is set, arithmetic instructions use
+// Imm as their second source operand instead of Rs2.
+type Inst struct {
+	Op     Op
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	UseImm bool
+	Imm    int64
+	Target int
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool { return i.Op == OpBeqz || i.Op == OpBnez }
+
+// IsControl reports whether the instruction can change the PC.
+func (i Inst) IsControl() bool {
+	switch i.Op {
+	case OpBeqz, OpBnez, OpJmp, OpCall, OpCallR, OpRet, OpJr, OpHalt:
+		return true
+	}
+	return false
+}
+
+// IsDirect reports whether a control instruction has a statically known
+// target. Conditional branches, jumps and direct calls are direct; returns
+// and register-indirect jumps/calls are not.
+func (i Inst) IsDirect() bool {
+	switch i.Op {
+	case OpBeqz, OpBnez, OpJmp, OpCall:
+		return true
+	}
+	return false
+}
+
+// Writes returns the destination register of the instruction, or -1 when the
+// instruction writes no general register. Call instructions write the link
+// register.
+func (i Inst) Writes() int {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE,
+		OpMovI, OpMov, OpLd, OpIn, OpInAvail:
+		if i.Rd == RegZero {
+			return -1
+		}
+		return int(i.Rd)
+	case OpCall, OpCallR:
+		return RegLR
+	}
+	return -1
+}
+
+// Reads returns the general registers the instruction reads, appended to dst.
+func (i Inst) Reads(dst []int) []int {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		dst = append(dst, int(i.Rs1))
+		if !i.UseImm {
+			dst = append(dst, int(i.Rs2))
+		}
+	case OpMov, OpBeqz, OpBnez, OpCallR, OpJr, OpOut:
+		dst = append(dst, int(i.Rs1))
+	case OpLd:
+		dst = append(dst, int(i.Rs1))
+	case OpSt:
+		dst = append(dst, int(i.Rs1), int(i.Rs2))
+	case OpRet:
+		dst = append(dst, RegLR)
+	}
+	return dst
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop, OpHalt:
+		return i.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs1)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, [r%d+%d]", i.Rd, i.Rs1, i.Imm)
+	case OpSt:
+		return fmt.Sprintf("st r%d, [r%d+%d]", i.Rs2, i.Rs1, i.Imm)
+	case OpBeqz, OpBnez:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rs1, i.Target)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %d", i.Op, i.Target)
+	case OpCallR, OpJr:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case OpRet:
+		return "ret"
+	case OpIn, OpInAvail:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rd)
+	case OpOut:
+		return fmt.Sprintf("out r%d", i.Rs1)
+	default:
+		if i.UseImm {
+			return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}

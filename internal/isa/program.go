@@ -1,0 +1,247 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CFMKind distinguishes ordinary address CFM points from return CFM points
+// (Section 3.5 of the paper), where dpred-mode ends at the execution of any
+// return instruction rather than at a particular address.
+type CFMKind uint8
+
+const (
+	// CFMAddr is a control-flow merge point at a fixed code address.
+	CFMAddr CFMKind = iota
+	// CFMReturn ends dpred-mode at the next executed return instruction.
+	CFMReturn
+)
+
+// CFM is one control-flow merge point of a diverge branch.
+type CFM struct {
+	Kind CFMKind
+	// Addr is the code address of the merge point (CFMAddr only).
+	Addr int
+	// MergeProb is the profiled probability that both paths of the diverge
+	// branch reach this point (recorded by the selection pass; informational).
+	MergeProb float64
+}
+
+func (c CFM) String() string {
+	if c.Kind == CFMReturn {
+		return "ret-cfm"
+	}
+	return fmt.Sprintf("@%d(p=%.2f)", c.Addr, c.MergeProb)
+}
+
+// DivergeInfo is the per-branch DMP annotation produced by the selection
+// compiler and consumed by the processor front end.
+type DivergeInfo struct {
+	// CFMs lists the selected control-flow merge points, at most MaxCFM.
+	CFMs []CFM
+	// Loop marks a diverge loop branch (the branch is a loop exit branch and
+	// dpred-mode predicates loop iterations).
+	Loop bool
+	// LoopHead is the loop header address for a diverge loop branch.
+	LoopHead int
+	// LoopExitTaken reports which direction of a diverge loop branch leaves
+	// the loop: true when the taken direction exits.
+	LoopExitTaken bool
+	// Short marks an always-predicate short hammock (Section 3.4): the
+	// processor enters dpred-mode regardless of branch confidence.
+	Short bool
+}
+
+// Clone returns a deep copy of the annotation.
+func (d *DivergeInfo) Clone() *DivergeInfo {
+	if d == nil {
+		return nil
+	}
+	c := *d
+	c.CFMs = append([]CFM(nil), d.CFMs...)
+	return &c
+}
+
+// Func describes one function's extent in the code segment.
+type Func struct {
+	Name  string
+	Entry int
+	// End is one past the last instruction of the function.
+	End int
+}
+
+// Program is a linked DISA binary: a code segment, the entry point, function
+// symbols, the size of the statically allocated data segment (globals), and
+// the diverge-branch annotation sidecar.
+type Program struct {
+	Code  []Inst
+	Entry int
+	Funcs []Func
+	// GlobalWords is the number of data words reserved for globals at the
+	// bottom of memory.
+	GlobalWords int
+	// Annots maps a conditional-branch address to its DMP annotation.
+	Annots map[int]*DivergeInfo
+}
+
+// FuncAt returns the function containing address pc, or nil.
+func (p *Program) FuncAt(pc int) *Func {
+	// Funcs are sorted by Entry.
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].End > pc })
+	if i < len(p.Funcs) && pc >= p.Funcs[i].Entry && pc < p.Funcs[i].End {
+		return &p.Funcs[i]
+	}
+	return nil
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return &p.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// ClearAnnots removes all diverge-branch annotations, returning the program
+// to its un-annotated (baseline) form.
+func (p *Program) ClearAnnots() { p.Annots = map[int]*DivergeInfo{} }
+
+// CloneAnnots returns a deep copy of the annotation sidecar.
+func (p *Program) CloneAnnots() map[int]*DivergeInfo {
+	m := make(map[int]*DivergeInfo, len(p.Annots))
+	for pc, d := range p.Annots {
+		m[pc] = d.Clone()
+	}
+	return m
+}
+
+// WithAnnots returns a shallow copy of the program carrying the given
+// annotation sidecar. Code and symbols are shared.
+func (p *Program) WithAnnots(annots map[int]*DivergeInfo) *Program {
+	q := *p
+	if annots == nil {
+		annots = map[int]*DivergeInfo{}
+	}
+	q.Annots = annots
+	return &q
+}
+
+// Validate checks structural invariants of the binary: control-flow targets
+// in range, annotations attached to conditional branches, CFM addresses in
+// range, and sane function symbols. It returns the first violation found.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	if n == 0 {
+		return fmt.Errorf("isa: empty code segment")
+	}
+	if p.Entry < 0 || p.Entry >= n {
+		return fmt.Errorf("isa: entry %d out of range [0,%d)", p.Entry, n)
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: invalid opcode at %d", pc)
+		}
+		if in.IsDirect() && (in.Target < 0 || in.Target >= n) {
+			return fmt.Errorf("isa: %d: target %d out of range", pc, in.Target)
+		}
+	}
+	prevEnd := 0
+	for i, f := range p.Funcs {
+		if f.Entry < 0 || f.End > n || f.Entry >= f.End {
+			return fmt.Errorf("isa: func %q extent [%d,%d) invalid", f.Name, f.Entry, f.End)
+		}
+		if f.Entry < prevEnd {
+			return fmt.Errorf("isa: func %q overlaps previous (entry %d < %d)", f.Name, f.Entry, prevEnd)
+		}
+		prevEnd = f.End
+		_ = i
+	}
+	for pc, d := range p.Annots {
+		if pc < 0 || pc >= n {
+			return fmt.Errorf("isa: annotation at out-of-range pc %d", pc)
+		}
+		if !p.Code[pc].IsCondBranch() {
+			return fmt.Errorf("isa: annotation at %d attached to %s (want conditional branch)", pc, p.Code[pc].Op)
+		}
+		if d == nil {
+			return fmt.Errorf("isa: nil annotation at %d", pc)
+		}
+		// Note: an annotation with no CFM points and Loop unset is legal; the
+		// processor then stays in dpred-mode until the branch resolves and any
+		// benefit comes from dual-path execution (Section 7.2).
+		for _, c := range d.CFMs {
+			if c.Kind == CFMAddr && (c.Addr < 0 || c.Addr >= n) {
+				return fmt.Errorf("isa: annotation at %d: CFM address %d out of range", pc, c.Addr)
+			}
+		}
+		if d.Loop && (d.LoopHead < 0 || d.LoopHead >= n) {
+			return fmt.Errorf("isa: annotation at %d: loop head %d out of range", pc, d.LoopHead)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// function labels and diverge-branch annotations as comments.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	funcAt := map[int]string{}
+	for _, f := range p.Funcs {
+		funcAt[f.Entry] = f.Name
+	}
+	for pc, in := range p.Code {
+		if name, ok := funcAt[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "%5d:  %s", pc, in)
+		if d, ok := p.Annots[pc]; ok {
+			fmt.Fprintf(&b, "    ; diverge")
+			if d.Loop {
+				fmt.Fprintf(&b, " loop(head=%d)", d.LoopHead)
+			}
+			if d.Short {
+				fmt.Fprintf(&b, " short")
+			}
+			for _, c := range d.CFMs {
+				fmt.Fprintf(&b, " %s", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NumStaticBranches counts static conditional branches in the code segment.
+func (p *Program) NumStaticBranches() int {
+	n := 0
+	for _, in := range p.Code {
+		if in.IsCondBranch() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumDivergeBranches counts annotated diverge branches.
+func (p *Program) NumDivergeBranches() int { return len(p.Annots) }
+
+// AvgCFMPerDiverge returns the average number of CFM points per diverge
+// branch (Table 2's "Avg. # CFM"). Loop diverge branches without explicit
+// CFMs count as one merge point (the loop exit).
+func (p *Program) AvgCFMPerDiverge() float64 {
+	if len(p.Annots) == 0 {
+		return 0
+	}
+	total := 0
+	for _, d := range p.Annots {
+		n := len(d.CFMs)
+		if n == 0 {
+			n = 1
+		}
+		total += n
+	}
+	return float64(total) / float64(len(p.Annots))
+}

@@ -1,0 +1,184 @@
+package lang
+
+// AST node definitions for DML.
+
+// File is a parsed compilation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	// Size is the element count for arrays; 0 for scalars.
+	Size int64
+	// Init is the scalar initial value (arrays are zero-initialised).
+	Init int64
+	// IsArray distinguishes `var a[N];` from `var a = k;`.
+	IsArray bool
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is `{ stmts }`.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a local: `var x = expr;` (init optional).
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr // nil means zero
+}
+
+// AssignStmt assigns to a scalar or array element: `lhs op= rhs;`.
+type AssignStmt struct {
+	Pos Pos
+	// Name is the target variable (scalar or array).
+	Name string
+	// Index is non-nil for array-element targets.
+	Index Expr
+	// Op is '=' (0), '+' or '-' for compound assignment.
+	Op byte
+	X  Expr
+}
+
+// IfStmt is `if (cond) then else els` (Else may be nil, a BlockStmt, or
+// another IfStmt).
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is `for (init; cond; post) body`; any clause may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // VarStmt, AssignStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt is `return expr;` (Value may be nil: returns 0).
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects: `f(x);`.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	// ExprPos returns the source position of the expression.
+	ExprPos() Pos
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int64
+}
+
+// VarRef references a scalar variable (local, param, or global).
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is `arr[idx]`.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr is `f(args...)`, including the builtins in(), inavail(), out(e).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is `-x` or `!x`.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind // TokMinus or TokNot
+	X   Expr
+}
+
+// BinaryExpr is `a op b`, including the short-circuit && and ||.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+func (*NumLit) expr()     {}
+func (*VarRef) expr()     {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+
+func (e *NumLit) ExprPos() Pos     { return e.Pos }
+func (e *VarRef) ExprPos() Pos     { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+
+// Builtin function names.
+const (
+	BuiltinIn      = "in"
+	BuiltinInAvail = "inavail"
+	BuiltinOut     = "out"
+)
+
+// IsBuiltin reports whether name is a DML builtin.
+func IsBuiltin(name string) bool {
+	return name == BuiltinIn || name == BuiltinInAvail || name == BuiltinOut
+}

@@ -1,0 +1,250 @@
+package lang
+
+import "fmt"
+
+// MaxParams is the number of argument registers in the DISA calling
+// convention (r1..r7).
+const MaxParams = 7
+
+// Check performs semantic analysis of a parsed file: name resolution,
+// arity checking, lvalue validation, and break/continue placement. It
+// returns the first error found.
+func Check(f *File) error {
+	c := &checker{
+		globals: map[string]*GlobalDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range f.Globals {
+		if IsBuiltin(g.Name) {
+			return c.errf(g.Pos, "cannot use builtin name %q as a global", g.Name)
+		}
+		if c.globals[g.Name] != nil {
+			return c.errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fn := range f.Funcs {
+		if IsBuiltin(fn.Name) {
+			return c.errf(fn.Pos, "cannot use builtin name %q as a function", fn.Name)
+		}
+		if c.funcs[fn.Name] != nil {
+			return c.errf(fn.Pos, "duplicate function %q", fn.Name)
+		}
+		if len(fn.Params) > MaxParams {
+			return c.errf(fn.Pos, "function %q has %d parameters; max %d", fn.Name, len(fn.Params), MaxParams)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	main := c.funcs["main"]
+	if main == nil {
+		return fmt.Errorf("lang: no main function")
+	}
+	if len(main.Params) != 0 {
+		return c.errf(main.Pos, "main must take no parameters")
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+	// per-function state
+	locals    map[string]bool
+	loopDepth int
+}
+
+func (c *checker) errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.locals = map[string]bool{}
+	c.loopDepth = 0
+	for _, p := range fn.Params {
+		if IsBuiltin(p) {
+			return c.errf(fn.Pos, "parameter %q shadows a builtin", p)
+		}
+		if c.locals[p] {
+			return c.errf(fn.Pos, "duplicate parameter %q", p)
+		}
+		c.locals[p] = true
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch v := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(v)
+	case *VarStmt:
+		if IsBuiltin(v.Name) {
+			return c.errf(v.Pos, "local %q shadows a builtin", v.Name)
+		}
+		if c.locals[v.Name] {
+			return c.errf(v.Pos, "duplicate local %q (DML locals are function-scoped)", v.Name)
+		}
+		if v.Init != nil {
+			if err := c.checkExpr(v.Init); err != nil {
+				return err
+			}
+		}
+		// Declared after its initialiser is checked: `var x = x;` is an error.
+		c.locals[v.Name] = true
+		return nil
+	case *AssignStmt:
+		if err := c.checkLValue(v); err != nil {
+			return err
+		}
+		return c.checkExpr(v.X)
+	case *IfStmt:
+		if err := c.checkExpr(v.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(v.Then); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			return c.checkStmt(v.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(v.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkBlock(v.Body)
+		c.loopDepth--
+		return err
+	case *ForStmt:
+		if v.Init != nil {
+			if err := c.checkStmt(v.Init); err != nil {
+				return err
+			}
+		}
+		if v.Cond != nil {
+			if err := c.checkExpr(v.Cond); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		if err := c.checkBlock(v.Body); err != nil {
+			c.loopDepth--
+			return err
+		}
+		c.loopDepth--
+		if v.Post != nil {
+			return c.checkStmt(v.Post)
+		}
+		return nil
+	case *ReturnStmt:
+		if v.Value != nil {
+			return c.checkExpr(v.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return c.errf(v.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return c.errf(v.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(v.X)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(v *AssignStmt) error {
+	if v.Index != nil {
+		g := c.globals[v.Name]
+		if g == nil || !g.IsArray {
+			return c.errf(v.Pos, "%q is not a global array", v.Name)
+		}
+		return c.checkExpr(v.Index)
+	}
+	if c.locals[v.Name] {
+		return nil
+	}
+	if g := c.globals[v.Name]; g != nil {
+		if g.IsArray {
+			return c.errf(v.Pos, "cannot assign to array %q without an index", v.Name)
+		}
+		return nil
+	}
+	return c.errf(v.Pos, "assignment to undefined variable %q", v.Name)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch v := e.(type) {
+	case *NumLit:
+		return nil
+	case *VarRef:
+		if c.locals[v.Name] {
+			return nil
+		}
+		if g := c.globals[v.Name]; g != nil {
+			if g.IsArray {
+				return c.errf(v.Pos, "array %q used as a scalar", v.Name)
+			}
+			return nil
+		}
+		return c.errf(v.Pos, "undefined variable %q", v.Name)
+	case *IndexExpr:
+		g := c.globals[v.Name]
+		if g == nil || !g.IsArray {
+			return c.errf(v.Pos, "%q is not a global array", v.Name)
+		}
+		return c.checkExpr(v.Index)
+	case *CallExpr:
+		switch v.Name {
+		case BuiltinIn, BuiltinInAvail:
+			if len(v.Args) != 0 {
+				return c.errf(v.Pos, "%s() takes no arguments", v.Name)
+			}
+			return nil
+		case BuiltinOut:
+			if len(v.Args) != 1 {
+				return c.errf(v.Pos, "out() takes exactly one argument")
+			}
+			return c.checkExpr(v.Args[0])
+		}
+		fn := c.funcs[v.Name]
+		if fn == nil {
+			return c.errf(v.Pos, "call to undefined function %q", v.Name)
+		}
+		if len(v.Args) != len(fn.Params) {
+			return c.errf(v.Pos, "%q takes %d arguments, got %d", v.Name, len(fn.Params), len(v.Args))
+		}
+		for _, a := range v.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(v.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(v.L); err != nil {
+			return err
+		}
+		return c.checkExpr(v.R)
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}

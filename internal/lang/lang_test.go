@@ -1,0 +1,325 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex: %v", err)
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks := lexAll(t, "func main() { var x = 42; }")
+	kinds := []TokKind{TokFunc, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokVar, TokIdent, TokAssign, TokNum, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok[%d] = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[8].Num != 42 {
+		t.Errorf("num = %d", toks[8].Num)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	src := "+ - * / % & | ^ << >> && || ! == != < <= > >= = += -="
+	want := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+		TokAmp, TokPipe, TokCaret, TokShl, TokShr, TokAndAnd, TokOrOr,
+		TokNot, TokEQ, TokNE, TokLT, TokLE, TokGT, TokGE, TokAssign,
+		TokPlusAssign, TokMinusAssign, TokEOF}
+	toks := lexAll(t, src)
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok[%d] = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, "a // line comment\n/* block\ncomment */ b")
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	l := NewLexer("$")
+	if _, err := l.Next(); err == nil {
+		t.Error("bad character accepted")
+	}
+	l = NewLexer("/* unterminated")
+	if _, err := l.Next(); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+	l = NewLexer("99999999999999999999999")
+	if _, err := l.Next(); err == nil {
+		t.Error("overflowing literal accepted")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b pos = %v", toks[1].Pos)
+	}
+}
+
+const goodProgram = `
+// global declarations
+var total = 0;
+var bias = -5;
+var table[64];
+
+func classify(v, threshold) {
+	if (v > threshold && v % 2 == 0) {
+		return 1;
+	} else if (v < -threshold || v == 0) {
+		return -1;
+	}
+	return 0;
+}
+
+func main() {
+	var n = 0;
+	while (inavail()) {
+		var v = in();
+		var cls = classify(v, 10);
+		table[n & 63] = cls;
+		if (cls == 1) {
+			total += v;
+		} else {
+			total -= 1;
+		}
+		n = n + 1;
+	}
+	for (var i = 0; i < 64; i = i + 1) {
+		if (table[i] != 0) {
+			out(table[i]);
+		}
+	}
+	out(total + bias);
+}
+`
+
+func TestParseGoodProgram(t *testing.T) {
+	f, err := Parse(goodProgram)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Globals) != 3 {
+		t.Errorf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[1].Init != -5 {
+		t.Errorf("bias init = %d", f.Globals[1].Init)
+	}
+	if !f.Globals[2].IsArray || f.Globals[2].Size != 64 {
+		t.Errorf("table = %+v", f.Globals[2])
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	if f.Funcs[0].Name != "classify" || len(f.Funcs[0].Params) != 2 {
+		t.Errorf("classify = %+v", f.Funcs[0])
+	}
+	if err := Check(f); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("func main() { var x = 1 + 2 * 3; out(x); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Funcs[0].Body.Stmts[0].(*VarStmt)
+	bin := v.Init.(*BinaryExpr)
+	if bin.Op != TokPlus {
+		t.Fatalf("top op = %s, want +", bin.Op)
+	}
+	if inner, ok := bin.R.(*BinaryExpr); !ok || inner.Op != TokStar {
+		t.Errorf("rhs = %#v, want 2*3", bin.R)
+	}
+}
+
+func TestParseShortCircuitNesting(t *testing.T) {
+	f, err := Parse("func main() { if (a || b && c) { } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	or := s.Cond.(*BinaryExpr)
+	if or.Op != TokOrOr {
+		t.Fatalf("top = %s, want ||", or.Op)
+	}
+	if and, ok := or.R.(*BinaryExpr); !ok || and.Op != TokAndAnd {
+		t.Errorf("rhs of || is %#v, want &&", or.R)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f, err := Parse("func main() { var x = -1 + !0; out(-x); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Funcs[0].Body.Stmts[0].(*VarStmt)
+	bin := v.Init.(*BinaryExpr)
+	if u, ok := bin.L.(*UnaryExpr); !ok || u.Op != TokMinus {
+		t.Errorf("lhs = %#v", bin.L)
+	}
+	if u, ok := bin.R.(*UnaryExpr); !ok || u.Op != TokNot {
+		t.Errorf("rhs = %#v", bin.R)
+	}
+}
+
+func TestParseArrayStatementAmbiguity(t *testing.T) {
+	// arr[i] = x is an assignment; arr[i] + f() as a statement is an
+	// expression statement starting with an index expression.
+	src := `
+var arr[8];
+func f() { return 1; }
+func main() {
+	var i = 0;
+	arr[i] = 3;
+	arr[i] + f();
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := f.Funcs[1].Body.Stmts
+	if _, ok := stmts[1].(*AssignStmt); !ok {
+		t.Errorf("stmt[1] = %T, want AssignStmt", stmts[1])
+	}
+	es, ok := stmts[2].(*ExprStmt)
+	if !ok {
+		t.Fatalf("stmt[2] = %T, want ExprStmt", stmts[2])
+	}
+	if bin, ok := es.X.(*BinaryExpr); !ok || bin.Op != TokPlus {
+		t.Errorf("expr = %#v", es.X)
+	}
+	if err := Check(f); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	for _, src := range []string{
+		"func main() { for (;;) { break; } }",
+		"func main() { for (var i = 0; i < 3; i = i + 1) { } }",
+		"func main() { var i = 0; for (; i < 3;) { i = i + 1; } }",
+	} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if err := Check(f); err != nil {
+			t.Errorf("%q: check: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func main() {",
+		"func main() { var ; }",
+		"func main() { if x { } }",
+		"var a[0];",
+		"func main() { out(1) }",
+		"blah",
+		"func main() { var x = (1; }",
+		"func main() { f(1, }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f() {}", "no main"},
+		{"func main(a) {}", "main must take no parameters"},
+		{"func main() {} func main() {}", "duplicate function"},
+		{"var a = 1; var a = 2; func main() {}", "duplicate global"},
+		{"func main() { x = 1; }", "undefined"},
+		{"func main() { out(y); }", "undefined variable"},
+		{"func main() { var a = 1; var a = 2; }", "duplicate local"},
+		{"func main() { break; }", "break outside loop"},
+		{"func main() { continue; }", "continue outside loop"},
+		{"func main() { f(); }", "undefined function"},
+		{"func f(a) { return a; } func main() { f(); }", "takes 1 arguments"},
+		{"var a[4]; func main() { out(a); }", "array \"a\" used as a scalar"},
+		{"var s = 1; func main() { out(s[0]); }", "not a global array"},
+		{"var a[4]; func main() { a = 1; }", "cannot assign to array"},
+		{"func main() { out(); }", "exactly one argument"},
+		{"func main() { in(1); }", "takes no arguments"},
+		{"func main() { var x = x; }", "undefined variable"},
+		{"func in() {} func main() {}", "builtin"},
+		{"var out = 3; func main() {}", "builtin"},
+		{"func f(a, a) { } func main() {}", "duplicate parameter"},
+		{"func f(a,b,c,d,e,f,g,h) {} func main() {}", "max 7"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%q: parse error %v (should parse)", c.src, err)
+			continue
+		}
+		err = Check(f)
+		if err == nil {
+			t.Errorf("%q: accepted by Check", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckLoopScoping(t *testing.T) {
+	// break inside nested while/for is fine; after the loop it is not.
+	src := `func main() {
+		while (1) { for (;;) { break; } break; }
+	}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestErrorTypeFormatting(t *testing.T) {
+	e := &Error{Pos: Pos{3, 7}, Msg: "boom"}
+	if got := e.Error(); got != "3:7: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -1,0 +1,599 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for DML.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	// one-token lookahead buffer
+	peeked  bool
+	peekTok Token
+}
+
+// Parse parses a DML compilation unit.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case TokFunc:
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("expected var or func declaration, got %s", p.tok.Kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &Error{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) next() error {
+	if p.peeked {
+		p.tok = p.peekTok
+		p.peeked = false
+		return nil
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peek() (Token, error) {
+	if !p.peeked {
+		t, err := p.lex.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peekTok = t
+		p.peeked = true
+	}
+	return p.peekTok, nil
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, got %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+// parseGlobal parses `var name;`, `var name = num;`, `var name = -num;`, or
+// `var name[num];` at file scope.
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil { // consume var
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: pos, Name: name.Text}
+	switch p.tok.Kind {
+	case TokLBracket:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		size, err := p.expect(TokNum)
+		if err != nil {
+			return nil, err
+		}
+		if size.Num <= 0 {
+			return nil, &Error{Pos: size.Pos, Msg: "array size must be positive"}
+		}
+		g.IsArray = true
+		g.Size = size.Num
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	case TokAssign:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		neg := false
+		if p.tok.Kind == TokMinus {
+			neg = true
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		val, err := p.expect(TokNum)
+		if err != nil {
+			return nil, err
+		}
+		g.Init = val.Num
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil { // consume func
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: pos, Name: name.Text}
+	for p.tok.Kind != TokRParen {
+		param, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.Text)
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		} else if p.tok.Kind != TokRParen {
+			return nil, p.errf("expected , or ) in parameter list")
+		}
+	}
+	if err := p.next(); err != nil { // consume )
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.next()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokVar:
+		s, err := p.parseVarStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokSemi)
+		return s, err
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != TokSemi {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = x
+		}
+		_, err := p.expect(TokSemi)
+		return s, err
+	case TokBreak:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &BreakStmt{Pos: pos}, err
+	case TokContinue:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &ContinueStmt{Pos: pos}, err
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokSemi)
+		return s, err
+	}
+}
+
+func (p *Parser) parseVarStmt() (*VarStmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &VarStmt{Pos: pos, Name: name.Text}
+	if p.tok.Kind == TokAssign {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = x
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// terminating semicolon). Used for statements and for-clauses.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	if p.tok.Kind == TokIdent {
+		// Lookahead to distinguish assignment from expression.
+		nxt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch nxt.Kind {
+		case TokAssign, TokPlusAssign, TokMinusAssign:
+			name := p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return p.finishAssign(pos, name, nil)
+		case TokLBracket:
+			// Could be arr[i] = ... or arr[i] as an expression; parse the
+			// index then decide.
+			name := p.tok.Text
+			if err := p.next(); err != nil { // consume ident
+				return nil, err
+			}
+			if err := p.next(); err != nil { // consume [
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			switch p.tok.Kind {
+			case TokAssign, TokPlusAssign, TokMinusAssign:
+				return p.finishAssign(pos, name, idx)
+			default:
+				// It was an expression after all; continue parsing with the
+				// index expression as the primary.
+				x, err := p.continueExpr(&IndexExpr{Pos: pos, Name: name, Index: idx})
+				if err != nil {
+					return nil, err
+				}
+				return &ExprStmt{Pos: pos, X: x}, nil
+			}
+		}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+func (p *Parser) finishAssign(pos Pos, name string, idx Expr) (Stmt, error) {
+	var op byte
+	switch p.tok.Kind {
+	case TokAssign:
+		op = 0
+	case TokPlusAssign:
+		op = '+'
+	case TokMinusAssign:
+		op = '-'
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Pos: pos, Name: name, Index: idx, Op: op, X: x}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.tok.Kind == TokElse {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		var init Stmt
+		var err error
+		if p.tok.Kind == TokVar {
+			init, err = p.parseVarStmt()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	1: ||
+//	2: &&
+//	3: == !=
+//	4: < <= > >=
+//	5: + - | ^
+//	6: * / % & << >>
+//	7: unary - !
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+// continueExpr resumes binary-operator parsing with lhs already parsed.
+func (p *Parser) continueExpr(lhs Expr) (Expr, error) {
+	return p.parseBinRHS(1, lhs)
+}
+
+func precOf(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokEQ, TokNE:
+		return 3
+	case TokLT, TokLE, TokGT, TokGE:
+		return 4
+	case TokPlus, TokMinus, TokPipe, TokCaret:
+		return 5
+	case TokStar, TokSlash, TokPercent, TokAmp, TokShl, TokShr:
+		return 6
+	}
+	return 0
+}
+
+func (p *Parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseBinRHS(minPrec, lhs)
+}
+
+func (p *Parser) parseBinRHS(minPrec int, lhs Expr) (Expr, error) {
+	for {
+		prec := precOf(p.tok.Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokMinus, TokNot:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNum:
+		e := &NumLit{Pos: p.tok.Pos, Val: p.tok.Num}
+		return e, p.next()
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return x, err
+	case TokIdent:
+		name := p.tok.Text
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokLParen:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Pos: pos, Name: name}
+			for p.tok.Kind != TokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.Kind == TokComma {
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+				} else if p.tok.Kind != TokRParen {
+					return nil, p.errf("expected , or ) in call")
+				}
+			}
+			return call, p.next()
+		case TokLBracket:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: pos, Name: name, Index: idx}, nil
+		}
+		return &VarRef{Pos: pos, Name: name}, nil
+	}
+	return nil, p.errf("expected expression, got %s", p.tok.Kind)
+}

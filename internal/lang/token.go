@@ -1,0 +1,312 @@
+// Package lang implements the front end of DML, the small imperative
+// language the benchmark corpus is written in: a lexer, a recursive-descent
+// parser producing an AST, and a semantic checker.
+//
+// DML is int64-only. It has global scalars and arrays, functions with scalar
+// parameters and a scalar return value, if/else, while, for, break/continue,
+// short-circuit && and ||, and three builtins wired to the DISA input/output
+// instructions: in(), inavail(), out(e).
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNum
+	// Keywords.
+	TokVar
+	TokFunc
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlusAssign
+	TokMinusAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokAndAnd
+	TokOrOr
+	TokNot
+	TokEQ
+	TokNE
+	TokLT
+	TokLE
+	TokGT
+	TokGE
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNum: "number",
+	TokVar: "var", TokFunc: "func", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokFor: "for", TokReturn: "return",
+	TokBreak: "break", TokContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlusAssign: "+=", TokMinusAssign: "-=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokShl: "<<", TokShr: ">>", TokAndAnd: "&&", TokOrOr: "||",
+	TokNot: "!", TokEQ: "==", TokNE: "!=", TokLT: "<", TokLE: "<=",
+	TokGT: ">", TokGE: ">=",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"var": TokVar, "func": TokFunc, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int64
+	Pos  Pos
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenises DML source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (l *Lexer) errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			pos := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.src[l.off] == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(pos, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for {
+			c, ok := l.peekByte()
+			if !ok || (!isAlpha(c) && !isDigit(c)) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, isKw := keywords[text]; isKw {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isDigit(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		var n int64
+		for _, d := range text {
+			digit := int64(d - '0')
+			if n > (1<<62)/10 {
+				return Token{}, l.errf(pos, "integer literal %q overflows", text)
+			}
+			n = n*10 + digit
+		}
+		return Token{Kind: TokNum, Text: text, Num: n, Pos: pos}, nil
+	}
+	l.advance()
+	two := func(next byte, withNext, without TokKind) (Token, error) {
+		if c2, ok := l.peekByte(); ok && c2 == next {
+			l.advance()
+			return Token{Kind: withNext, Pos: pos}, nil
+		}
+		return Token{Kind: without, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '+':
+		return two('=', TokPlusAssign, TokPlus)
+	case '-':
+		return two('=', TokMinusAssign, TokMinus)
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp)
+	case '|':
+		return two('|', TokOrOr, TokPipe)
+	case '!':
+		return two('=', TokNE, TokNot)
+	case '=':
+		return two('=', TokEQ, TokAssign)
+	case '<':
+		if c2, ok := l.peekByte(); ok {
+			if c2 == '<' {
+				l.advance()
+				return Token{Kind: TokShl, Pos: pos}, nil
+			}
+			if c2 == '=' {
+				l.advance()
+				return Token{Kind: TokLE, Pos: pos}, nil
+			}
+		}
+		return Token{Kind: TokLT, Pos: pos}, nil
+	case '>':
+		if c2, ok := l.peekByte(); ok {
+			if c2 == '>' {
+				l.advance()
+				return Token{Kind: TokShr, Pos: pos}, nil
+			}
+			if c2 == '=' {
+				l.advance()
+				return Token{Kind: TokGE, Pos: pos}, nil
+			}
+		}
+		return Token{Kind: TokGT, Pos: pos}, nil
+	}
+	return Token{}, l.errf(pos, "unexpected character %q", string(c))
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"math/bits"
+
+	"dmp/internal/isa"
+)
+
+// dpredSession tracks one activation of dynamic predication mode, from the
+// low-confidence (or short-hammock) diverge branch that opened it until
+// merge, resolution, or a cancelling flush. Retired entries keep a pointer
+// to their session so that predicated-FALSE accounting works after the
+// session has ended.
+type dpredSession struct {
+	branchPC  int
+	branchSeq int64
+	annot     *isa.DivergeInfo
+	isLoop    bool
+	// actualPath is the path tag of the correct side (trace outcome); loop
+	// sessions use 0 for real iterations and 1 for extra iterations.
+	actualPath int8
+	// savedMisp records that the diverge branch itself was mispredicted, so
+	// ending the session without a flush saved a pipeline flush.
+	savedMisp bool
+	// resolveCyc is the completion cycle of the diverge branch (extended to
+	// the latest predicated loop-branch instance for loop sessions); -1
+	// until dispatched.
+	resolveCyc int64
+	// merged is set when both paths reached the same CFM point.
+	merged bool
+	// ended is set when the fetch-side session has been closed.
+	ended bool
+
+	// Forward-hammock state.
+	tables      [2][64]int64 // per-path register ready tables
+	tablesReady bool
+	written     [2]uint64 // dest-register bitmask per path
+	parkedAt    [2]int    // parkNone / parkRet / parkDead / CFM address
+
+	// Loop state.
+	loopWritten uint64
+	predsUsed   int
+	// pendingLoop is the mispredicted loop instance awaiting late-exit
+	// rejoin or no-exit flush.
+	pendingLoop *entry
+}
+
+// Stream parking states (values of parkedAt and stream.parkedAt).
+const (
+	parkNone = -1
+	parkRet  = -2
+	parkDead = -3
+)
+
+// isCFM reports whether fetching at pc should park a dpred path (address
+// CFM points only; return CFMs park after executing a return).
+func (d *dpredSession) isCFM(pc int) bool {
+	for _, c := range d.annot.CFMs {
+		if c.Kind == isa.CFMAddr && c.Addr == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRetCFM reports whether the session has a return CFM point.
+func (d *dpredSession) hasRetCFM() bool {
+	for _, c := range d.annot.CFMs {
+		if c.Kind == isa.CFMReturn {
+			return true
+		}
+	}
+	return false
+}
+
+// bothParkedSame reports whether both paths parked at the same CFM point.
+func (d *dpredSession) bothParkedSame() bool {
+	a, b := d.parkedAt[0], d.parkedAt[1]
+	if a == parkNone || b == parkNone || a == parkDead || b == parkDead {
+		return false
+	}
+	return a == b
+}
+
+// selectUopRegs returns the registers needing select-µops at a forward
+// merge: every register written on either predicated path.
+func (d *dpredSession) selectUopRegs() []uint8 {
+	return regsOf(d.written[0] | d.written[1])
+}
+
+// noteWrite records a destination register written under predication.
+func (d *dpredSession) noteWrite(path int8, inst isa.Inst) {
+	w := inst.Writes()
+	if w <= 0 {
+		return
+	}
+	if d.isLoop {
+		d.loopWritten |= 1 << uint(w)
+	} else {
+		d.written[path] |= 1 << uint(w)
+	}
+}
+
+// takeLoopWritten returns and clears the current iteration's written set.
+func (d *dpredSession) takeLoopWritten() []uint8 {
+	regs := regsOf(d.loopWritten)
+	d.loopWritten = 0
+	return regs
+}
+
+func regsOf(mask uint64) []uint8 {
+	n := bits.OnesCount64(mask)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint8, 0, n)
+	for mask != 0 {
+		r := uint8(bits.TrailingZeros64(mask))
+		out = append(out, r)
+		mask &= mask - 1
+	}
+	return out
+}
+
+// loopExitPC returns the static PC the loop diverge branch transfers to when
+// leaving the loop.
+func loopExitPC(pc int, in isa.Inst, annot *isa.DivergeInfo) int {
+	if annot.LoopExitTaken {
+		return in.Target
+	}
+	return pc + 1
+}
+
+// loopContinueTaken reports the branch direction that stays in the loop.
+func loopContinueTaken(annot *isa.DivergeInfo) bool { return !annot.LoopExitTaken }

@@ -1,0 +1,231 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// Targeted tests for dpred-mode corner cases: inner mispredictions inside a
+// predicated region, paths parking at different CFM points, and multiple
+// CFM points per diverge branch.
+
+// nestedHammockProg builds an outer hammock whose taken arm contains an
+// inner unpredictable branch; the outer branch is the diverge branch.
+func nestedHammockProg(t *testing.T) (p *isa.Program, outerBr, mergePC int) {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	b.In(3)
+	outerBr = b.Beqz(2, "else")
+	// Inner unpredictable branch within the predicated region.
+	b.Beqz(3, "inner_else")
+	b.ALUI(isa.OpAdd, 4, 4, 1)
+	b.Jmp("merge")
+	b.Label("inner_else")
+	b.ALUI(isa.OpAdd, 4, 4, 2)
+	b.Jmp("merge")
+	b.Label("else")
+	b.ALUI(isa.OpSub, 4, 4, 1)
+	b.Label("merge")
+	mergePC = b.PC()
+	b.ALUI(isa.OpXor, 5, 5, 4)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(4)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, outerBr, mergePC
+}
+
+// TestInnerMispredictionCancelsDpred: an unpredictable branch inside the
+// predicated region causes inner flushes, which must be counted and must not
+// corrupt the retired instruction stream.
+func TestInnerMispredictionCancelsDpred(t *testing.T) {
+	p, outerBr, mergePC := nestedHammockProg(t)
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		outerBr: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: mergePC, MergeProb: 1}}},
+	})
+	input := randBits(41, 2*3000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, q, input, true)
+	if dmp.DpredEntries == 0 {
+		t.Fatal("no dpred entries")
+	}
+	if dmp.DpredInnerFlush == 0 {
+		t.Error("inner mispredictions never cancelled a session")
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("retired %d != baseline %d", dmp.Retired, base.Retired)
+	}
+	// Even with inner flushes, the outer predication should still help.
+	if dmp.Flushes >= base.Flushes {
+		t.Errorf("flushes %d >= baseline %d", dmp.Flushes, base.Flushes)
+	}
+}
+
+// asymmetricCFMProg builds a hammock whose arms flow to two different
+// candidate merge points before converging; annotating each arm's first stop
+// as a separate CFM exercises the multiple-CFM and the
+// parked-at-different-points machinery.
+func asymmetricCFMProg(t *testing.T) (p *isa.Program, br, cfmA, cfmB int) {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	br = b.Beqz(2, "right")
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Label("cfmA") // taken arm reaches here first
+	cfmA = b.PC()
+	b.ALUI(isa.OpAdd, 4, 4, 1)
+	b.Jmp("join")
+	b.Label("right")
+	b.ALUI(isa.OpSub, 3, 3, 1)
+	b.Label("cfmB") // fall-through arm reaches here first
+	cfmB = b.PC()
+	b.ALUI(isa.OpAdd, 4, 4, 2)
+	b.Label("join")
+	b.ALUI(isa.OpXor, 5, 5, 4)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(4)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, br, cfmA, cfmB
+}
+
+// TestDifferentCFMParksResolveWithoutMerge: when the two paths stop at
+// different CFM points, the session must end at branch resolution (no
+// merge), without flushing, and execution must stay correct.
+func TestDifferentCFMParksResolveWithoutMerge(t *testing.T) {
+	p, br, cfmA, cfmB := asymmetricCFMProg(t)
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		br: {CFMs: []isa.CFM{
+			{Kind: isa.CFMAddr, Addr: cfmA, MergeProb: 0.5},
+			{Kind: isa.CFMAddr, Addr: cfmB, MergeProb: 0.5},
+		}},
+	})
+	input := randBits(42, 3000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, q, input, true)
+	if dmp.DpredEntries == 0 {
+		t.Fatal("no dpred entries")
+	}
+	if dmp.DpredNoMerge == 0 {
+		t.Error("expected resolve-ended sessions when paths park at different CFMs")
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("retired %d != %d", dmp.Retired, base.Retired)
+	}
+	// Dual-path coverage still avoids flushes for the diverge branch.
+	if dmp.DpredSavedFlushes == 0 {
+		t.Error("no saved flushes despite dual-path coverage")
+	}
+	if dmp.Flushes >= base.Flushes {
+		t.Errorf("flushes %d >= baseline %d", dmp.Flushes, base.Flushes)
+	}
+}
+
+// TestSharedCFMMerges: annotating the true join point (reachable from both
+// arms) must produce merges.
+func TestSharedCFMMerges(t *testing.T) {
+	p, br, _, cfmB := asymmetricCFMProg(t)
+	// cfmB's block falls through to the shared join; annotate the join.
+	join := cfmB + 1
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		br: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: join, MergeProb: 1}}},
+	})
+	dmp := runSim(t, q, randBits(43, 3000), true)
+	if dmp.DpredMerged == 0 {
+		t.Error("no merges at the shared join point")
+	}
+}
+
+// TestBackToBackDpredSessions: dpred entries immediately following a merge
+// must work (one-at-a-time sessions, no state leakage between them).
+func TestBackToBackDpredSessions(t *testing.T) {
+	// Two independent random hammocks in sequence inside the loop.
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	b.In(3)
+	br1 := b.Beqz(2, "e1")
+	b.ALUI(isa.OpAdd, 4, 4, 1)
+	b.Jmp("m1")
+	b.Label("e1")
+	b.ALUI(isa.OpSub, 4, 4, 1)
+	b.Label("m1")
+	m1 := b.PC()
+	b.ALUI(isa.OpXor, 5, 5, 4)
+	br2 := b.Beqz(3, "e2")
+	b.ALUI(isa.OpAdd, 6, 6, 1)
+	b.Jmp("m2")
+	b.Label("e2")
+	b.ALUI(isa.OpSub, 6, 6, 1)
+	b.Label("m2")
+	m2 := b.PC()
+	b.ALUI(isa.OpXor, 7, 7, 6)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(4)
+	b.Out(6)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		br1: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: m1, MergeProb: 1}}},
+		br2: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: m2, MergeProb: 1}}},
+	})
+	input := randBits(44, 2*3000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, q, input, true)
+	// Both hammocks are random: entries should be roughly twice the records.
+	if dmp.DpredEntries < 4000 {
+		t.Errorf("entries = %d, want back-to-back sessions (~6000)", dmp.DpredEntries)
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("retired %d != %d", dmp.Retired, base.Retired)
+	}
+	if dmp.IPC() <= base.IPC() {
+		t.Errorf("DMP IPC %v <= baseline %v", dmp.IPC(), base.IPC())
+	}
+}
+
+// TestPredicateRegisterExhaustion: a loop that iterates beyond the predicate
+// register budget must end predication gracefully.
+func TestPredicateRegisterExhaustion(t *testing.T) {
+	p, exitBr, head, _ := loopProg(t)
+	q := annotateLoop(p, exitBr, head)
+	cfg := DefaultConfig()
+	cfg.DMP = true
+	cfg.PredicateRegs = 2 // absurdly small
+	st, err := Run(q, randIters(45, 400, 6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runSim(t, p, randIters(45, 400, 6), false)
+	if st.Retired != base.Retired {
+		t.Errorf("retired %d != %d", st.Retired, base.Retired)
+	}
+	if st.DpredLoopEntries == 0 {
+		t.Error("no loop sessions despite annotation")
+	}
+}

@@ -1,0 +1,319 @@
+package pipeline
+
+import "dmp/internal/isa"
+
+// This file implements the fetch-side control of dynamic predication:
+// session entry, CFM parking and merging, select-µop insertion, and the
+// loop-predication cases (correct, early-exit, late-exit, no-exit).
+
+// enterForwardDpred opens a forward (hammock) dpred session at the diverge
+// branch entry e and forks the second fetch stream.
+func (s *Sim) enterForwardDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool, int) {
+	sess := &dpredSession{
+		branchPC:   e.pc,
+		branchSeq:  e.seq,
+		annot:      annot,
+		resolveCyc: -1,
+		parkedAt:   [2]int{parkNone, parkNone},
+		savedMisp:  e.misp,
+	}
+	s.dp = sess
+	e.sess = sess
+	e.isDivBranch = true
+	s.stats.DpredEntries++
+
+	predPC, otherPC := e.inst.Target, e.pc+1
+	if !e.predTaken {
+		predPC, otherPC = otherPC, predPC
+	}
+	st2 := newStream(otherPC, false, s.cfg.RASDepth)
+	snap := st.ras.Snapshot()
+	st2.ras.Restore(snap)
+	st2.hist = st.hist.Push(!e.predTaken)
+	st2.path = 1
+	st.hist = st.hist.Push(e.predTaken)
+	st.path = 0
+	st.pc = predPC
+	st.callDepth = 0
+	st2.callDepth = 0
+	// The stream following the actual direction carries the trace.
+	if e.predTaken == e.taken {
+		st.onTrace, st2.onTrace = true, false
+		sess.actualPath = 0
+	} else {
+		st.onTrace, st2.onTrace = false, true
+		sess.actualPath = 1
+	}
+	s.streams = append(s.streams, st2)
+	// The diverge branch itself behaves like any predicted branch in the
+	// front end: a predicted-taken entry redirects fetch (ending the cycle),
+	// a predicted-not-taken entry keeps fetching its fall-through path; the
+	// second stream starts fetching next cycle.
+	if e.predTaken {
+		return s.takenRedirect(st, e.pc, e.inst.Target), 0
+	}
+	return true, 1
+}
+
+// parkStream parks a forward-dpred path at a CFM point (at=address) or a
+// return CFM (at=parkRet) and merges when both paths stopped at the same
+// point.
+func (s *Sim) parkStream(st *stream, at int) {
+	st.parkedAt = at
+	if s.dp != nil && st.path >= 0 {
+		s.dp.parkedAt[st.path] = at
+		if s.dp.bothParkedSame() {
+			s.mergeForward()
+		}
+	}
+}
+
+// mergeForward ends a forward session at a reached CFM point: select-µops
+// reconcile the registers written on either path.
+func (s *Sim) mergeForward() {
+	sess := s.dp
+	sess.merged = true
+	s.stats.DpredMerged++
+	s.fbRecord(sess.branchPC, sess.savedMisp)
+	if sess.savedMisp {
+		s.stats.DpredSavedFlushes++
+	}
+	s.enqueueMarker(sess)
+	s.enqueueSelects(sess, sess.selectUopRegs())
+	s.collapseForward(sess)
+}
+
+// endForwardDpred ends a forward session when the diverge branch resolves
+// before both paths merged. No select-µops are needed: the correct path's
+// rename map is simply adopted (the marker performs the table switch).
+func (s *Sim) endForwardDpred(viaFlush bool) {
+	sess := s.dp
+	if !sess.merged {
+		s.stats.DpredNoMerge++
+		s.fbRecord(sess.branchPC, sess.savedMisp && !viaFlush)
+		if sess.savedMisp && !viaFlush {
+			s.stats.DpredSavedFlushes++
+		}
+	}
+	s.enqueueMarker(sess)
+	s.collapseForward(sess)
+}
+
+// collapseForward keeps the correct-path stream as the single fetch stream.
+func (s *Sim) collapseForward(sess *dpredSession) {
+	var keep *stream
+	for _, st := range s.streams {
+		if st.path == sess.actualPath {
+			keep = st
+		}
+	}
+	if keep == nil {
+		keep = s.streams[0]
+	}
+	keep.path = -1
+	if keep.parkedAt != parkDead {
+		keep.parkedAt = parkNone
+	}
+	s.streams = s.streams[:1]
+	s.streams[0] = keep
+	sess.ended = true
+	s.dp = nil
+}
+
+// enterLoopDpred opens a loop dpred session at a low-confidence loop diverge
+// branch and processes the entry instance.
+func (s *Sim) enterLoopDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool, int) {
+	sess := &dpredSession{
+		branchPC:   e.pc,
+		branchSeq:  e.seq,
+		annot:      annot,
+		isLoop:     true,
+		resolveCyc: -1,
+		actualPath: 0,
+	}
+	s.dp = sess
+	e.sess = sess
+	e.isDivBranch = true
+	st.path = 0
+	s.stats.DpredEntries++
+	s.stats.DpredLoopEntries++
+	return s.onTraceLoopInstance(st, e)
+}
+
+// onTraceLoopInstance handles an on-trace instance of the predicated loop
+// branch: it closes the previous iteration with select-µops and routes the
+// four outcome cases.
+func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
+	sess := s.dp
+	s.enqueueSelects(sess, sess.takeLoopWritten())
+	sess.predsUsed++
+	if sess.predsUsed > s.cfg.PredicateRegs {
+		// Out of predicate registers: stop predicating; the loop continues
+		// unpredicated.
+		sess.ended = true
+		s.dp = nil
+	}
+
+	e.fetchHist = st.hist
+	e.predTaken = s.pred.Predict(e.pc, st.hist)
+	e.misp = e.predTaken != e.taken
+	cont := loopContinueTaken(sess.annot)
+
+	if !e.misp {
+		st.hist = st.hist.Push(e.predTaken)
+		if e.predTaken != cont && s.dp == sess {
+			// Correctly predicted loop exit: the CFM (loop exit) is reached;
+			// dpred ends with only select-µop overhead.
+			s.enqueueSelects(sess, sess.takeLoopWritten())
+			sess.ended = true
+			s.dp = nil
+			st.path = -1
+		}
+		if e.predTaken {
+			st.pc = e.inst.Target
+			return s.takenRedirect(st, e.pc, e.inst.Target), 0
+		}
+		st.pc = e.pc + 1
+		return true, 1
+	}
+
+	// Mispredicted instance.
+	if e.predTaken == cont && s.dp == sess {
+		// Trace exits, predictor keeps looping: late-exit or no-exit. Fetch
+		// continues into extra predicated iterations; the flush is
+		// conditional on not rejoining the trace at the loop exit.
+		e.loopCond = true
+		e.fetchHist = st.hist
+		e.ckHist = st.hist.Push(e.taken)
+		snap := st.ras.Snapshot()
+		e.ckRAS = &snap
+		if nxt, ok := s.tr.Peek(); ok {
+			e.resumePC = nxt.PC
+		} else {
+			e.resumePC = e.pc
+		}
+		sess.pendingLoop = e
+		st.onTrace = false
+		st.path = 1
+		st.hist = st.hist.Push(e.predTaken)
+		if e.predTaken {
+			st.pc = e.inst.Target
+			return s.takenRedirect(st, e.pc, e.inst.Target), 0
+		}
+		st.pc = e.pc + 1
+		return true, 1
+	}
+
+	// Trace continues, predictor exits: early-exit (flush at resolve), or a
+	// plain misprediction if predication already ended.
+	if s.dp == sess {
+		s.stats.LoopEarlyExit++
+		s.fbRecord(sess.branchPC, false)
+		sess.ended = true
+		s.dp = nil
+	}
+	st.path = -1
+	st.hist = st.hist.Push(e.predTaken)
+	s.markFlush(st, e)
+	st.onTrace = false
+	if e.predTaken {
+		st.pc = e.inst.Target
+		return s.takenRedirect(st, e.pc, e.inst.Target), 0
+	}
+	st.pc = e.pc + 1
+	return true, 1
+}
+
+// offTraceLoopInstance handles an extra (wrong-path) iteration's loop-branch
+// instance during a loop dpred session.
+func (s *Sim) offTraceLoopInstance(st *stream, e *entry) (bool, int) {
+	sess := s.dp
+	s.enqueueSelects(sess, sess.takeLoopWritten())
+	sess.predsUsed++
+	if sess.predsUsed > s.cfg.PredicateRegs {
+		// Out of predicates while on extra iterations: stall until the
+		// pending flush or resolution cleans up.
+		st.parkedAt = parkDead
+		return false, 0
+	}
+
+	e.fetchHist = st.hist
+	e.predTaken = s.pred.Predict(e.pc, st.hist)
+	cont := loopContinueTaken(sess.annot)
+	st.hist = st.hist.Push(e.predTaken)
+
+	if e.predTaken == cont {
+		// Keep looping on the wrong path.
+		if e.predTaken {
+			st.pc = e.inst.Target
+			return s.takenRedirect(st, e.pc, e.inst.Target), 0
+		}
+		st.pc = e.pc + 1
+		return true, 1
+	}
+
+	// Predictor exits the loop.
+	exitPC := loopExitPC(e.pc, e.inst, sess.annot)
+	if pl := sess.pendingLoop; pl != nil && exitPC == pl.resumePC {
+		// Late exit: fetch rejoins the control-independent post-loop code;
+		// the pending flush is cancelled and the extra iterations become
+		// NOPs at resolution.
+		s.stats.LoopLateExit++
+		s.stats.DpredSavedFlushes++
+		s.fbRecord(sess.branchPC, true)
+		pl.loopCond = false
+		sess.pendingLoop = nil
+		st.onTrace = true
+		st.path = -1
+		st.hist = pl.ckHist
+		if pl.ckRAS != nil {
+			st.ras.Restore(*pl.ckRAS)
+		}
+		st.pc = exitPC
+		s.enqueueSelects(sess, sess.takeLoopWritten())
+		sess.ended = true
+		s.dp = nil
+		return false, 0
+	}
+	// Exits to somewhere that is not the trace's continuation: keep walking
+	// the wrong path; the no-exit flush will clean up.
+	st.pc = exitPC
+	return false, 0
+}
+
+// endLoopDpredByResolve ends a loop session whose predicated branch
+// instances have all resolved and no conditional flush is pending.
+func (s *Sim) endLoopDpredByResolve() {
+	sess := s.dp
+	if sess.pendingLoop != nil {
+		// The no-exit flush (or a late-exit rejoin) will end the session.
+		return
+	}
+	s.fbRecord(sess.branchPC, false)
+	s.enqueueSelects(sess, sess.takeLoopWritten())
+	sess.ended = true
+	s.dp = nil
+	for _, st := range s.streams {
+		if st.path >= 0 {
+			st.path = -1
+		}
+	}
+}
+
+// enqueueMarker inserts the zero-width dpred-end marker that switches the
+// rename-side register table when it reaches the dispatch stage.
+func (s *Sim) enqueueMarker(sess *dpredSession) {
+	s.seq++
+	s.fqPush(&entry{kind: kindMarker, seq: s.seq, fetchCyc: s.cycle, sess: sess, path: -1, addr: -1})
+}
+
+// enqueueSelects inserts one select-µop per written register.
+func (s *Sim) enqueueSelects(sess *dpredSession, regs []uint8) {
+	for _, r := range regs {
+		s.seq++
+		s.fqPush(&entry{
+			kind: kindSelect, seq: s.seq, fetchCyc: s.cycle,
+			sess: sess, path: -1, addr: -1, selReg: r, onTrace: true,
+		})
+	}
+}

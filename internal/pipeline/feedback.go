@@ -1,0 +1,62 @@
+package pipeline
+
+// Run-time usefulness feedback (the paper's second future-work item:
+// "dynamic profiling mechanisms that collect feedback on the usefulness of
+// dynamic predication at run-time and accordingly enable/disable dynamic
+// predication"). A small per-branch table counts dpred sessions and how many
+// of them actually avoided a misprediction; branches whose sessions are
+// almost never useful get their dpred entry throttled until the counters
+// decay, so a diverge branch that turned out to be easy to predict in this
+// run stops paying predication overhead.
+
+// fbEntry is one usefulness-feedback counter pair.
+type fbEntry struct {
+	sessions uint32
+	useful   uint32
+}
+
+const (
+	// fbMinSessions is the observation window before throttling can engage.
+	fbMinSessions = 32
+	// fbUsefulDenom: a branch is throttled when useful/sessions < 1/denom.
+	fbUsefulDenom = 20
+	// fbDecayAt halves both counters when sessions reaches it, letting the
+	// mechanism re-enable predication after a phase change.
+	fbDecayAt = 128
+)
+
+// fbRecord accounts one finished dpred session for the branch at pc.
+func (s *Sim) fbRecord(pc int, useful bool) {
+	if !s.cfg.DpredFeedback {
+		return
+	}
+	if s.fb == nil {
+		s.fb = map[int]*fbEntry{}
+	}
+	e := s.fb[pc]
+	if e == nil {
+		e = &fbEntry{}
+		s.fb[pc] = e
+	}
+	e.sessions++
+	if useful {
+		e.useful++
+	}
+	if e.sessions >= fbDecayAt {
+		e.sessions /= 2
+		e.useful /= 2
+	}
+}
+
+// fbThrottled reports whether dpred entry for the branch at pc is currently
+// suppressed by the usefulness feedback.
+func (s *Sim) fbThrottled(pc int) bool {
+	if !s.cfg.DpredFeedback || s.fb == nil {
+		return false
+	}
+	e := s.fb[pc]
+	if e == nil || e.sessions < fbMinSessions {
+		return false
+	}
+	return e.useful*fbUsefulDenom < e.sessions
+}

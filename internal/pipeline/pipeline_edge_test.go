@@ -1,0 +1,299 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// Edge-case and robustness tests for the pipeline model beyond the happy
+// paths covered in pipeline_test.go.
+
+// TestColdICaches: a program larger than one I-cache way still completes and
+// records instruction-cache misses.
+func TestICacheMissesRecorded(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	// A large body spanning many cache lines.
+	for i := 0; i < 600; i++ {
+		b.ALUI(isa.OpAdd, 3, 3, 1)
+	}
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(3)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSim(t, p, constBits(1, 50), false)
+	if st.ICache.Misses == 0 {
+		t.Error("no I-cache misses on a multi-line program")
+	}
+	if st.Retired == 0 {
+		t.Error("nothing retired")
+	}
+}
+
+// TestDCacheLocalityMatters: a serialized pointer-chase over scattered
+// lines must cost more cycles than the same chase over one dense region —
+// independent misses overlap in the out-of-order window, but a dependent
+// chain exposes the full memory latency.
+func TestDCacheLocalityMatters(t *testing.T) {
+	build := func(stride int64) *isa.Program {
+		b := isa.NewBuilder()
+		b.SetGlobals(1 << 16)
+		b.Func("main")
+		b.MovI(4, 0) // chase cursor
+		b.MovI(6, 3000)
+		b.Label("loop")
+		b.Ld(3, 4, 0) // serialized: next address depends on this load
+		b.ALU(isa.OpAdd, 4, 4, 3)
+		b.ALUI(isa.OpAdd, 4, 4, stride)
+		b.ALUI(isa.OpAnd, 4, 4, (1<<16)-1)
+		b.ALU(isa.OpAdd, 5, 5, 3)
+		b.ALUI(isa.OpSub, 6, 6, 1)
+		b.Bnez(6, "loop")
+		b.Out(5)
+		b.Halt()
+		p, err := b.Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	near := runSim(t, build(1), nil, false)   // dense walk: hits after warmup
+	far := runSim(t, build(8191), nil, false) // scattered walk: misses
+	if far.Cycles <= near.Cycles {
+		t.Errorf("scattered chase (%d cycles) not slower than dense chase (%d)", far.Cycles, near.Cycles)
+	}
+	if far.DCache.MissRate() <= near.DCache.MissRate() {
+		t.Errorf("miss rates: far %v <= near %v", far.DCache.MissRate(), near.DCache.MissRate())
+	}
+}
+
+// TestLoadDependentBranchPenalty: a branch depending on a cache-missing load
+// resolves late, so its mispredictions cost more than a register branch's.
+func TestLoadDependentBranchPenalty(t *testing.T) {
+	build := func(loadDep bool) *isa.Program {
+		b := isa.NewBuilder()
+		b.SetGlobals(1 << 16)
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		if loadDep {
+			b.ALUI(isa.OpMul, 4, 2, 7919)
+			b.ALUI(isa.OpAnd, 4, 4, (1<<16)-1)
+			b.Ld(3, 4, 0)
+			b.ALUI(isa.OpAnd, 3, 3, 1)
+			b.ALU(isa.OpXor, 3, 3, 2) // branch condition mixes load + input
+			b.ALUI(isa.OpAnd, 3, 3, 1)
+		} else {
+			b.ALUI(isa.OpAnd, 3, 2, 1)
+		}
+		b.Beqz(3, "skip")
+		b.ALUI(isa.OpAdd, 5, 5, 1)
+		b.Label("skip")
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(5)
+		b.Halt()
+		p, err := b.Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	input := randBits(32, 4000)
+	reg := runSim(t, build(false), input, false)
+	mem := runSim(t, build(true), input, false)
+	// Per-misprediction cost: cycles per flush should be clearly higher for
+	// the load-dependent branch.
+	regCost := float64(reg.Cycles) / float64(reg.Flushes+1)
+	memCost := float64(mem.Cycles) / float64(mem.Flushes+1)
+	if memCost <= regCost {
+		t.Errorf("load-dependent flush cost %v <= register flush cost %v", memCost, regCost)
+	}
+}
+
+// TestReturnMispredictionFlushes: a call depth that exceeds the RAS must
+// still execute correctly (returns mispredict, flush, recover).
+func TestDeepRecursionRASOverflow(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 90) // deeper than the 64-entry RAS
+	b.Call("down")
+	b.Out(1)
+	b.Halt()
+	b.Func("down")
+	b.ALUI(isa.OpCmpLE, 2, 1, 0)
+	b.Bnez(2, "base")
+	b.ALUI(isa.OpSub, isa.RegSP, isa.RegSP, 1)
+	b.St(isa.RegSP, 0, isa.RegLR)
+	b.ALUI(isa.OpSub, 1, 1, 1)
+	b.Call("down")
+	b.Ld(isa.RegLR, isa.RegSP, 0)
+	b.ALUI(isa.OpAdd, isa.RegSP, isa.RegSP, 1)
+	b.Label("base")
+	b.Ret()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSim(t, p, nil, false)
+	if st.Retired == 0 {
+		t.Fatal("deep recursion did not retire")
+	}
+	if st.Flushes == 0 {
+		t.Error("RAS overflow caused no return mispredictions")
+	}
+}
+
+// TestIndirectJumpOnTrace: register-indirect jumps train the BTB and
+// mispredict on target changes without wedging the model.
+func TestIndirectJumpHandled(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	b.ALUI(isa.OpAnd, 2, 2, 1)
+	// Compute a target: t1 or t2 depending on the input bit.
+	b.MovI(3, 0)
+	b.Bnez(2, "pick2")
+	b.EmitTo(isa.Inst{Op: isa.OpMovI, Rd: 4}, "t1") // patched below
+	b.Jmp("dojump")
+	b.Label("pick2")
+	b.EmitTo(isa.Inst{Op: isa.OpMovI, Rd: 4}, "t2")
+	b.Label("dojump")
+	b.Emit(isa.Inst{Op: isa.OpJr, Rs1: 4})
+	b.Label("t1")
+	b.ALUI(isa.OpAdd, 5, 5, 1)
+	b.Jmp("loop")
+	b.Label("t2")
+	b.ALUI(isa.OpAdd, 5, 5, 2)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(5)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fix up the movi targets: EmitTo wrote the label address into Target;
+	// move it into Imm for the movi instructions.
+	for i := range p.Code {
+		if p.Code[i].Op == isa.OpMovI && p.Code[i].Target != 0 {
+			p.Code[i].Imm = int64(p.Code[i].Target)
+			p.Code[i].Target = 0
+		}
+	}
+	st := runSim(t, p, randBits(33, 2000), false)
+	if st.Retired == 0 {
+		t.Fatal("indirect-jump program did not retire")
+	}
+	if st.Flushes == 0 {
+		t.Error("alternating indirect targets never mispredicted")
+	}
+}
+
+// TestROBPressure: a long dependent chain of divisions fills the window and
+// throttles IPC without deadlocking.
+func TestROBPressureDivChain(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 1<<30)
+	b.MovI(6, 2000)
+	b.Label("loop")
+	b.ALUI(isa.OpDiv, 1, 1, 3)
+	b.ALUI(isa.OpAdd, 1, 1, 1<<20)
+	b.ALUI(isa.OpSub, 6, 6, 1)
+	b.Bnez(6, "loop")
+	b.Out(1)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSim(t, p, nil, false)
+	if st.IPC() > 1.0 {
+		t.Errorf("dependent div chain IPC = %v, expected < 1", st.IPC())
+	}
+}
+
+// TestDMPMatchesBaselineOutcomes: under DMP the functional result stream is
+// identical (the timing model never changes architectural behaviour).
+func TestDMPRetiredInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		arm := rng.Intn(5) + 1
+		p, br, merge := hammockProg(t, arm)
+		input := randBits(int64(trial), 1500)
+		base := runSim(t, p, input, false)
+		dmp := runSim(t, annotate(p, br, merge), input, true)
+		if base.Retired != dmp.Retired {
+			t.Errorf("trial %d: retired %d != %d", trial, base.Retired, dmp.Retired)
+		}
+	}
+}
+
+// TestWatchdogFires: an absurdly small watchdog triggers a diagnostic error
+// rather than hanging when the machine cannot retire.
+func TestWatchdogConfig(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 1 // even healthy startup needs more than one cycle
+	if _, err := Run(p, randBits(1, 100), cfg); err == nil {
+		t.Error("watchdog did not fire with a 1-cycle budget")
+	}
+}
+
+// TestFetchQueueBackpressure: a tiny fetch queue still completes correctly.
+func TestTinyFetchQueue(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	input := randBits(9, 1000)
+	cfg := DefaultConfig()
+	cfg.FetchQSize = 4
+	st, err := Run(p.WithAnnots(map[int]*isa.DivergeInfo{
+		br: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: merge, MergeProb: 1}}},
+	}), input, func() Config { c := cfg; c.DMP = true; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(p, input, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != full.Retired {
+		t.Errorf("tiny fetch queue retired %d, want %d", st.Retired, full.Retired)
+	}
+}
+
+// TestSmallROB: an 8-entry window is crippling but correct.
+func TestSmallROB(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	cfg := DefaultConfig()
+	cfg.ROBSize = 8
+	st, err := Run(p, randBits(10, 500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(p, randBits(10, 500), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != big.Retired {
+		t.Errorf("retired %d != %d", st.Retired, big.Retired)
+	}
+	if st.IPC() >= big.IPC() {
+		t.Errorf("8-entry ROB IPC %v >= 512-entry %v", st.IPC(), big.IPC())
+	}
+}

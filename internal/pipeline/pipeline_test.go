@@ -1,0 +1,397 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// randBits returns n random 0/1 inputs.
+func randBits(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(2))
+	}
+	return in
+}
+
+// constBits returns n identical inputs.
+func constBits(v int64, n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// hammockProg builds a loop over the input tape with a data-dependent simple
+// hammock inside. Returns the program, the hammock branch PC and the merge
+// (CFM) PC.
+func hammockProg(t *testing.T, armLen int) (p *isa.Program, brPC, mergePC int) {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	brPC = b.Beqz(2, "else")
+	for i := 0; i < armLen; i++ {
+		b.ALUI(isa.OpAdd, 3, 3, 1)
+	}
+	b.Jmp("merge")
+	b.Label("else")
+	for i := 0; i < armLen; i++ {
+		b.ALUI(isa.OpSub, 3, 3, 1)
+	}
+	b.Label("merge")
+	mergePC = b.PC()
+	b.ALUI(isa.OpAdd, 4, 4, 1) // control-independent work
+	b.ALUI(isa.OpXor, 5, 5, 4)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(3)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p, brPC, mergePC
+}
+
+func annotate(p *isa.Program, brPC, mergePC int) *isa.Program {
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		brPC: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: mergePC, MergeProb: 1}}},
+	})
+	return q
+}
+
+func runSim(t *testing.T, p *isa.Program, input []int64, dmp bool) Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DMP = dmp
+	st, err := Run(p, input, cfg)
+	if err != nil {
+		t.Fatalf("Run(dmp=%v): %v", dmp, err)
+	}
+	return st
+}
+
+func TestBaselineCompletes(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	st := runSim(t, p, randBits(1, 2000), false)
+	if st.Retired == 0 || st.Cycles == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ipc := st.IPC()
+	if ipc <= 0.05 || ipc > 8 {
+		t.Errorf("IPC = %v out of sane range", ipc)
+	}
+	if st.CondBranches == 0 {
+		t.Error("no branches retired")
+	}
+}
+
+func TestRetiredMatchesFunctionalTrace(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	input := randBits(2, 500)
+	st := runSim(t, p, input, false)
+	// Functional execution length: run the emulator separately.
+	want := funcLen(t, p, input)
+	if st.Retired != want {
+		t.Errorf("Retired = %d, want %d (functional trace length)", st.Retired, want)
+	}
+}
+
+func funcLen(t *testing.T, p *isa.Program, input []int64) uint64 {
+	t.Helper()
+	s := New(p, input, DefaultConfig())
+	for {
+		if _, ok := s.tr.Next(); !ok {
+			break
+		}
+	}
+	if err := s.tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return s.tr.Count()
+}
+
+func TestPredictableFasterThanRandom(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	stPred := runSim(t, p, constBits(1, 3000), false)
+	stRand := runSim(t, p, randBits(3, 3000), false)
+	if stPred.IPC() <= stRand.IPC() {
+		t.Errorf("predictable IPC %v <= random IPC %v", stPred.IPC(), stRand.IPC())
+	}
+	if stRand.Flushes <= stPred.Flushes {
+		t.Errorf("random flushes %d <= predictable flushes %d", stRand.Flushes, stPred.Flushes)
+	}
+}
+
+func TestDMPWithoutAnnotationsMatchesBaseline(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	input := randBits(4, 2000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, p, input, true)
+	if base.Cycles != dmp.Cycles || base.Flushes != dmp.Flushes {
+		t.Errorf("unannotated DMP diverges from baseline: base=%+v dmp=%+v",
+			base.Cycles, dmp.Cycles)
+	}
+	if dmp.DpredEntries != 0 {
+		t.Errorf("dpred entries without annotations: %d", dmp.DpredEntries)
+	}
+}
+
+func TestDMPReducesFlushesOnRandomHammock(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	input := randBits(5, 4000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, annotate(p, br, merge), input, true)
+	if dmp.DpredEntries == 0 {
+		t.Fatal("no dpred entries on annotated random hammock")
+	}
+	if dmp.DpredMerged == 0 {
+		t.Error("no merges on a guaranteed-merging hammock")
+	}
+	if dmp.Flushes >= base.Flushes {
+		t.Errorf("DMP flushes %d >= baseline %d", dmp.Flushes, base.Flushes)
+	}
+	if dmp.DpredSavedFlushes == 0 {
+		t.Error("no saved flushes recorded")
+	}
+	if dmp.IPC() <= base.IPC() {
+		t.Errorf("DMP IPC %v <= baseline %v (flushes %d vs %d)",
+			dmp.IPC(), base.IPC(), dmp.Flushes, base.Flushes)
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("useful retired differ: %d vs %d", dmp.Retired, base.Retired)
+	}
+}
+
+func TestDMPSelectUopsInserted(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	dmp := runSim(t, annotate(p, br, merge), randBits(6, 2000), true)
+	if dmp.SelectUops == 0 {
+		t.Error("no select-µops inserted despite merges")
+	}
+	if dmp.Nopped == 0 {
+		t.Error("no predicated-FALSE instructions")
+	}
+}
+
+func TestDMPPredictableHammockNotPredicated(t *testing.T) {
+	// With a fully biased branch the confidence estimator warms up and dpred
+	// entries should become rare (only cold-start ones).
+	p, br, merge := hammockProg(t, 3)
+	dmp := runSim(t, annotate(p, br, merge), constBits(1, 5000), true)
+	if dmp.DpredEntries > dmp.CondBranches/10 {
+		t.Errorf("dpred entries = %d out of %d branches on predictable input",
+			dmp.DpredEntries, dmp.CondBranches)
+	}
+}
+
+func TestShortHammockAlwaysPredicated(t *testing.T) {
+	p, br, merge := hammockProg(t, 2)
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		br: {CFMs: []isa.CFM{{Kind: isa.CFMAddr, Addr: merge, MergeProb: 1}}, Short: true},
+	})
+	dmp := runSim(t, q, constBits(1, 3000), true)
+	// Short hammocks enter dpred regardless of confidence: roughly one entry
+	// per loop iteration.
+	if dmp.DpredEntries < 2000 {
+		t.Errorf("short hammock dpred entries = %d, want ~3000", dmp.DpredEntries)
+	}
+}
+
+func TestDMPDeterminism(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	input := randBits(7, 1500)
+	a := runSim(t, annotate(p, br, merge), input, true)
+	b := runSim(t, annotate(p, br, merge), input, true)
+	if a != b {
+		t.Errorf("nondeterministic stats:\n%+v\n%+v", a, b)
+	}
+}
+
+// loopProg builds an outer loop over input records; each record value v
+// drives an inner loop of v iterations (hard to predict when v is random).
+// Returns the inner loop-exit branch PC and its head.
+func loopProg(t *testing.T) (p *isa.Program, exitBr, head, postPC int) {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("outer")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	head = b.PC()
+	b.Label("inner")
+	exitBr = b.Beqz(2, "post")
+	b.ALUI(isa.OpSub, 2, 2, 1)
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Jmp("inner")
+	b.Label("post")
+	postPC = b.PC()
+	// Control-independent post-loop work.
+	for i := 0; i < 6; i++ {
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+	}
+	b.Jmp("outer")
+	b.Label("done")
+	b.Out(3)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p, exitBr, head, postPC
+}
+
+func annotateLoop(p *isa.Program, exitBr, head int) *isa.Program {
+	return p.WithAnnots(map[int]*isa.DivergeInfo{
+		exitBr: {Loop: true, LoopHead: head, LoopExitTaken: true},
+	})
+}
+
+func randIters(seed int64, n, maxIter int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(maxIter) + 1)
+	}
+	return in
+}
+
+func TestLoopDpredLateExitBenefit(t *testing.T) {
+	p, exitBr, head, _ := loopProg(t)
+	input := randIters(8, 800, 6)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, annotateLoop(p, exitBr, head), input, true)
+	if dmp.DpredLoopEntries == 0 {
+		t.Fatal("no loop dpred entries")
+	}
+	if dmp.LoopLateExit == 0 {
+		t.Error("no late exits on random-trip loop")
+	}
+	if dmp.Flushes >= base.Flushes {
+		t.Errorf("loop DMP flushes %d >= baseline %d", dmp.Flushes, base.Flushes)
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("useful retired differ: %d vs %d", dmp.Retired, base.Retired)
+	}
+	if dmp.IPC() <= base.IPC() {
+		t.Errorf("loop DMP IPC %v <= baseline %v", dmp.IPC(), base.IPC())
+	}
+}
+
+func TestLoopDpredOutcomeCounters(t *testing.T) {
+	p, exitBr, head, _ := loopProg(t)
+	dmp := runSim(t, annotateLoop(p, exitBr, head), randIters(9, 800, 6), true)
+	total := dmp.LoopLateExit + dmp.LoopEarlyExit + dmp.LoopNoExit
+	if total == 0 {
+		t.Error("no loop outcomes recorded")
+	}
+	if dmp.SelectUops == 0 {
+		t.Error("no per-iteration select-µops")
+	}
+}
+
+func TestDualPathNoCFM(t *testing.T) {
+	// An annotation without CFM points: dual-path execution until resolve.
+	p, br, _ := hammockProg(t, 3)
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{br: {}})
+	input := randBits(10, 3000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, q, input, true)
+	if dmp.DpredEntries == 0 {
+		t.Fatal("no dual-path entries")
+	}
+	if dmp.DpredMerged != 0 {
+		t.Error("merge recorded without CFM points")
+	}
+	if dmp.DpredNoMerge == 0 {
+		t.Error("no resolve-ended sessions")
+	}
+	if dmp.Flushes >= base.Flushes {
+		t.Errorf("dual-path flushes %d >= baseline %d", dmp.Flushes, base.Flushes)
+	}
+}
+
+func TestReturnCFM(t *testing.T) {
+	// A function whose two arms end in different returns; the diverge branch
+	// merges at the return (return CFM).
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.Call("f")
+	b.ALUI(isa.OpAdd, 4, 4, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(4)
+	b.Halt()
+	b.Func("f")
+	b.In(2)
+	brPC := b.Beqz(2, "f.else")
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Ret()
+	b.Label("f.else")
+	b.ALUI(isa.OpSub, 3, 3, 1)
+	b.Ret()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithAnnots(map[int]*isa.DivergeInfo{
+		brPC: {CFMs: []isa.CFM{{Kind: isa.CFMReturn, MergeProb: 1}}},
+	})
+	input := randBits(11, 3000)
+	base := runSim(t, p, input, false)
+	dmp := runSim(t, q, input, true)
+	if dmp.DpredEntries == 0 {
+		t.Fatal("no dpred entries")
+	}
+	if dmp.DpredMerged == 0 {
+		t.Error("no return-CFM merges")
+	}
+	if dmp.IPC() <= base.IPC() {
+		t.Errorf("return-CFM DMP IPC %v <= baseline %v", dmp.IPC(), base.IPC())
+	}
+	if dmp.Retired != base.Retired {
+		t.Errorf("retired differ: %d vs %d", dmp.Retired, base.Retired)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Cycles: 100, Retired: 200, Mispredicted: 4, Flushes: 2}
+	if s.IPC() != 2 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	if s.MPKI() != 20 {
+		t.Errorf("MPKI = %v", s.MPKI())
+	}
+	if s.FlushesPerKI() != 10 {
+		t.Errorf("FlushesPerKI = %v", s.FlushesPerKI())
+	}
+	var z Stats
+	if z.IPC() != 0 || z.MPKI() != 0 || z.FlushesPerKI() != 0 {
+		t.Error("zero stats not zero")
+	}
+}
+
+func TestMaxInstsBound(t *testing.T) {
+	p, _, _ := hammockProg(t, 3)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 500
+	st, err := Run(p, randBits(12, 10000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired > 500 {
+		t.Errorf("retired %d > MaxInsts", st.Retired)
+	}
+}

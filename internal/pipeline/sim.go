@@ -1,0 +1,412 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"dmp/internal/bpred"
+	"dmp/internal/cache"
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+)
+
+// Sim is one simulation instance. Create with New, run with Run.
+type Sim struct {
+	cfg  Config
+	prog *isa.Program
+	code []isa.Inst
+	tr   *traceReader
+
+	pred *bpred.Perceptron
+	conf *bpred.Confidence
+	btb  *bpred.BTB
+	hier *cache.Hierarchy
+
+	cycle int64
+	seq   int64
+
+	// fq is the fetch queue (FIFO, seq order); head compaction is amortised.
+	fq     []*entry
+	fqHead int
+	// rob is the reorder buffer (seq order).
+	rob     []*entry
+	robHead int
+
+	regReady  [64]int64
+	lastStore map[int64]int64
+
+	issueTag []int64
+	issueCnt []uint16
+
+	streams []*stream
+	rr      int
+	dp      *dpredSession
+
+	// flushList holds dispatched willFlush/loopCond entries in seq order.
+	flushList []*entry
+
+	// fb is the usefulness-feedback table (DpredFeedback extension).
+	fb map[int]*fbEntry
+
+	stats           Stats
+	lastRetireCycle int64
+	fetchDone       bool
+
+	readsBuf []int
+}
+
+const issueRingSize = 1 << 18
+
+// New creates a simulator for an annotated program on the given input tape.
+func New(prog *isa.Program, input []int64, cfg Config) *Sim {
+	m := emu.New(prog, input, 0)
+	s := &Sim{
+		cfg:       cfg,
+		prog:      prog,
+		code:      prog.Code,
+		tr:        newTraceReader(m, cfg.MaxInsts),
+		pred:      bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
+		conf:      bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
+		btb:       bpred.NewBTB(cfg.BTBEntries),
+		hier:      cache.NewHierarchy(),
+		lastStore: map[int64]int64{},
+		issueTag:  make([]int64, issueRingSize),
+		issueCnt:  make([]uint16, issueRingSize),
+	}
+	for i := range s.issueTag {
+		s.issueTag[i] = -1
+	}
+	s.streams = []*stream{newStream(prog.Entry, true, cfg.RASDepth)}
+	return s
+}
+
+// Run simulates to completion and returns the statistics.
+func Run(prog *isa.Program, input []int64, cfg Config) (Stats, error) {
+	return New(prog, input, cfg).Run()
+}
+
+// Run executes the simulation loop.
+func (s *Sim) Run() (Stats, error) {
+	s.lastRetireCycle = 0
+	for {
+		if err := s.tr.Err(); err != nil {
+			return s.stats, fmt.Errorf("pipeline: functional execution: %w", err)
+		}
+		if s.tr.Done() && s.fqLen() == 0 && s.robLen() == 0 {
+			break
+		}
+		s.checkFlush()
+		s.retire()
+		s.dispatch()
+		s.fetch()
+		s.cycle++
+		if s.cycle-s.lastRetireCycle > s.cfg.WatchdogCycles {
+			return s.stats, fmt.Errorf("pipeline: watchdog: no retirement for %d cycles at cycle %d (rob=%d fq=%d)",
+				s.cfg.WatchdogCycles, s.cycle, s.robLen(), s.fqLen())
+		}
+	}
+	s.stats.Cycles = s.cycle
+	s.stats.ConfPVN = s.conf.PVN()
+	s.stats.ConfCoverage = s.conf.Coverage()
+	s.stats.ICache = s.hier.I.Stats()
+	s.stats.DCache = s.hier.D.Stats()
+	s.stats.L2 = s.hier.L2.Stats()
+	return s.stats, nil
+}
+
+func (s *Sim) fqLen() int  { return len(s.fq) - s.fqHead }
+func (s *Sim) robLen() int { return len(s.rob) - s.robHead }
+
+func (s *Sim) fqPush(e *entry) { s.fq = append(s.fq, e) }
+
+func (s *Sim) fqPop() *entry {
+	e := s.fq[s.fqHead]
+	s.fqHead++
+	if s.fqHead > 4096 && s.fqHead*2 > len(s.fq) {
+		s.fq = append(s.fq[:0], s.fq[s.fqHead:]...)
+		s.fqHead = 0
+	}
+	return e
+}
+
+// findIssueSlot reserves the earliest issue cycle >= earliest with free
+// issue bandwidth.
+func (s *Sim) findIssueSlot(earliest int64) int64 {
+	for c := earliest; ; c++ {
+		if c-s.cycle > issueRingSize/2 {
+			// Too far in the future to track bandwidth; unconstrained.
+			return c
+		}
+		i := c & (issueRingSize - 1)
+		if s.issueTag[i] != c {
+			s.issueTag[i] = c
+			s.issueCnt[i] = 1
+			return c
+		}
+		if int(s.issueCnt[i]) < s.cfg.IssueWidth {
+			s.issueCnt[i]++
+			return c
+		}
+	}
+}
+
+// tableFor returns the register ready table the entry schedules against.
+func (s *Sim) tableFor(e *entry) *[64]int64 {
+	if e.sess != nil && !e.sess.isLoop && e.path >= 0 && e.sess.tablesReady {
+		return &e.sess.tables[e.path]
+	}
+	return &s.regReady
+}
+
+// latencyOf returns the execution latency of an instruction; loads consult
+// the cache model (on-trace addresses) or assume an L1 hit (wrong path).
+func (s *Sim) latencyOf(e *entry) int {
+	switch e.inst.Op {
+	case isa.OpMul:
+		return s.cfg.LatMul
+	case isa.OpDiv, isa.OpRem:
+		return s.cfg.LatDiv
+	case isa.OpLd:
+		if e.onTrace && e.addr >= 0 {
+			return s.hier.D.Access(cache.DataAddr(e.addr))
+		}
+		return cache.DCacheConfig.HitCycles
+	default:
+		return s.cfg.LatALU
+	}
+}
+
+// dispatch moves entries from the fetch queue into the window, computing
+// their dataflow schedule.
+func (s *Sim) dispatch() {
+	n := 0
+	for n < s.cfg.IssueWidth && s.fqLen() > 0 {
+		e := s.fq[s.fqHead]
+		if e.fetchCyc+int64(s.cfg.FrontEndDelay) > s.cycle {
+			break
+		}
+		if e.kind == kindMarker {
+			s.fqPop()
+			s.applyMarker(e)
+			continue
+		}
+		if s.robLen() >= s.cfg.ROBSize {
+			break
+		}
+		s.fqPop()
+		s.dispatchEntry(e)
+		s.rob = append(s.rob, e)
+		n++
+	}
+}
+
+// applyMarker ends a dpred session on the rename side: the main register
+// table becomes the correct path's table.
+func (s *Sim) applyMarker(e *entry) {
+	sess := e.sess
+	if sess == nil || sess.isLoop || !sess.tablesReady {
+		return
+	}
+	s.regReady = sess.tables[sess.actualPath]
+}
+
+func (s *Sim) dispatchEntry(e *entry) {
+	e.dispatched = true
+	table := s.tableFor(e)
+
+	if e.kind == kindSelect {
+		ready := table[e.selReg]
+		if e.sess != nil && e.sess.resolveCyc > ready {
+			ready = e.sess.resolveCyc
+		}
+		issue := s.findIssueSlot(max64(s.cycle+1, ready))
+		e.doneCyc = issue + 1
+		table[e.selReg] = e.doneCyc
+		return
+	}
+
+	// Source readiness.
+	reads := e.inst.Reads(s.readsBuf[:0])
+	s.readsBuf = reads[:0]
+	var ready int64
+	for _, r := range reads {
+		if table[r] > ready {
+			ready = table[r]
+		}
+	}
+	if e.inst.Op == isa.OpLd && e.onTrace && e.addr >= 0 {
+		if t, ok := s.lastStore[e.addr]; ok && t > ready {
+			ready = t
+		}
+	}
+	issue := s.findIssueSlot(max64(s.cycle+1, ready))
+	e.doneCyc = issue + int64(s.latencyOf(e))
+
+	if dst := e.inst.Writes(); dst > 0 {
+		table[dst] = e.doneCyc
+	}
+	if e.inst.Op == isa.OpSt && e.onTrace && e.addr >= 0 {
+		s.lastStore[e.addr] = e.doneCyc
+	}
+
+	if e.sess != nil {
+		if e.isDivBranch {
+			// Fork the per-path tables at the diverge branch (forward
+			// hammocks) and record the resolution time.
+			e.sess.resolveCyc = e.doneCyc
+			if !e.sess.isLoop {
+				e.sess.tables[0] = s.regReady
+				e.sess.tables[1] = s.regReady
+				e.sess.tablesReady = true
+			}
+		} else if e.sess.isLoop && e.pc == e.sess.branchPC && e.inst.IsCondBranch() {
+			// Later predicated instances of the loop branch extend the
+			// session's resolution horizon.
+			if e.doneCyc > e.sess.resolveCyc {
+				e.sess.resolveCyc = e.doneCyc
+			}
+		}
+	}
+
+	if e.willFlush || e.loopCond {
+		ck := *table
+		e.tableCk = &ck
+		s.flushList = append(s.flushList, e)
+	}
+}
+
+// checkFlush fires the oldest resolved pending flush, if any.
+func (s *Sim) checkFlush() {
+	for len(s.flushList) > 0 {
+		e := s.flushList[0]
+		if !e.willFlush && !e.loopCond {
+			// Cancelled (loop late-exit rejoin).
+			s.flushList = s.flushList[1:]
+			continue
+		}
+		if e.doneCyc > s.cycle {
+			return
+		}
+		if e.loopCond {
+			s.stats.LoopNoExit++
+			if e.sess != nil {
+				s.fbRecord(e.sess.branchPC, false)
+			}
+		}
+		s.doFlush(e)
+		return
+	}
+}
+
+func (s *Sim) doFlush(e *entry) {
+	s.stats.Flushes++
+	// Squash the ROB tail younger than e.
+	lo, hi := s.robHead, len(s.rob)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.rob[mid].seq > e.seq {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s.rob = s.rob[:lo]
+	// The whole fetch queue is younger than any dispatched entry.
+	s.fq = s.fq[:0]
+	s.fqHead = 0
+	// Restore the rename-side table.
+	if e.tableCk != nil {
+		s.regReady = *e.tableCk
+	}
+	// A flush triggered by a branch fetched inside a predicated region is an
+	// "inner" misprediction (the cost-benefit model's assumption 2 being
+	// violated), whether or not the session is still open when it resolves.
+	if e.sess != nil && !e.isDivBranch && !e.loopCond {
+		s.stats.DpredInnerFlush++
+	}
+	// Cancel any active dpred session.
+	if s.dp != nil {
+		s.dp.ended = true
+		s.dp = nil
+	}
+	// Reset the front end to a single on-trace stream.
+	st := s.streams[0]
+	s.streams = s.streams[:1]
+	st.pc = e.resumePC
+	st.onTrace = true
+	st.parkedAt = parkNone
+	st.path = -1
+	st.hist = e.ckHist
+	if e.ckRAS != nil {
+		st.ras.Restore(*e.ckRAS)
+	}
+	st.stalledUntil = max64(s.cycle+1, e.fetchCyc+int64(s.cfg.MinMispPenalty))
+	st.lastLine = -1
+	// Drop this and younger pending flushes.
+	keep := s.flushList[:0]
+	for _, f := range s.flushList {
+		if f.seq < e.seq {
+			keep = append(keep, f)
+		}
+	}
+	s.flushList = keep
+}
+
+// retire commits completed entries in order.
+func (s *Sim) retire() {
+	n := 0
+	for n < s.cfg.RetireWidth && s.robLen() > 0 {
+		e := s.rob[s.robHead]
+		if !e.dispatched {
+			break
+		}
+		eff := e.doneCyc
+		if e.isPredFalse() && e.sess.resolveCyc >= 0 {
+			// Predicated-FALSE instructions become NOPs once the diverge
+			// branch resolves; they need not wait for their own execution.
+			if r := max64(e.sess.resolveCyc, e.fetchCyc+int64(s.cfg.FrontEndDelay)+1); r < eff {
+				eff = r
+			}
+		}
+		if eff > s.cycle {
+			break
+		}
+		s.robHead++
+		if s.robHead > 4096 && s.robHead*2 > len(s.rob) {
+			s.rob = append(s.rob[:0], s.rob[s.robHead:]...)
+			s.robHead = 0
+		}
+		n++
+		s.lastRetireCycle = s.cycle
+		s.retireEntry(e)
+	}
+}
+
+func (s *Sim) retireEntry(e *entry) {
+	switch {
+	case e.kind == kindSelect:
+		s.stats.SelectUops++
+	case e.isPredFalse():
+		s.stats.Nopped++
+	case e.onTrace:
+		s.stats.Retired++
+		if e.inst.IsCondBranch() {
+			s.stats.CondBranches++
+			if e.misp {
+				s.stats.Mispredicted++
+			}
+			s.pred.Update(e.pc, e.fetchHist, e.taken)
+			s.conf.Update(e.pc, e.fetchHist, e.misp)
+		}
+	default:
+		// Wrong-path non-predicated entries are normally squashed before the
+		// retire pointer reaches them; entries that slip through (e.g. a
+		// squash raced with a cancelled conditional flush) retire silently.
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"errors"
+
+	"dmp/internal/emu"
+)
+
+// traceReader supplies the correct execution path lazily from the functional
+// emulator, with one entry of lookahead (needed to know the resume PC after
+// a flush before consuming the entry).
+type traceReader struct {
+	m        *emu.Machine
+	buf      emu.Trace
+	buffered bool
+	done     bool
+	err      error
+	count    uint64
+	maxInsts uint64
+}
+
+func newTraceReader(m *emu.Machine, maxInsts uint64) *traceReader {
+	return &traceReader{m: m, maxInsts: maxInsts}
+}
+
+func (t *traceReader) fill() {
+	if t.buffered || t.done || t.err != nil {
+		return
+	}
+	if t.maxInsts > 0 && t.count >= t.maxInsts {
+		t.done = true
+		return
+	}
+	tr, err := t.m.Step()
+	if err != nil {
+		if errors.Is(err, emu.ErrHalted) {
+			t.done = true
+		} else {
+			t.err = err
+		}
+		return
+	}
+	t.buf = tr
+	t.buffered = true
+}
+
+// Peek returns the next correct-path entry without consuming it.
+func (t *traceReader) Peek() (emu.Trace, bool) {
+	t.fill()
+	if !t.buffered {
+		return emu.Trace{}, false
+	}
+	return t.buf, true
+}
+
+// Next consumes and returns the next correct-path entry.
+func (t *traceReader) Next() (emu.Trace, bool) {
+	t.fill()
+	if !t.buffered {
+		return emu.Trace{}, false
+	}
+	t.buffered = false
+	t.count++
+	return t.buf, true
+}
+
+// Done reports whether the trace is exhausted.
+func (t *traceReader) Done() bool {
+	t.fill()
+	return !t.buffered && (t.done || t.err != nil)
+}
+
+// Err returns a functional-execution error, if any.
+func (t *traceReader) Err() error { return t.err }
+
+// Count returns the number of consumed entries.
+func (t *traceReader) Count() uint64 { return t.count }

@@ -1,0 +1,305 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmp/internal/cfg"
+	"dmp/internal/isa"
+)
+
+func link(t *testing.T, build func(b *isa.Builder)) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	build(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func graph(t *testing.T, p *isa.Program, name string) *cfg.Graph {
+	t.Helper()
+	f := p.FuncByName(name)
+	if f == nil {
+		t.Fatalf("no func %q", name)
+	}
+	g, err := cfg.Build(p, *f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
+	return g
+}
+
+// hammockProg branches on each input value: nonzero input takes the
+// fallthrough arm.
+func hammockProg(t *testing.T) (*isa.Program, int) {
+	var br int
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		br = b.Beqz(2, "else")
+		b.ALUI(isa.OpAdd, 3, 3, 1)
+		b.Jmp("merge")
+		b.Label("else")
+		b.ALUI(isa.OpSub, 3, 3, 1)
+		b.Label("merge")
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(3)
+		b.Halt()
+	})
+	return p, br
+}
+
+func TestCollectEdgeCounts(t *testing.T) {
+	p, br := hammockProg(t)
+	// 10 inputs: 7 nonzero (not taken), 3 zero (taken).
+	input := []int64{1, 1, 0, 1, 1, 0, 1, 1, 0, 1}
+	prof, err := Collect(p, input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Taken[br] != 3 || prof.NotTaken[br] != 7 {
+		t.Errorf("taken/nt = %d/%d, want 3/7", prof.Taken[br], prof.NotTaken[br])
+	}
+	if got := prof.TakenProb(br); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("TakenProb = %v", got)
+	}
+	if prof.BranchExec(br) != 10 {
+		t.Errorf("BranchExec = %d", prof.BranchExec(br))
+	}
+	if prof.TotalRetired == 0 || prof.TotalRetired != sum(prof.ExecCount) {
+		t.Errorf("TotalRetired = %d, sum = %d", prof.TotalRetired, sum(prof.ExecCount))
+	}
+}
+
+func sum(a []uint64) uint64 {
+	var s uint64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+func TestMispRateRandomVsBiased(t *testing.T) {
+	p, br := hammockProg(t)
+	rng := rand.New(rand.NewSource(42))
+	random := make([]int64, 4000)
+	for i := range random {
+		random[i] = int64(rng.Intn(2))
+	}
+	profRand, err := Collect(p, random, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := make([]int64, 4000)
+	for i := range biased {
+		biased[i] = 1
+	}
+	profBias, err := Collect(p, biased, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := profRand.MispRate(br); r < 0.3 {
+		t.Errorf("random-input misp rate = %v, want ~0.5", r)
+	}
+	if r := profBias.MispRate(br); r > 0.05 {
+		t.Errorf("biased-input misp rate = %v, want ~0", r)
+	}
+	if profRand.MPKI() <= profBias.MPKI() {
+		t.Errorf("MPKI ordering wrong: rand=%v biased=%v", profRand.MPKI(), profBias.MPKI())
+	}
+}
+
+func TestEdgeProb(t *testing.T) {
+	p, br := hammockProg(t)
+	input := []int64{1, 1, 1, 0} // 3 not-taken, 1 taken
+	prof, err := Collect(p, input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph(t, p, "main")
+	b := g.BlockAt(br)
+	if b == nil || b.End-1 != br {
+		t.Fatalf("branch block not found")
+	}
+	nt, tk := b.Succs[0], b.Succs[1]
+	if got := prof.EdgeProb(g, b.ID, tk); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("P(taken) = %v, want 0.25", got)
+	}
+	if got := prof.EdgeProb(g, b.ID, nt); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("P(nt) = %v, want 0.75", got)
+	}
+	if got := prof.EdgeProb(g, b.ID, 999); got != 0 {
+		t.Errorf("P(non-succ) = %v", got)
+	}
+	// Single-successor block: probability 1.
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) == 1 && !g.Prog.Code[blk.End-1].IsCondBranch() {
+			if got := prof.EdgeProb(g, blk.ID, blk.Succs[0]); got != 1 {
+				t.Errorf("single-succ prob = %v", got)
+			}
+			break
+		}
+	}
+}
+
+func TestEdgeProbUnexecutedBranch(t *testing.T) {
+	p, _ := hammockProg(t)
+	prof, err := Collect(p, nil, Options{}) // no inputs: hammock never runs
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph(t, p, "main")
+	for _, blk := range g.Blocks {
+		if g.Prog.Code[blk.End-1].IsCondBranch() && prof.BranchExec(blk.End-1) == 0 {
+			if got := prof.EdgeProb(g, blk.ID, blk.Succs[0]); got != 0.5 {
+				t.Errorf("unexecuted branch edge prob = %v, want 0.5", got)
+			}
+			return
+		}
+	}
+	t.Fatal("no unexecuted branch found")
+}
+
+func TestMaxInstsBound(t *testing.T) {
+	p, _ := hammockProg(t)
+	input := make([]int64, 10000)
+	prof, err := Collect(p, input, Options{MaxInsts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalRetired > 500 {
+		t.Errorf("retired %d > limit", prof.TotalRetired)
+	}
+}
+
+func TestLoopProfile(t *testing.T) {
+	// Inner counted loop of 5 iterations, entered 3 times.
+	p := link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.MovI(4, 3) // outer counter
+		b.Label("outer")
+		b.Beqz(4, "done")
+		b.MovI(1, 5) // inner counter
+		b.Label("inner")
+		b.Beqz(1, "inner_done")
+		b.ALUI(isa.OpSub, 1, 1, 1)
+		b.Jmp("inner")
+		b.Label("inner_done")
+		b.ALUI(isa.OpSub, 4, 4, 1)
+		b.Jmp("outer")
+		b.Label("done")
+		b.Halt()
+	})
+	prof, err := Collect(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph(t, p, "main")
+	loops := cfg.NaturalLoops(g, cfg.Dominators(g))
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	// Identify the inner loop (smaller body).
+	inner := loops[0]
+	if len(loops[1].Body) < len(inner.Body) {
+		inner = loops[1]
+	}
+	s := prof.LoopProfile(g, inner)
+	if s.Entries != 3 {
+		t.Errorf("inner entries = %d, want 3", s.Entries)
+	}
+	// Header executes 6 times per entry (5 body iterations + exit check).
+	if s.HeaderExecs != 18 {
+		t.Errorf("header execs = %d, want 18", s.HeaderExecs)
+	}
+	if math.Abs(s.AvgIters-6) > 1e-9 {
+		t.Errorf("avg iters = %v, want 6", s.AvgIters)
+	}
+	if s.AvgBodyInsts <= 0 || s.AvgTripInsts <= s.AvgBodyInsts {
+		t.Errorf("body/trip insts = %v/%v", s.AvgBodyInsts, s.AvgTripInsts)
+	}
+}
+
+func TestBlockCount(t *testing.T) {
+	p, _ := hammockProg(t)
+	prof, err := Collect(p, []int64{1, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph(t, p, "main")
+	if got := prof.BlockCount(g, 0); got != 3 { // loop header: 2 inputs + final check
+		t.Errorf("entry block count = %d, want 3", got)
+	}
+	if got := prof.BlockCount(g, -1); got != 0 {
+		t.Errorf("invalid block count = %d", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p, _ := hammockProg(t)
+	prof, err := Collect(p, []int64{1, 0, 1, 1, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRetired != prof.TotalRetired {
+		t.Errorf("TotalRetired = %d, want %d", got.TotalRetired, prof.TotalRetired)
+	}
+	if len(got.ExecCount) != len(prof.ExecCount) {
+		t.Fatalf("ExecCount len mismatch")
+	}
+	for i := range prof.ExecCount {
+		if got.ExecCount[i] != prof.ExecCount[i] {
+			t.Errorf("ExecCount[%d] = %d, want %d", i, got.ExecCount[i], prof.ExecCount[i])
+		}
+	}
+	for pc, v := range prof.Taken {
+		if got.Taken[pc] != v {
+			t.Errorf("Taken[%d] = %d, want %d", pc, got.Taken[pc], v)
+		}
+	}
+	for pc, v := range prof.Mispred {
+		if got.Mispred[pc] != v {
+			t.Errorf("Mispred[%d] = %d, want %d", pc, got.Mispred[pc], v)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage data here......."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestMispRateUnexecuted(t *testing.T) {
+	p, br := hammockProg(t)
+	prof, err := Collect(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.MispRate(br); got != 0 {
+		t.Errorf("unexecuted MispRate = %v", got)
+	}
+	if got := prof.TakenProb(br); got != 0.5 {
+		t.Errorf("unexecuted TakenProb = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"math"
+
+	"dmp/internal/isa"
+)
+
+// 2D-profiling (Kim et al. [14], cited by the paper as future work for the
+// DMP compiler): instead of a single scalar misprediction rate per branch,
+// the profiler records the misprediction rate over time slices of the
+// profiling run. A branch whose slice-level rate varies strongly is
+// input/phase dependent; a branch that is easy to predict in every slice can
+// safely be excluded from diverge-branch selection, shrinking the static
+// annotation footprint and reducing confidence-estimator aliasing.
+
+// SliceProfile holds per-branch, per-slice misprediction statistics.
+type SliceProfile struct {
+	// SliceLen is the number of retired branch executions per slice.
+	SliceLen uint64
+	// Exec[pc][i] and Misp[pc][i] count a branch's executions and
+	// mispredictions in slice i.
+	Exec map[int][]uint64
+	Misp map[int][]uint64
+}
+
+// TwoDOptions configures 2D profile collection.
+type TwoDOptions struct {
+	Options
+	// SliceLen is the branch-execution count per time slice (default 4096).
+	SliceLen uint64
+}
+
+// Collect2D profiles like Collect but additionally slices the run into
+// fixed-size windows of retired branches and records per-branch rates per
+// window.
+func Collect2D(p *isa.Program, input []int64, opt TwoDOptions) (*Profile, *SliceProfile, error) {
+	if opt.SliceLen == 0 {
+		opt.SliceLen = 4096
+	}
+	sp := &SliceProfile{
+		SliceLen: opt.SliceLen,
+		Exec:     map[int][]uint64{},
+		Misp:     map[int][]uint64{},
+	}
+	var branchCount uint64
+	slice := 0
+	hook := func(pc int, misp bool) {
+		ex := sp.Exec[pc]
+		ms := sp.Misp[pc]
+		for len(ex) <= slice {
+			ex = append(ex, 0)
+			ms = append(ms, 0)
+		}
+		ex[slice]++
+		if misp {
+			ms[slice]++
+		}
+		sp.Exec[pc] = ex
+		sp.Misp[pc] = ms
+		branchCount++
+		if branchCount%opt.SliceLen == 0 {
+			slice++
+		}
+	}
+	prof, err := collectWithHook(p, input, opt.Options, hook)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, sp, nil
+}
+
+// Slices returns the number of slices a branch was observed in.
+func (sp *SliceProfile) Slices(pc int) int { return len(sp.Exec[pc]) }
+
+// SliceRates returns the per-slice misprediction rates of a branch,
+// skipping slices with fewer than minExec executions.
+func (sp *SliceProfile) SliceRates(pc int, minExec uint64) []float64 {
+	ex := sp.Exec[pc]
+	ms := sp.Misp[pc]
+	var out []float64
+	for i := range ex {
+		if ex[i] >= minExec {
+			out = append(out, float64(ms[i])/float64(ex[i]))
+		}
+	}
+	return out
+}
+
+// MispStats returns the mean and standard deviation of a branch's per-slice
+// misprediction rate.
+func (sp *SliceProfile) MispStats(pc int, minExec uint64) (mean, stddev float64) {
+	rates := sp.SliceRates(pc, minExec)
+	if len(rates) == 0 {
+		return 0, 0
+	}
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	for _, r := range rates {
+		stddev += (r - mean) * (r - mean)
+	}
+	stddev = math.Sqrt(stddev / float64(len(rates)))
+	return mean, stddev
+}
+
+// InputDependent reports whether a branch's predictability varies across
+// slices: its per-slice misprediction rate has a coefficient of variation of
+// at least minCV around a mean of at least minMean. These are the branches
+// 2D-profiling flags as input dependent.
+func (sp *SliceProfile) InputDependent(pc int, minMean, minCV float64) bool {
+	mean, sd := sp.MispStats(pc, 16)
+	if mean < minMean {
+		return false
+	}
+	return sd/mean >= minCV
+}
+
+// PossiblyMispredicted reports whether the branch ever showed a meaningful
+// misprediction rate in any slice — the filter the paper proposes for
+// excluding always-easy-to-predict branches from diverge-branch selection.
+func (sp *SliceProfile) PossiblyMispredicted(pc int, minRate float64) bool {
+	for _, r := range sp.SliceRates(pc, 16) {
+		if r >= minRate {
+			return true
+		}
+	}
+	return false
+}

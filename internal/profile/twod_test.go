@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// phasedProg branches on its input; the input generator below alternates
+// predictable and random phases so the branch is input/phase dependent.
+func phasedProg(t *testing.T) (*isa.Program, int) {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	br := b.Beqz(2, "else")
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Jmp("merge")
+	b.Label("else")
+	b.ALUI(isa.OpSub, 3, 3, 1)
+	b.Label("merge")
+	b.ALUI(isa.OpAdd, 4, 4, 1) // steady branch below is always taken
+	b.Bnez(4, "loop")
+	b.Label("done")
+	b.Out(3)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, br
+}
+
+func phasedInput(n int) []int64 {
+	rng := rand.New(rand.NewSource(5))
+	in := make([]int64, n)
+	for i := range in {
+		if (i/4096)%2 == 0 {
+			in[i] = 1 // predictable phase
+		} else {
+			in[i] = int64(rng.Intn(2)) // random phase
+		}
+	}
+	return in
+}
+
+func TestCollect2DSlices(t *testing.T) {
+	p, br := phasedProg(t)
+	prof, sp, err := Collect2D(p, phasedInput(40000), TwoDOptions{SliceLen: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalRetired == 0 {
+		t.Fatal("empty profile")
+	}
+	if sp.Slices(br) < 10 {
+		t.Fatalf("slices = %d, want many", sp.Slices(br))
+	}
+	rates := sp.SliceRates(br, 16)
+	if len(rates) < 10 {
+		t.Fatalf("rates = %d", len(rates))
+	}
+	// The phased branch must show both easy and hard slices.
+	lo, hi := 1.0, 0.0
+	for _, r := range rates {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo > 0.1 || hi < 0.3 {
+		t.Errorf("phase contrast missing: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestInputDependentClassification(t *testing.T) {
+	p, br := phasedProg(t)
+	_, sp, err := Collect2D(p, phasedInput(40000), TwoDOptions{SliceLen: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.InputDependent(br, 0.01, 0.5) {
+		mean, sd := sp.MispStats(br, 16)
+		t.Errorf("phased branch not flagged input-dependent (mean=%v sd=%v)", mean, sd)
+	}
+	// Find the steady always-taken loop-back branch: never mispredicted
+	// after warmup, so not input dependent and not possibly-mispredicted.
+	steady := -1
+	for pc := range sp.Exec {
+		if pc != br && sp.Slices(pc) > 5 {
+			if mean, _ := sp.MispStats(pc, 16); mean < 0.01 {
+				steady = pc
+			}
+		}
+	}
+	if steady == -1 {
+		t.Skip("no steady branch found")
+	}
+	if sp.InputDependent(steady, 0.01, 0.5) {
+		t.Error("steady branch flagged input-dependent")
+	}
+	if sp.PossiblyMispredicted(steady, 0.05) {
+		t.Error("steady branch flagged possibly-mispredicted")
+	}
+	if !sp.PossiblyMispredicted(br, 0.05) {
+		t.Error("phased branch not flagged possibly-mispredicted")
+	}
+}
+
+func TestCollect2DMatchesCollect(t *testing.T) {
+	p, br := phasedProg(t)
+	input := phasedInput(20000)
+	a, err := Collect(p, input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sp, err := Collect2D(p, input, TwoDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRetired != b.TotalRetired || a.Mispred[br] != b.Mispred[br] {
+		t.Errorf("2D collection diverges from plain collection")
+	}
+	// Slice totals must sum to the scalar counts.
+	var ex, ms uint64
+	for i := range sp.Exec[br] {
+		ex += sp.Exec[br][i]
+		ms += sp.Misp[br][i]
+	}
+	if ex != a.BranchExec(br) || ms != a.Mispred[br] {
+		t.Errorf("slice sums %d/%d != scalar %d/%d", ex, ms, a.BranchExec(br), a.Mispred[br])
+	}
+}
+
+func TestMispStatsEmpty(t *testing.T) {
+	sp := &SliceProfile{Exec: map[int][]uint64{}, Misp: map[int][]uint64{}}
+	if m, s := sp.MispStats(1, 1); m != 0 || s != 0 {
+		t.Errorf("empty stats = %v, %v", m, s)
+	}
+	if sp.InputDependent(1, 0.01, 0.5) || sp.PossiblyMispredicted(1, 0.01) {
+		t.Error("empty profile classified positive")
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides small numeric and table-rendering helpers shared
+// by the experiment harness and the command-line tools.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table is a column-per-benchmark result table: each row is a named series
+// of per-column values, rendered with an arithmetic-mean summary column.
+type Table struct {
+	Title string
+	// Cols are the column keys, typically benchmark names.
+	Cols []string
+	// Unit annotates the value domain (e.g. "% IPC improvement").
+	Unit string
+	rows []row
+	// MeanOf optionally overrides which columns enter the mean (nil = all).
+	MeanOf []string
+}
+
+type row struct {
+	name   string
+	values map[string]float64
+}
+
+// AddRow appends a series keyed by column name.
+func (t *Table) AddRow(name string, values map[string]float64) {
+	cp := make(map[string]float64, len(values))
+	for k, v := range values {
+		cp[k] = v
+	}
+	t.rows = append(t.rows, row{name: name, values: cp})
+}
+
+// Row returns a row's values by name (nil if absent).
+func (t *Table) Row(name string) map[string]float64 {
+	for _, r := range t.rows {
+		if r.name == name {
+			return r.values
+		}
+	}
+	return nil
+}
+
+// Rows lists the row names in insertion order.
+func (t *Table) Rows() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of a row across the mean columns.
+func (t *Table) Mean(name string) float64 {
+	r := t.Row(name)
+	if r == nil {
+		return 0
+	}
+	cols := t.MeanOf
+	if cols == nil {
+		cols = t.Cols
+	}
+	var xs []float64
+	for _, c := range cols {
+		if v, ok := r[c]; ok {
+			xs = append(xs, v)
+		}
+	}
+	return Mean(xs)
+}
+
+// Render writes the table as fixed-width text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s", t.Title)
+		if t.Unit != "" {
+			fmt.Fprintf(w, " [%s]", t.Unit)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, strings.Repeat("-", len(t.Title)))
+	}
+	nameW := 4
+	for _, r := range t.rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	colW := 8
+	for _, c := range t.Cols {
+		if len(c)+1 > colW {
+			colW = len(c) + 1
+		}
+	}
+	fmt.Fprintf(w, "%-*s", nameW+2, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, "%*s", colW, c)
+	}
+	fmt.Fprintf(w, "%*s\n", colW, "mean")
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "%-*s", nameW+2, r.name)
+		for _, c := range t.Cols {
+			if v, ok := r.values[c]; ok {
+				fmt.Fprintf(w, "%*.2f", colW, v)
+			} else {
+				fmt.Fprintf(w, "%*s", colW, "-")
+			}
+		}
+		fmt.Fprintf(w, "%*.2f\n", colW, t.Mean(r.name))
+	}
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map, for
+// deterministic iteration.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

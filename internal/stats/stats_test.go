@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Error("GeoMean with negative should be 0")
+	}
+}
+
+// TestQuickMeanBounds: the arithmetic mean lies within [min, max] and is at
+// least the geometric mean for positive inputs.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		g := GeoMean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := &Table{Title: "T", Cols: []string{"a", "b"}, Unit: "u"}
+	tbl.AddRow("r1", map[string]float64{"a": 1, "b": 3})
+	tbl.AddRow("r2", map[string]float64{"a": 5})
+	if got := tbl.Mean("r1"); got != 2 {
+		t.Errorf("Mean(r1) = %v", got)
+	}
+	if got := tbl.Mean("r2"); got != 5 {
+		t.Errorf("Mean(r2) = %v (missing cells are skipped)", got)
+	}
+	if got := tbl.Mean("absent"); got != 0 {
+		t.Errorf("Mean(absent) = %v", got)
+	}
+	if rows := tbl.Rows(); len(rows) != 2 || rows[0] != "r1" {
+		t.Errorf("Rows = %v", rows)
+	}
+	if tbl.Row("absent") != nil {
+		t.Error("Row(absent) != nil")
+	}
+}
+
+func TestTableRowCopied(t *testing.T) {
+	tbl := &Table{Cols: []string{"a"}}
+	src := map[string]float64{"a": 1}
+	tbl.AddRow("r", src)
+	src["a"] = 99
+	if tbl.Row("r")["a"] != 1 {
+		t.Error("AddRow did not copy the values")
+	}
+}
+
+func TestTableMeanOf(t *testing.T) {
+	tbl := &Table{Cols: []string{"a", "b"}, MeanOf: []string{"a"}}
+	tbl.AddRow("r", map[string]float64{"a": 1, "b": 100})
+	if got := tbl.Mean("r"); got != 1 {
+		t.Errorf("MeanOf-restricted mean = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "Demo", Cols: []string{"x", "y"}, Unit: "%"}
+	tbl.AddRow("row", map[string]float64{"x": 1.5})
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Demo", "[%]", "mean", "1.50", "-", "row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
