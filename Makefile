@@ -1,0 +1,36 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+#
+#   make ci     vet + build + race tests + a 30s parser fuzz smoke
+#   make test   plain test run (what the quick tier-1 check uses)
+#   make fuzz   longer local fuzzing session for both front-end targets
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-smoke fuzz eval
+
+ci: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic fuzz smoke for CI; crashes fail the gate.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
+
+# Longer local session over both targets.
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=5m ./internal/lang
+	$(GO) test -run '^$$' -fuzz=FuzzCheck -fuzztime=5m ./internal/lang
+
+# Regenerate the checked-in evaluation transcript (slow; see EXPERIMENTS.md).
+eval:
+	$(GO) run ./cmd/dmpbench > evaluation_output.txt

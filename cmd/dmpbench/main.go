@@ -4,10 +4,16 @@
 //
 //	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10]
 //	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
+//	         [-metrics-json file]
 //
 // Each experiment prints a text table with one column per benchmark and an
 // arithmetic-mean summary column. Expect the full evaluation to take a few
-// minutes: it runs hundreds of cycle-level simulations.
+// minutes: it runs hundreds of cycle-level simulations. Identical
+// simulations are memoized — within the process, and across invocations
+// when the DMP_CACHE_DIR environment variable names a cache directory — and
+// a run-metrics footer (cache hit rate, simulator throughput, worker-pool
+// occupancy, per-experiment wall time) is printed after the experiments.
+// -metrics-json writes the same metrics as JSON ("-" for stdout).
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	scale := flag.Int("scale", 1, "input scale factor")
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	metricsJSON := flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallelism: *par}
@@ -57,8 +64,10 @@ func main() {
 		t0 := time.Now()
 		tbl, err := fn(s)
 		check(err)
+		wall := time.Since(t0)
+		s.NoteExperiment(name, wall)
 		tbl.Render(os.Stdout)
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", name, wall.Round(time.Millisecond))
 	}
 
 	run("table2", harness.Table2)
@@ -69,6 +78,19 @@ func main() {
 	run("fig8", harness.Fig8)
 	run("fig9", harness.Fig9)
 	run("fig10", harness.Fig10)
+
+	m := s.Metrics()
+	m.Footer(os.Stdout)
+	if *metricsJSON != "" {
+		out := os.Stdout
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			check(err)
+			defer f.Close()
+			out = f
+		}
+		check(m.WriteJSON(out))
+	}
 }
 
 func check(err error) {

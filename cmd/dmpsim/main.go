@@ -3,19 +3,28 @@
 //
 // Usage:
 //
-//	dmpsim -bin prog.dmp [-in inputs.txt] [-dmp] [-max N]
+//	dmpsim -bin prog.dmp [-in inputs.txt] [-dmp] [-max N] [-metrics-json file]
+//
+// When the DMP_CACHE_DIR environment variable names a directory, simulation
+// results are memoized there by content hash (program + annotations, input
+// tape, machine configuration): re-running the same simulation answers from
+// the cache instead of re-simulating. -metrics-json reports whether this run
+// hit the cache, its wall time and the simulator throughput.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
+	"dmp/internal/simcache"
 )
 
 func main() {
@@ -23,6 +32,7 @@ func main() {
 	in := flag.String("in", "", "input tape (one integer per line)")
 	dmp := flag.Bool("dmp", false, "enable dynamic predication")
 	maxInsts := flag.Uint64("max", 0, "simulate at most N instructions (0 = all)")
+	metricsJSON := flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	if *bin == "" {
@@ -44,8 +54,11 @@ func main() {
 	cfg := pipeline.DefaultConfig()
 	cfg.DMP = *dmp
 	cfg.MaxInsts = *maxInsts
-	st, err := pipeline.Run(prog, input, cfg)
+	cache := simcache.FromEnv()
+	start := time.Now()
+	st, err := cache.Run(prog, input, cfg)
 	check(err)
+	wall := time.Since(start)
 
 	mode := "baseline"
 	if *dmp {
@@ -69,6 +82,30 @@ func main() {
 	}
 	fmt.Printf("I$/D$/L2 miss%%   %.2f / %.2f / %.2f\n",
 		st.ICache.MissRate()*100, st.DCache.MissRate()*100, st.L2.MissRate()*100)
+	snap := cache.Metrics()
+	if cache.Dir() != "" {
+		source := "simulated"
+		if snap.DiskHits > 0 {
+			source = "disk cache hit"
+		}
+		fmt.Printf("cache            %s (%s=%s)\n", source, simcache.EnvDir, cache.Dir())
+	}
+
+	if *metricsJSON != "" {
+		out := os.Stdout
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			check(err)
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(struct {
+			Wall  time.Duration     `json:"wall_ns"`
+			Cache simcache.Snapshot `json:"cache"`
+		}{wall, snap}))
+	}
 }
 
 func readTape(path string) ([]int64, error) {

@@ -1,0 +1,96 @@
+package harness
+
+// Determinism and cache-efficacy tests for the parallel harness.
+//
+// Two independent sessions with Parallelism > 1 must render byte-identical
+// tables: worker scheduling may reorder execution but never results. Each
+// session gets a private in-memory cache (simcache.New("")) so the test
+// exercises real concurrent simulation rather than replaying one session's
+// cache into the other, and so a user's DMP_CACHE_DIR cannot leak in.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dmp/internal/simcache"
+	"dmp/internal/stats"
+)
+
+func parallelSession(t *testing.T) *Session {
+	t.Helper()
+	opts := testOpts
+	opts.Parallelism = 4
+	opts.Cache = simcache.New("")
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func render(t *testing.T, tab *stats.Table, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	return buf.Bytes()
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	var got [2][]byte
+	for i := range got {
+		s := parallelSession(t)
+		var buf bytes.Buffer
+		for _, exp := range []func(*Session) (*stats.Table, error){Table2, Fig5Left} {
+			tab, err := exp(s)
+			buf.Write(render(t, tab, err))
+		}
+		got[i] = buf.Bytes()
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Error("two parallel sessions rendered different tables")
+	}
+}
+
+// TestCacheEfficacy pins the tentpole guarantee: repeating an experiment
+// sweep against a warm cache executes zero pipeline runs and finishes much
+// faster than the cold sweep. The ≥2× bound is deliberately loose — the
+// observed warm/cold ratio is orders of magnitude higher.
+func TestCacheEfficacy(t *testing.T) {
+	s := parallelSession(t)
+
+	cold := time.Now()
+	if _, err := Fig5Left(s); err != nil {
+		t.Fatal(err)
+	}
+	coldWall := time.Since(cold)
+	before := s.Cache().Metrics()
+	if before.Misses == 0 {
+		t.Fatal("cold sweep executed no simulations")
+	}
+
+	warm := time.Now()
+	tab, err := Fig5Left(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmWall := time.Since(warm)
+	after := s.Cache().Metrics()
+
+	d := after.Sub(before)
+	if d.Misses != 0 {
+		t.Errorf("warm sweep executed %d redundant simulations", d.Misses)
+	}
+	if d.Hits == 0 {
+		t.Error("warm sweep never consulted the cache")
+	}
+	if warmWall > coldWall/2 {
+		t.Errorf("warm sweep took %v, cold took %v; want ≥2x speedup", warmWall, coldWall)
+	}
+	if tab == nil || len(tab.Rows()) == 0 {
+		t.Error("warm sweep returned an empty table")
+	}
+}

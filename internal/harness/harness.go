@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
+	"dmp/internal/simcache"
 )
 
 // Options configures a harness session.
@@ -26,6 +28,9 @@ type Options struct {
 	Parallelism int
 	// Benchmarks restricts the corpus (nil = all).
 	Benchmarks []string
+	// Cache memoizes simulations across experiments (nil = a fresh cache
+	// honouring DMP_CACHE_DIR; see internal/simcache).
+	Cache *simcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -34,6 +39,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Cache == nil {
+		o.Cache = simcache.FromEnv()
 	}
 	return o
 }
@@ -58,7 +66,14 @@ type Workload struct {
 type Session struct {
 	Workloads []*Workload
 	Opts      Options
+
+	pool  poolCounters
+	expMu sync.Mutex
+	exps  []ExperimentMetric
 }
+
+// Cache returns the session's simulation cache.
+func (s *Session) Cache() *simcache.Cache { return s.Opts.Cache }
 
 // NewSession compiles and profiles the corpus.
 func NewSession(opts Options) (*Session, error) {
@@ -113,26 +128,28 @@ func (s *Session) Names() []string {
 	return out
 }
 
-// forEachIdx runs fn(0..n-1) with bounded parallelism, returning the first
-// error.
+// forEachIdx runs fn(0..n-1) with bounded parallelism. All worker errors are
+// aggregated (errors.Join) in index order, not just the first to arrive, so
+// a multi-benchmark failure reports every broken workload deterministically.
 func (s *Session) forEachIdx(n int, fn func(int) error) error {
 	sem := make(chan struct{}, s.Opts.Parallelism)
-	errCh := make(chan error, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
+	wallDone := s.pool.enter()
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errCh <- err
-			}
+			done := s.pool.busy()
+			errs[i] = fn(i)
+			done()
 		}(i)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	wallDone()
+	return errors.Join(errs...)
 }
 
 // simConfig returns the Table 1 machine for this session.
@@ -143,10 +160,13 @@ func (w *Workload) simConfig(dmp bool) pipeline.Config {
 	return cfg
 }
 
-// Baseline simulates the un-annotated binary on the run input (cached).
+// Baseline simulates the un-annotated binary on the run input. The result is
+// pinned per-workload (sync.Once) and additionally memoized by the session's
+// content-addressed simulation cache, so cross-experiment and cross-process
+// reuse both apply.
 func (w *Workload) Baseline() (pipeline.Stats, error) {
 	w.baseOnce.Do(func() {
-		w.base, w.baseErr = pipeline.Run(w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
+		w.base, w.baseErr = w.opts.Cache.Run(w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
 		if w.baseErr != nil {
 			w.baseErr = fmt.Errorf("%s: baseline: %w", w.Bench.Name, w.baseErr)
 		}
@@ -154,9 +174,12 @@ func (w *Workload) Baseline() (pipeline.Stats, error) {
 	return w.base, w.baseErr
 }
 
-// RunDMP simulates the binary with the given annotations on the run input.
+// RunDMP simulates the binary with the given annotations on the run input,
+// memoized by the simulation cache: selection configurations that produce
+// identical annotation sidecars (as many of the Figure 5-9 sweeps do) hit
+// the cache instead of re-simulating.
 func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, error) {
-	st, err := pipeline.Run(w.Prog.WithAnnots(annots), w.RunInput, w.simConfig(true))
+	st, err := w.opts.Cache.Run(w.Prog.WithAnnots(annots), w.RunInput, w.simConfig(true))
 	if err != nil {
 		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"dmp/internal/simcache"
+)
+
+// poolCounters instruments the forEachIdx worker pool: aggregate wall time
+// spent inside pool sections and aggregate busy time across workers. Their
+// ratio (scaled by the parallelism bound) is the pool occupancy.
+type poolCounters struct {
+	busyNS atomic.Int64
+	wallNS atomic.Int64
+}
+
+// enter marks the start of one pool section; the returned func closes it.
+func (p *poolCounters) enter() func() {
+	t0 := time.Now()
+	return func() { p.wallNS.Add(int64(time.Since(t0))) }
+}
+
+// busy marks the start of one worker's task; the returned func closes it.
+func (p *poolCounters) busy() func() {
+	t0 := time.Now()
+	return func() { p.busyNS.Add(int64(time.Since(t0))) }
+}
+
+// PoolMetrics reports worker-pool utilisation over a session.
+type PoolMetrics struct {
+	// Parallelism is the configured worker bound.
+	Parallelism int `json:"parallelism"`
+	// Busy is the aggregate time workers spent executing tasks.
+	Busy time.Duration `json:"busy_ns"`
+	// Wall is the aggregate wall time of all pool sections.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Occupancy returns the fraction of available worker-time actually used,
+// in [0,1].
+func (p PoolMetrics) Occupancy() float64 {
+	if p.Wall <= 0 || p.Parallelism <= 0 {
+		return 0
+	}
+	occ := float64(p.Busy) / (float64(p.Wall) * float64(p.Parallelism))
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// ExperimentMetric records one experiment's wall time.
+type ExperimentMetric struct {
+	Name string        `json:"name"`
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// RunMetrics is the session-level metrics report surfaced by -metrics-json
+// and the evaluation summary footer.
+type RunMetrics struct {
+	Experiments []ExperimentMetric `json:"experiments"`
+	Cache       simcache.Snapshot  `json:"cache"`
+	Pool        PoolMetrics        `json:"pool"`
+}
+
+// NoteExperiment records one experiment's wall time for the metrics report.
+func (s *Session) NoteExperiment(name string, wall time.Duration) {
+	s.expMu.Lock()
+	s.exps = append(s.exps, ExperimentMetric{Name: name, Wall: wall})
+	s.expMu.Unlock()
+}
+
+// Metrics snapshots the session's run metrics.
+func (s *Session) Metrics() RunMetrics {
+	s.expMu.Lock()
+	exps := append([]ExperimentMetric(nil), s.exps...)
+	s.expMu.Unlock()
+	return RunMetrics{
+		Experiments: exps,
+		Cache:       s.Opts.Cache.Metrics(),
+		Pool: PoolMetrics{
+			Parallelism: s.Opts.Parallelism,
+			Busy:        time.Duration(s.pool.busyNS.Load()),
+			Wall:        time.Duration(s.pool.wallNS.Load()),
+		},
+	}
+}
+
+// WriteJSON writes the metrics report as indented JSON.
+func (m RunMetrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Footer writes the human-readable summary appended to evaluation output:
+// how many simulations actually ran versus were answered from cache, the
+// simulator throughput, and how busy the worker pool was kept.
+func (m RunMetrics) Footer(w io.Writer) {
+	fmt.Fprintln(w, "--- run metrics ---")
+	c := m.Cache
+	fmt.Fprintf(w, "simulations   %d executed, %d cache hits (%d in-flight, %d disk); hit rate %.1f%%\n",
+		c.Misses, c.Hits+c.Dedups+c.DiskHits, c.Dedups, c.DiskHits, 100*c.HitRate())
+	fmt.Fprintf(w, "sim wall      %v aggregate, %.1fM simulated cycles/s\n",
+		c.SimWall.Round(time.Millisecond), c.CyclesPerSec()/1e6)
+	fmt.Fprintf(w, "worker pool   %d workers, %.1f%% occupancy\n",
+		m.Pool.Parallelism, 100*m.Pool.Occupancy())
+	if len(m.Experiments) > 0 {
+		fmt.Fprintf(w, "experiments  ")
+		var total time.Duration
+		for _, e := range m.Experiments {
+			fmt.Fprintf(w, " %s=%v", e.Name, e.Wall.Round(time.Millisecond))
+			total += e.Wall
+		}
+		fmt.Fprintf(w, " total=%v\n", total.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is active; the differential
+// test trims the corpus under -race, where full-scale simulation is an order
+// of magnitude slower.
+const raceEnabled = false

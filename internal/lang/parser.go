@@ -9,7 +9,24 @@ type Parser struct {
 	// one-token lookahead buffer
 	peeked  bool
 	peekTok Token
+	// depth tracks statement/expression nesting to bound recursion on
+	// adversarial input (deeply nested parens, blocks or unary chains).
+	depth int
 }
+
+// maxNestingDepth bounds recursive-descent depth. Real programs nest a few
+// dozen levels; the limit exists so fuzzed inputs cannot exhaust the stack.
+const maxNestingDepth = 4096
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errf("nesting deeper than %d levels", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a DML compilation unit.
 func Parse(src string) (*File, error) {
@@ -190,6 +207,10 @@ func (p *Parser) parseBlock() (*BlockStmt, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokLBrace:
 		return p.parseBlock()
@@ -469,7 +490,13 @@ func (p *Parser) parseFor() (Stmt, error) {
 //	6: * / % & << >>
 //	7: unary - !
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseBin(1)
+}
 
 // continueExpr resumes binary-operator parsing with lhs already parsed.
 func (p *Parser) continueExpr(lhs Expr) (Expr, error) {
@@ -522,6 +549,10 @@ func (p *Parser) parseBinRHS(minPrec int, lhs Expr) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokMinus, TokNot:
 		op := p.tok.Kind

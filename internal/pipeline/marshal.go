@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dmp/internal/emu"
+)
+
+// Run is a pure function of its inputs: the model contains no global state,
+// no time or randomness source, and no scheduling dependence — the same
+// (program, input, config) triple always produces the same Stats. The
+// simulation memoization layer (internal/simcache) relies on this to replay
+// cached results, keyed by the canonical forms below.
+
+// AppendCanonical appends a deterministic rendering of the configuration to
+// dst. Every field participates via Go's struct formatting, so adding a
+// Config field automatically changes the canonical form (and thereby
+// invalidates stale cache entries keyed on it).
+func (c Config) AppendCanonical(dst []byte) []byte {
+	return fmt.Appendf(dst, "%+v", c)
+}
+
+// MarshalStats encodes simulation statistics for the on-disk cache layer.
+func MarshalStats(s Stats) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// UnmarshalStats decodes statistics previously encoded with MarshalStats.
+// It rejects unknown fields so that cache entries written by a different
+// (newer) stats shape are treated as misses rather than silently truncated.
+func UnmarshalStats(b []byte) (Stats, error) {
+	var s Stats
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Stats{}, err
+	}
+	return s, nil
+}
+
+// Machine returns the functional machine that supplies the correct execution
+// path. After Run completes it holds the final architectural state (output
+// stream, registers, retired count), which the differential test suite
+// compares against a pure emulator run.
+func (s *Sim) Machine() *emu.Machine { return s.tr.m }

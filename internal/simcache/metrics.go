@@ -1,0 +1,79 @@
+package simcache
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the cache's internal atomic counters.
+type Metrics struct {
+	hits      atomic.Uint64
+	dedups    atomic.Uint64
+	diskHits  atomic.Uint64
+	misses    atomic.Uint64
+	simWallNS atomic.Int64
+	simCycles atomic.Int64
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	return Snapshot{
+		Hits:      m.hits.Load(),
+		Dedups:    m.dedups.Load(),
+		DiskHits:  m.diskHits.Load(),
+		Misses:    m.misses.Load(),
+		SimWall:   time.Duration(m.simWallNS.Load()),
+		SimCycles: m.simCycles.Load(),
+	}
+}
+
+// Snapshot is a point-in-time copy of the cache counters, JSON-encodable for
+// the -metrics-json flag.
+type Snapshot struct {
+	// Hits counts requests answered from the in-memory layer.
+	Hits uint64 `json:"hits"`
+	// Dedups counts requests that blocked on an identical in-flight
+	// simulation instead of running their own copy.
+	Dedups uint64 `json:"dedups"`
+	// DiskHits counts requests answered from the persistent layer.
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses counts simulations actually executed.
+	Misses uint64 `json:"misses"`
+	// SimWall is the aggregate wall time spent inside pipeline.Run.
+	SimWall time.Duration `json:"sim_wall_ns"`
+	// SimCycles is the total simulated cycles across executed runs.
+	SimCycles int64 `json:"sim_cycles"`
+}
+
+// Requests returns the total number of cache lookups.
+func (s Snapshot) Requests() uint64 { return s.Hits + s.Dedups + s.DiskHits + s.Misses }
+
+// HitRate returns the fraction of requests served without executing a
+// simulation.
+func (s Snapshot) HitRate() float64 {
+	total := s.Requests()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-s.Misses) / float64(total)
+}
+
+// CyclesPerSec returns the simulator throughput in simulated cycles per
+// wall-clock second over the executed runs.
+func (s Snapshot) CyclesPerSec() float64 {
+	if s.SimWall <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.SimWall.Seconds()
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Hits:      s.Hits - prev.Hits,
+		Dedups:    s.Dedups - prev.Dedups,
+		DiskHits:  s.DiskHits - prev.DiskHits,
+		Misses:    s.Misses - prev.Misses,
+		SimWall:   s.SimWall - prev.SimWall,
+		SimCycles: s.SimCycles - prev.SimCycles,
+	}
+}

@@ -1,0 +1,232 @@
+// Package simcache memoizes cycle-level simulations. The paper's evaluation
+// re-runs pipeline.Run over the same (program, input, config) triples many
+// times — every figure re-simulates the baseline, and several figures share
+// selection configurations — so the harness routes all simulations through a
+// content-addressed cache: a stable SHA-256 key over the canonical program
+// serialization (code + diverge annotations), the input tape and the machine
+// configuration.
+//
+// The in-memory layer guarantees each distinct simulation executes exactly
+// once per process: concurrent requests for the same key are deduplicated
+// singleflight-style, with later arrivals blocking on the first runner. An
+// optional on-disk layer (enabled by the DMP_CACHE_DIR environment variable)
+// persists results across dmpbench/dmpsim invocations.
+//
+// The cache also keeps run metrics — hits, misses, simulated cycles and
+// aggregate simulation wall time — surfaced by the CLIs via -metrics-json
+// and the evaluation summary footer.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dmp/internal/isa"
+	"dmp/internal/pipeline"
+)
+
+// EnvDir names the environment variable that enables the on-disk layer.
+const EnvDir = "DMP_CACHE_DIR"
+
+// keySchema is folded into every key; bump it when the key derivation or the
+// on-disk stats encoding changes shape, so stale directories read as misses.
+const keySchema = "dmp-simcache-v1\x00"
+
+// Key identifies one simulation: a content hash of program, input and config.
+type Key [sha256.Size]byte
+
+// String returns the hexadecimal form of the key (the on-disk file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// result is one memoized simulation. ready is closed once stats/err are
+// final, so concurrent requesters of the same key can block on it.
+type result struct {
+	ready chan struct{}
+	stats pipeline.Stats
+	err   error
+}
+
+// Cache memoizes pipeline runs. The zero value is not usable; construct with
+// New or FromEnv. A nil *Cache is valid and simply runs every simulation.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu  sync.Mutex
+	mem map[Key]*result
+
+	// codeHash memoizes the program-content hash by annotation-sidecar
+	// identity: harness workloads simulate the same compiled binary under
+	// many sidecars, and WithAnnots shares the code segment across them.
+	codeMu   sync.Mutex
+	codeHash map[*isa.Inst][sha256.Size]byte
+
+	metrics Metrics
+}
+
+// New returns a cache with an optional persistent directory (created on
+// first store). An empty dir keeps the cache memory-only.
+func New(dir string) *Cache {
+	return &Cache{dir: dir, mem: map[Key]*result{}, codeHash: map[*isa.Inst][sha256.Size]byte{}}
+}
+
+// FromEnv returns a cache whose disk layer is controlled by DMP_CACHE_DIR.
+func FromEnv() *Cache { return New(os.Getenv(EnvDir)) }
+
+// Dir returns the persistent directory, or "" for a memory-only cache.
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// progHash returns the content hash of the program including annotations,
+// memoizing the (large, annotation-independent) prefix by code identity.
+func (c *Cache) progHash(p *isa.Program) [sha256.Size]byte {
+	if len(p.Annots) == 0 && len(p.Code) > 0 {
+		// Fast path for the un-annotated baseline binary: memoize whole-hash
+		// by code-segment identity.
+		id := &p.Code[0]
+		c.codeMu.Lock()
+		h, ok := c.codeHash[id]
+		c.codeMu.Unlock()
+		if ok {
+			return h
+		}
+		h = p.Hash()
+		c.codeMu.Lock()
+		c.codeHash[id] = h
+		c.codeMu.Unlock()
+		return h
+	}
+	return p.Hash()
+}
+
+// KeyOf derives the cache key for one simulation.
+func (c *Cache) KeyOf(prog *isa.Program, input []int64, cfg pipeline.Config) Key {
+	h := sha256.New()
+	h.Write([]byte(keySchema))
+	ph := c.progHash(prog)
+	h.Write(ph[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(input)))
+	h.Write(n[:])
+	buf := make([]byte, 0, 8*len(input))
+	for _, v := range input {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	h.Write(buf)
+	h.Write(cfg.AppendCanonical(nil))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Run returns the memoized statistics for the simulation, executing it at
+// most once per process per distinct (program, input, config) triple. On a
+// nil cache it degenerates to pipeline.Run.
+func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
+	if c == nil {
+		return pipeline.Run(prog, input, cfg)
+	}
+	key := c.KeyOf(prog, input, cfg)
+
+	c.mu.Lock()
+	if r, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-r.ready:
+			c.metrics.hits.Add(1)
+		default:
+			// Another goroutine is running this exact simulation; wait for it.
+			c.metrics.dedups.Add(1)
+			<-r.ready
+		}
+		return r.stats, r.err
+	}
+	r := &result{ready: make(chan struct{})}
+	c.mem[key] = r
+	c.mu.Unlock()
+	defer close(r.ready)
+
+	if st, ok := c.loadDisk(key); ok {
+		c.metrics.diskHits.Add(1)
+		r.stats = st
+		return st, nil
+	}
+
+	start := time.Now()
+	r.stats, r.err = pipeline.Run(prog, input, cfg)
+	c.metrics.misses.Add(1)
+	c.metrics.simWallNS.Add(int64(time.Since(start)))
+	if r.err == nil {
+		c.metrics.simCycles.Add(r.stats.Cycles)
+		c.storeDisk(key, r.stats)
+	}
+	return r.stats, r.err
+}
+
+// Metrics returns a snapshot of the cache counters.
+func (c *Cache) Metrics() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return c.metrics.snapshot()
+}
+
+func (c *Cache) diskPath(key Key) string {
+	return filepath.Join(c.dir, key.String()+".json")
+}
+
+// loadDisk consults the persistent layer; any failure (missing file, stale
+// schema, corrupt entry) reads as a miss.
+func (c *Cache) loadDisk(key Key) (pipeline.Stats, bool) {
+	if c.dir == "" {
+		return pipeline.Stats{}, false
+	}
+	b, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return pipeline.Stats{}, false
+	}
+	st, err := pipeline.UnmarshalStats(b)
+	if err != nil {
+		return pipeline.Stats{}, false
+	}
+	return st, true
+}
+
+// storeDisk persists a result best-effort: a read-only or missing directory
+// never fails the simulation. The write is atomic (temp file + rename) so
+// concurrent processes sharing a cache directory cannot observe torn
+// entries.
+func (c *Cache) storeDisk(key Key, st pipeline.Stats) {
+	if c.dir == "" {
+		return
+	}
+	b, err := pipeline.MarshalStats(st)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.diskPath(key)); err != nil {
+		os.Remove(name)
+	}
+}

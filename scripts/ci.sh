@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 CI gate. Mirrors `make ci` for environments without make:
+# vet, build, the full test suite under the race detector, and a short
+# deterministic fuzz smoke over the DML parser.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
