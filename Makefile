@@ -1,17 +1,33 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 #
-#   make ci     vet + build + race tests + a 30s parser fuzz smoke
+#   make ci     vet + lint + build + race tests + dmplint over the corpus
+#               + a 30s parser fuzz smoke
 #   make test   plain test run (what the quick tier-1 check uses)
-#   make fuzz   longer local fuzzing session for both front-end targets
+#   make lint   vet plus staticcheck/golangci-lint when installed
+#   make fuzz   longer local fuzzing session for the front-end and
+#               compile+verify targets
+#
+# staticcheck is optional: the gate uses it when it is on PATH and degrades
+# to go vet alone otherwise, so CI does not depend on network installs.
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke fuzz eval
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval
 
-ci: vet build race fuzz-smoke
+ci: vet lint build race lint-corpus fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet, gated on tool availability.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still ran)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -22,14 +38,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Cross-layer static verification of every benchmark x input set x selection
+# algorithm; any diagnostic fails the gate.
+lint-corpus:
+	$(GO) run ./cmd/dmplint -corpus
+
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
 
-# Longer local session over both targets.
+# Longer local session over the front-end and toolchain targets.
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=5m ./internal/lang
 	$(GO) test -run '^$$' -fuzz=FuzzCheck -fuzztime=5m ./internal/lang
+	$(GO) test -run '^$$' -fuzz=FuzzCompileVerify -fuzztime=5m ./internal/verify
 
 # Regenerate the checked-in evaluation transcript (slow; see EXPERIMENTS.md).
 eval:

@@ -31,6 +31,7 @@ func TestCLIToolchain(t *testing.T) {
 	dmpcc := build("dmpcc")
 	dmpprof := build("dmpprof")
 	dmpsim := build("dmpsim")
+	dmplint := build("dmplint")
 
 	src := filepath.Join(dir, "prog.dml")
 	err := os.WriteFile(src, []byte(`
@@ -77,6 +78,26 @@ func main() {
 	asm := run(dmpcc, "-src", src, "-in", tape, "-S")
 	if !strings.Contains(asm, "main:") {
 		t.Errorf("disassembly missing main:\n%s", asm[:min(len(asm), 400)])
+	}
+
+	// The static verifier must be clean on the compiled binary and on a
+	// fresh compile+selection, and its JSON mode must emit an empty array.
+	run(dmplint, bin)
+	run(dmplint, "-src", src, "-in", tape, "-algo", "heur")
+	if out := run(dmplint, "-json", bin); strings.TrimSpace(out) != "[]" {
+		t.Errorf("dmplint -json on a clean binary: %q", out)
+	}
+	// A corrupted container must be reported, not crash the linter.
+	raw, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badBin := filepath.Join(dir, "bad.dmp")
+	if err := os.WriteFile(badBin, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := exec.Command(dmplint, badBin).CombinedOutput(); err == nil {
+		t.Errorf("dmplint accepted a truncated binary:\n%s", msg)
 	}
 
 	prof := run(dmpprof, "-bin", bin, "-in", tape, "-top", "3")

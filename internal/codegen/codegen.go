@@ -22,18 +22,21 @@ import (
 
 	"dmp/internal/ir"
 	"dmp/internal/isa"
+	"dmp/internal/verify"
 )
 
-// Register-convention constants.
+// Register-convention constants. The argument/temporary ranges are shared
+// with the ISA definition (and the static verifier's dataflow pass) via the
+// isa package.
 const (
-	regArg0     = 1
-	regRet      = 1
+	regArg0     = isa.RegArgFirst
+	regRet      = isa.RegRet
 	regLocal0   = 8
 	numLocals   = 40
-	regTemp0    = 48
+	regTemp0    = isa.RegTempFirst
 	numTemps    = 12
-	regScratch  = 60
-	regScratch2 = 61
+	regScratch  = isa.RegTempLast - 1
+	regScratch2 = isa.RegTempLast
 )
 
 // Compile lowers an IR program to a linked DISA binary. The IR must verify.
@@ -74,6 +77,12 @@ func Compile(p *ir.Program) (*isa.Program, error) {
 	}
 	if start := bin.FuncByName("_start"); start != nil {
 		bin.Entry = start.Entry
+	}
+	// Post-compile check: the emitted binary must pass the full static
+	// verifier (well-formedness, dataflow, codec, CFG/dominator/loop
+	// consistency). A diagnostic here is a code generator bug.
+	if err := verify.Check(bin, "codegen"); err != nil {
+		return nil, fmt.Errorf("codegen: emitted an invalid binary: %w", err)
 	}
 	return bin, nil
 }

@@ -84,6 +84,9 @@ func SelectBaseline(prog *isa.Program, prof *profile.Profile, b Baseline, seed i
 			res.Annots[brPC] = annot
 		}
 	}
+	if err := checkResult(prog, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"dmp/internal/cfg"
 	"dmp/internal/isa"
 	"dmp/internal/profile"
+	"dmp/internal/verify"
 )
 
 // Result is the outcome of a selection run: the annotation sidecar to attach
@@ -52,7 +53,20 @@ func Select(prog *isa.Program, prof *profile.Profile, p Params) (*Result, error)
 			selectHammock(res, g, pdom, prof, brPC, p)
 		}
 	}
+	if err := checkResult(prog, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// checkResult runs the static verifier's annotation-legality pass over a
+// selection result before handing it to callers: an illegal annotation set
+// is a selection bug and must never reach the simulator.
+func checkResult(prog *isa.Program, res *Result) error {
+	if err := verify.CheckAnnots(prog.WithAnnots(res.Annots), "select"); err != nil {
+		return fmt.Errorf("core: selection produced an illegal annotation set: %w", err)
+	}
+	return nil
 }
 
 // loopBranchOf returns the innermost natural loop for which brPC is a loop
@@ -138,10 +152,11 @@ func selectHammock(res *Result, g *cfg.Graph, pdom *cfg.DomTree, prof *profile.P
 	}
 
 	// Joint first-merge probabilities over the final candidate set
-	// (footnote 3 semantics).
+	// (footnote 3 semantics). Clamped to [0,1]: summing path probabilities
+	// can drift an ulp above 1, which the ISA annotation validator rejects.
 	tkFR := tk.firstReach(cands)
 	ntFR := nt.firstReach(cands)
-	mergeP := func(id int) float64 { return tkFR[id] * ntFR[id] }
+	mergeP := func(id int) float64 { return clamp01(tkFR[id] * ntFR[id]) }
 	sort.SliceStable(cands, func(i, j int) bool { return mergeP(cands[i]) > mergeP(cands[j]) })
 
 	takenProb := prof.TakenProb(brPC)
@@ -177,7 +192,7 @@ func selectHammock(res *Result, g *cfg.Graph, pdom *cfg.DomTree, prof *profile.P
 	// Return CFM (3.5): both sides leave through returns.
 	retMerge := 0.0
 	if p.EnableRetCFM && len(cands) == 0 {
-		retMerge = tk.retProb(g) * nt.retProb(g)
+		retMerge = clamp01(tk.retProb(g) * nt.retProb(g))
 		if !p.UseCostModel && retMerge < p.MinMergeProb {
 			retMerge = 0
 		}
@@ -209,6 +224,16 @@ func selectHammock(res *Result, g *cfg.Graph, pdom *cfg.DomTree, prof *profile.P
 	}
 	res.Annots[brPC] = annot
 	bumpType(res, exact, tk, nt)
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
 }
 
 func bumpType(res *Result, exact bool, tk, nt side) {

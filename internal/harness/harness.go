@@ -16,6 +16,7 @@ import (
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
 	"dmp/internal/simcache"
+	"dmp/internal/verify"
 )
 
 // Options configures a harness session.
@@ -179,7 +180,14 @@ func (w *Workload) Baseline() (pipeline.Stats, error) {
 // identical annotation sidecars (as many of the Figure 5-9 sweeps do) hit
 // the cache instead of re-simulating.
 func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, error) {
-	st, err := w.opts.Cache.Run(w.Prog.WithAnnots(annots), w.RunInput, w.simConfig(true))
+	annotated := w.Prog.WithAnnots(annots)
+	// Fail fast on an illegal annotation set before burning simulator (or
+	// cache) time on it: a diagnostic here means a selection or experiment
+	// bug, and the simulation result would be meaningless.
+	if err := verify.CheckAnnots(annotated, w.Bench.Name); err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
+	}
+	st, err := w.opts.Cache.Run(annotated, w.RunInput, w.simConfig(true))
 	if err != nil {
 		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}

@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// Rejection-path coverage for Verify: every structural rule must fire on a
+// minimal program violating exactly that rule. Complements the acceptance
+// and temp-discipline cases in ir_test.go.
+
+// addFunc appends a one-block function to p and returns its entry block.
+func addFunc(p *Program, name string) (*Func, *Block) {
+	f := &Func{Name: name}
+	b := f.NewBlock("entry")
+	b.Term = Ret{Val: ConstOp(0)}
+	p.Funcs = append(p.Funcs, f)
+	return f, b
+}
+
+func wantReject(t *testing.T, p *Program, frag string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("invalid program accepted (want error containing %q)", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("err = %v, want it to contain %q", err, frag)
+	}
+}
+
+func TestVerifyRejectsBlockIDMismatch(t *testing.T) {
+	p := validProgram()
+	f, _ := addFunc(p, "f")
+	f.Blocks[0].ID = 3
+	wantReject(t, p, "has ID 3 at index 0")
+}
+
+func TestVerifyRejectsParamsExceedLocals(t *testing.T) {
+	p := validProgram()
+	f, _ := addFunc(p, "f")
+	f.Params = []string{"a", "b"}
+	f.Locals = []string{"a"}
+	wantReject(t, p, "params exceed locals")
+}
+
+func TestVerifyRejectsUndefinedBranchCond(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	then := f.NewBlock("then")
+	then.Term = Ret{Val: ConstOp(0)}
+	// t0 is never defined in the block, so the branch condition is garbage.
+	b.Term = Br{Cond: TempOp(0), True: then, False: then}
+	wantReject(t, p, "branch condition t0 not defined")
+}
+
+func TestVerifyRejectsConsumedBranchCond(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	then := f.NewBlock("then")
+	then.Term = Ret{Val: ConstOp(0)}
+	// The Output consumes t0 (single-use discipline); the branch reuse must
+	// be rejected.
+	b.Instrs = append(b.Instrs,
+		Copy{Dst: TempOp(0), Src: ConstOp(1)},
+		Output{Val: TempOp(0)},
+	)
+	b.Term = Br{Cond: TempOp(0), True: then, False: then}
+	wantReject(t, p, "branch condition t0 not defined")
+}
+
+func TestVerifyRejectsUndefinedReturnTemp(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	b.Term = Ret{Val: TempOp(0)}
+	wantReject(t, p, "return value t0 not defined")
+}
+
+func TestVerifyRejectsForeignBranchTarget(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	foreign := &Block{ID: 0, Name: "elsewhere"}
+	b.Instrs = append(b.Instrs, Copy{Dst: TempOp(0), Src: ConstOp(1)})
+	b.Term = Br{Cond: TempOp(0), True: foreign, False: foreign}
+	wantReject(t, p, "branch to foreign block")
+}
+
+func TestVerifyRejectsUndefinedGlobalScalar(t *testing.T) {
+	p := validProgram()
+	_, b := addFunc(p, "f")
+	b.Instrs = append(b.Instrs, Output{Val: GlobalOp("ghost")})
+	wantReject(t, p, `undefined global "ghost"`)
+}
+
+func TestVerifyRejectsUndefinedArray(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	b.Instrs = append(b.Instrs, LoadIdx{Dst: TempOp(0), Array: "ghost", Index: ConstOp(0)})
+	wantReject(t, p, `undefined array "ghost"`)
+}
+
+func TestVerifyRejectsStoreToScalar(t *testing.T) {
+	p := validProgram()
+	_, b := addFunc(p, "f")
+	b.Instrs = append(b.Instrs, StoreIdx{Array: "g", Index: ConstOp(0), Val: ConstOp(1)})
+	wantReject(t, p, "indexed as array")
+}
+
+func TestVerifyRejectsNegativeTempIndex(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	b.Instrs = append(b.Instrs, Output{Val: Operand{Kind: Temp, Index: -1}})
+	wantReject(t, p, "out of range")
+}
+
+func TestVerifyRejectsInvalidOperandKind(t *testing.T) {
+	p := validProgram()
+	_, b := addFunc(p, "f")
+	b.Instrs = append(b.Instrs, Output{Val: Operand{Kind: OperandKind(200)}})
+	wantReject(t, p, "invalid operand kind")
+}
+
+type bogusInstr struct{}
+
+func (bogusInstr) instr()         {}
+func (bogusInstr) String() string { return "bogus" }
+
+func TestVerifyRejectsUnknownInstruction(t *testing.T) {
+	p := validProgram()
+	_, b := addFunc(p, "f")
+	b.Instrs = append(b.Instrs, bogusInstr{})
+	wantReject(t, p, "unknown instruction")
+}
+
+type bogusTerm struct{}
+
+func (bogusTerm) term()          {}
+func (bogusTerm) String() string { return "bogus" }
+
+func TestVerifyRejectsUnknownTerminator(t *testing.T) {
+	p := validProgram()
+	_, b := addFunc(p, "f")
+	b.Term = bogusTerm{}
+	wantReject(t, p, "unknown terminator")
+}
+
+func TestVerifyRejectsCallArgUseBeforeDef(t *testing.T) {
+	p := validProgram()
+	f, b := addFunc(p, "f")
+	f.NumTemps = 1
+	f.Locals = []string{"x"}
+	b.Instrs = append(b.Instrs, Call{Dst: LocalOp(0), Fn: "main", Args: []Operand{TempOp(0)}})
+	wantReject(t, p, "used before definition")
+}

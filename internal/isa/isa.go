@@ -119,7 +119,24 @@ const (
 	RegLR = 63
 	// NumRegs is the architectural register count.
 	NumRegs = 64
+
+	// RegArgFirst..RegArgLast are the argument registers; RegRet doubles as
+	// argument 0 and the return value.
+	RegArgFirst = 1
+	RegArgLast  = 7
+	RegRet      = 1
+	// RegTempFirst..RegTempLast is the caller-clobbered range: expression
+	// temporaries (48..59) and code-generator scratch (60, 61). The code
+	// generator and the static verifier's def-before-use analysis share this
+	// convention: these registers hold no defined value at function entry and
+	// are clobbered by every call.
+	RegTempFirst = 48
+	RegTempLast  = 61
 )
+
+// MaxCFM is the number of CFM points the DMP ISA extension encodes per
+// diverge branch (the paper's hardware provides three CFM registers).
+const MaxCFM = 3
 
 // Inst is a single DISA instruction. Target is an absolute code address for
 // control-flow instructions. If UseImm is set, arithmetic instructions use

@@ -130,9 +130,30 @@ func (p *Program) WithAnnots(annots map[int]*DivergeInfo) *Program {
 }
 
 // Validate checks structural invariants of the binary: control-flow targets
-// in range, annotations attached to conditional branches, CFM addresses in
-// range, and sane function symbols. It returns the first violation found.
+// and register fields in range, sane function symbols, and well-formed
+// diverge-branch annotations. It returns the first violation found.
+//
+// Validate is the single source of truth for the binary-local rules; the
+// deeper whole-artifact checks (dataflow, CFG/dominator consistency,
+// graph-based annotation legality) live in internal/verify, which delegates
+// the local rules back to the granular helpers below.
 func (p *Program) Validate() error {
+	if err := p.ValidateCode(); err != nil {
+		return err
+	}
+	if err := p.ValidateFuncs(); err != nil {
+		return err
+	}
+	for pc := range p.Annots {
+		if err := p.ValidateAnnot(pc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateCode checks the code segment and entry point.
+func (p *Program) ValidateCode() error {
 	n := len(p.Code)
 	if n == 0 {
 		return fmt.Errorf("isa: empty code segment")
@@ -140,16 +161,36 @@ func (p *Program) Validate() error {
 	if p.Entry < 0 || p.Entry >= n {
 		return fmt.Errorf("isa: entry %d out of range [0,%d)", p.Entry, n)
 	}
-	for pc, in := range p.Code {
-		if !in.Op.Valid() {
-			return fmt.Errorf("isa: invalid opcode at %d", pc)
-		}
-		if in.IsDirect() && (in.Target < 0 || in.Target >= n) {
-			return fmt.Errorf("isa: %d: target %d out of range", pc, in.Target)
+	for pc := range p.Code {
+		if err := p.ValidateInstAt(pc); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// ValidateInstAt checks the single instruction at pc: defined opcode,
+// register fields in range, and direct control-flow target in range.
+func (p *Program) ValidateInstAt(pc int) error {
+	in := p.Code[pc]
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode at %d", pc)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return fmt.Errorf("isa: %d: register field out of range (rd=%d rs1=%d rs2=%d)", pc, in.Rd, in.Rs1, in.Rs2)
+	}
+	if in.IsDirect() && (in.Target < 0 || in.Target >= len(p.Code)) {
+		return fmt.Errorf("isa: %d: target %d out of range", pc, in.Target)
+	}
+	return nil
+}
+
+// ValidateFuncs checks that function symbols have valid, non-overlapping,
+// address-ordered extents.
+func (p *Program) ValidateFuncs() error {
+	n := len(p.Code)
 	prevEnd := 0
-	for i, f := range p.Funcs {
+	for _, f := range p.Funcs {
 		if f.Entry < 0 || f.End > n || f.Entry >= f.End {
 			return fmt.Errorf("isa: func %q extent [%d,%d) invalid", f.Name, f.Entry, f.End)
 		}
@@ -157,29 +198,62 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("isa: func %q overlaps previous (entry %d < %d)", f.Name, f.Entry, prevEnd)
 		}
 		prevEnd = f.End
-		_ = i
 	}
-	for pc, d := range p.Annots {
-		if pc < 0 || pc >= n {
-			return fmt.Errorf("isa: annotation at out-of-range pc %d", pc)
-		}
-		if !p.Code[pc].IsCondBranch() {
-			return fmt.Errorf("isa: annotation at %d attached to %s (want conditional branch)", pc, p.Code[pc].Op)
-		}
-		if d == nil {
-			return fmt.Errorf("isa: nil annotation at %d", pc)
-		}
-		// Note: an annotation with no CFM points and Loop unset is legal; the
-		// processor then stays in dpred-mode until the branch resolves and any
-		// benefit comes from dual-path execution (Section 7.2).
-		for _, c := range d.CFMs {
-			if c.Kind == CFMAddr && (c.Addr < 0 || c.Addr >= n) {
+	return nil
+}
+
+// ValidateAnnot checks the binary-local legality of the annotation at pc:
+// attached to a conditional branch, CFM addresses and loop head in range,
+// merge probabilities in [0,1], at most MaxCFM entries with at most one
+// return CFM, no duplicate CFM points, and the chain ordered by
+// non-increasing merge probability (the order the hardware consumes).
+func (p *Program) ValidateAnnot(pc int) error {
+	n := len(p.Code)
+	if pc < 0 || pc >= n {
+		return fmt.Errorf("isa: annotation at out-of-range pc %d", pc)
+	}
+	if !p.Code[pc].IsCondBranch() {
+		return fmt.Errorf("isa: annotation at %d attached to %s (want conditional branch)", pc, p.Code[pc].Op)
+	}
+	d := p.Annots[pc]
+	if d == nil {
+		return fmt.Errorf("isa: nil annotation at %d", pc)
+	}
+	// Note: an annotation with no CFM points and Loop unset is legal; the
+	// processor then stays in dpred-mode until the branch resolves and any
+	// benefit comes from dual-path execution (Section 7.2).
+	if len(d.CFMs) > MaxCFM {
+		return fmt.Errorf("isa: annotation at %d: %d CFM points exceed the ISA limit of %d", pc, len(d.CFMs), MaxCFM)
+	}
+	returns := 0
+	for i, c := range d.CFMs {
+		switch c.Kind {
+		case CFMAddr:
+			if c.Addr < 0 || c.Addr >= n {
 				return fmt.Errorf("isa: annotation at %d: CFM address %d out of range", pc, c.Addr)
 			}
+		case CFMReturn:
+			if returns++; returns > 1 {
+				return fmt.Errorf("isa: annotation at %d: multiple return CFM points", pc)
+			}
+		default:
+			return fmt.Errorf("isa: annotation at %d: unknown CFM kind %d", pc, c.Kind)
 		}
-		if d.Loop && (d.LoopHead < 0 || d.LoopHead >= n) {
-			return fmt.Errorf("isa: annotation at %d: loop head %d out of range", pc, d.LoopHead)
+		if c.MergeProb < 0 || c.MergeProb > 1 {
+			return fmt.Errorf("isa: annotation at %d: CFM merge probability %v outside [0,1]", pc, c.MergeProb)
 		}
+		if i > 0 && c.MergeProb > d.CFMs[i-1].MergeProb {
+			return fmt.Errorf("isa: annotation at %d: CFM chain unordered (probability rises at entry %d)", pc, i)
+		}
+		for j := 0; j < i; j++ {
+			prev := d.CFMs[j]
+			if prev.Kind == c.Kind && (c.Kind == CFMReturn || prev.Addr == c.Addr) {
+				return fmt.Errorf("isa: annotation at %d: duplicate CFM point %s", pc, c)
+			}
+		}
+	}
+	if d.Loop && (d.LoopHead < 0 || d.LoopHead >= n) {
+		return fmt.Errorf("isa: annotation at %d: loop head %d out of range", pc, d.LoopHead)
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+package verify
+
+import (
+	"bytes"
+	"math"
+
+	"dmp/internal/isa"
+)
+
+// binaryPass checks DISA well-formedness: a non-empty code segment, the
+// entry point in range, every instruction structurally valid (defined
+// opcode, register fields below NumRegs, direct targets in range), and
+// sane function symbols. The per-unit rules are delegated to the isa
+// package's granular validators so there is a single source of truth.
+func (c *checker) binaryPass() {
+	p := c.p
+	if len(p.Code) == 0 {
+		c.report(PassBinary, -1, "empty code segment")
+		return
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		c.report(PassBinary, -1, "entry %d out of range [0,%d)", p.Entry, len(p.Code))
+	}
+	for pc := range p.Code {
+		if err := p.ValidateInstAt(pc); err != nil {
+			c.report(PassBinary, pc, "%v", err)
+		}
+	}
+	if err := p.ValidateFuncs(); err != nil {
+		c.report(PassBinary, -1, "%v", err)
+	}
+}
+
+// encodePass checks container self-consistency: serializing the program and
+// reparsing the bytes must reproduce it field-for-field (merge probabilities
+// up to the 1e-6 quantization of the wire format), and re-encoding the
+// decoded program must be a byte-level fixed point.
+func (c *checker) encodePass() {
+	p := c.p
+	// ReadProgram revalidates; a locally invalid annotation would be
+	// reported here as a decode failure, masking the root cause the annot
+	// pass reports precisely. Leave those programs to the annot pass.
+	if err := p.Validate(); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		c.report(PassEncode, -1, "serialization failed: %v", err)
+		return
+	}
+	enc := buf.Bytes()
+	back, err := isa.ReadProgram(bytes.NewReader(enc))
+	if err != nil {
+		c.report(PassEncode, -1, "decoding our own serialization failed: %v", err)
+		return
+	}
+	c.compareDecoded(back)
+	var again bytes.Buffer
+	if _, err := back.WriteTo(&again); err != nil {
+		c.report(PassEncode, -1, "re-serialization failed: %v", err)
+		return
+	}
+	if !bytes.Equal(enc, again.Bytes()) {
+		c.report(PassEncode, -1, "container is not a codec fixed point: re-encoding the decoded program changed the bytes")
+	}
+}
+
+func (c *checker) compareDecoded(back *isa.Program) {
+	p := c.p
+	if len(back.Code) != len(p.Code) {
+		c.report(PassEncode, -1, "round trip changed instruction count: %d -> %d", len(p.Code), len(back.Code))
+		return
+	}
+	for pc := range p.Code {
+		if p.Code[pc] != back.Code[pc] {
+			c.report(PassEncode, pc, "round trip changed instruction: %s -> %s", p.Code[pc], back.Code[pc])
+			return
+		}
+	}
+	if back.Entry != p.Entry || back.GlobalWords != p.GlobalWords {
+		c.report(PassEncode, -1, "round trip changed header (entry %d->%d, globals %d->%d)",
+			p.Entry, back.Entry, p.GlobalWords, back.GlobalWords)
+	}
+	if len(back.Funcs) != len(p.Funcs) {
+		c.report(PassEncode, -1, "round trip changed function count: %d -> %d", len(p.Funcs), len(back.Funcs))
+	} else {
+		for i := range p.Funcs {
+			if p.Funcs[i] != back.Funcs[i] {
+				c.report(PassEncode, p.Funcs[i].Entry, "round trip changed function %q", p.Funcs[i].Name)
+			}
+		}
+	}
+	if len(back.Annots) != len(p.Annots) {
+		c.report(PassEncode, -1, "round trip changed annotation count: %d -> %d", len(p.Annots), len(back.Annots))
+		return
+	}
+	for _, pc := range sortedAnnotPCs(p) {
+		d, b := p.Annots[pc], back.Annots[pc]
+		if b == nil {
+			c.report(PassEncode, pc, "round trip dropped the annotation")
+			continue
+		}
+		if d.Loop != b.Loop || d.Short != b.Short || d.LoopExitTaken != b.LoopExitTaken || d.LoopHead != b.LoopHead {
+			c.report(PassEncode, pc, "round trip changed annotation flags")
+			continue
+		}
+		if len(d.CFMs) != len(b.CFMs) {
+			c.report(PassEncode, pc, "round trip changed CFM count: %d -> %d", len(d.CFMs), len(b.CFMs))
+			continue
+		}
+		for i := range d.CFMs {
+			want, got := d.CFMs[i], b.CFMs[i]
+			// MergeProb is quantized to 1e-6 on the wire.
+			if want.Kind != got.Kind || want.Addr != got.Addr || math.Abs(want.MergeProb-got.MergeProb) > 1e-6 {
+				c.report(PassEncode, pc, "round trip changed CFM %d: %s -> %s", i, want, got)
+			}
+		}
+	}
+}

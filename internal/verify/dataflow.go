@@ -1,0 +1,109 @@
+package verify
+
+import "dmp/internal/isa"
+
+// Register def-before-use checking: a forward definite-assignment dataflow
+// over each function's CFG. The 64-register file maps exactly onto a uint64
+// bitset.
+//
+// The analysis encodes the software register convention (see internal/isa
+// and internal/codegen): at function entry the zero register, the argument
+// registers, the callee-saved local slots, the stack pointer and the link
+// register all hold defined values, while the caller-clobbered range
+// RegTempFirst..RegTempLast (expression temporaries and codegen scratch)
+// holds garbage. A call clobbers the temporaries and the argument registers
+// other than the return value. Reading a register that is not definitely
+// assigned on every path is a diagnostic: it means a corrupted binary or a
+// code generator that leaked a temp across a block or call boundary.
+
+var (
+	tempMask = rangeMask(isa.RegTempFirst, isa.RegTempLast)
+	// Registers a call leaves undefined for the caller: the temporaries plus
+	// the argument registers other than the return value.
+	callClobberMask = tempMask | (rangeMask(isa.RegArgFirst, isa.RegArgLast) &^ (1 << isa.RegRet))
+	// Registers defined when a function is entered.
+	entryDefined = ^uint64(0) &^ tempMask
+)
+
+func rangeMask(lo, hi int) uint64 {
+	var m uint64
+	for r := lo; r <= hi; r++ {
+		m |= 1 << r
+	}
+	return m
+}
+
+// dataflowPass runs def-before-use over every function.
+func (c *checker) dataflowPass() {
+	for _, fa := range c.analyses() {
+		if fa.buildErr != nil {
+			continue // the cfg pass reports the build failure
+		}
+		c.checkDefBeforeUse(fa)
+	}
+}
+
+func (c *checker) checkDefBeforeUse(fa *funcAnalysis) {
+	g := fa.g
+	n := len(g.Blocks)
+	in := make([]uint64, n)
+	out := make([]uint64, n)
+	for i := range in {
+		// Top of the must-analysis lattice: everything defined. Unreachable
+		// blocks keep this value and produce no diagnostics.
+		in[i] = ^uint64(0)
+		out[i] = ^uint64(0)
+	}
+	in[0] = entryDefined
+
+	transfer := func(id int, defined uint64, report bool) uint64 {
+		b := g.Blocks[id]
+		var readBuf [4]int
+		for pc := b.Start; pc < b.End; pc++ {
+			inst := c.p.Code[pc]
+			for _, r := range inst.Reads(readBuf[:0]) {
+				if defined&(1<<r) == 0 && report {
+					c.report(PassDataflow, pc, "%s: r%d may be read before definition in %s",
+						inst, r, fa.fn.Name)
+				}
+			}
+			if inst.Op == isa.OpCall || inst.Op == isa.OpCallR {
+				defined &^= callClobberMask
+				// The callee defines the return value and the call itself
+				// writes the link register.
+				defined |= (1 << isa.RegRet) | (1 << isa.RegLR)
+				continue
+			}
+			if w := inst.Writes(); w >= 0 {
+				defined |= 1 << w
+			}
+		}
+		return defined
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for id := 0; id < n; id++ {
+			newIn := ^uint64(0)
+			for _, p := range g.Preds(id) {
+				newIn &= out[p]
+			}
+			if id == 0 {
+				// The entry block is additionally reached from the caller
+				// (with only the convention's entry set defined), even when a
+				// back edge also targets it.
+				newIn &= entryDefined
+			} else if len(g.Preds(id)) == 0 {
+				newIn = in[id] // unreachable: keep lattice top
+			}
+			newOut := transfer(id, newIn, false)
+			if newIn != in[id] || newOut != out[id] {
+				in[id], out[id] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		transfer(id, in[id], true)
+	}
+}

@@ -1,0 +1,83 @@
+package verify_test
+
+// FuzzCompileVerify drives randomly generated DML programs through the full
+// toolchain — compile, profile, every selection algorithm — and asserts the
+// static verifier finds nothing: all eight algorithms must only ever emit
+// legal artifacts, on any program the generator can produce. Run the CI
+// smoke with:
+//
+//	go test -fuzz=FuzzCompileVerify -fuzztime=30s ./internal/verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmp/internal/bench"
+	"dmp/internal/codegen"
+	"dmp/internal/core"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+	"dmp/internal/verify"
+)
+
+func FuzzCompileVerify(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed, seed*3+1)
+	}
+	f.Fuzz(func(t *testing.T, seed, tapeSeed int64) {
+		src := bench.GenSource(seed)
+		prog, err := codegen.CompileSource(src)
+		if err != nil {
+			// Compile itself runs the verifier post-codegen; any error is a
+			// front-end rejection, which CompileSource reports before code
+			// generation, or a genuine codegen bug caught by the wiring.
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		rng := rand.New(rand.NewSource(tapeSeed))
+		tape := make([]int64, 48)
+		for i := range tape {
+			tape[i] = rng.Int63n(1 << 16)
+		}
+		// Generated programs terminate by construction; the bound is a
+		// backstop against pathological seeds, not an expected exit.
+		prof, err := profile.Collect(prog, tape, profile.Options{MaxInsts: 200_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+
+		check := func(name string, annots map[int]*isa.DivergeInfo, err error) {
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, name, err)
+			}
+			diags := verify.Run(prog.WithAnnots(annots), verify.Options{Program: name})
+			for _, d := range diags {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+
+		for _, cfgp := range []struct {
+			name string
+			p    core.Params
+		}{
+			{"heur", core.HeuristicParams()},
+			{"cost-long", core.CostParams(core.LongestPath)},
+			{"cost-edge", core.CostParams(core.EdgeWeighted)},
+		} {
+			r, err := core.Select(prog, prof, cfgp.p)
+			if err != nil {
+				check(cfgp.name, nil, err)
+				continue
+			}
+			check(cfgp.name, r.Annots, nil)
+		}
+		for _, b := range []core.Baseline{core.EveryBranch, core.Random50, core.HighBP5, core.Immediate, core.IfElse} {
+			r, err := core.SelectBaseline(prog, prof, b, tapeSeed)
+			if err != nil {
+				check(b.String(), nil, err)
+				continue
+			}
+			check(b.String(), r.Annots, nil)
+		}
+	})
+}

@@ -1,10 +1,19 @@
 #!/bin/sh
 # Tier-1 CI gate. Mirrors `make ci` for environments without make:
-# vet, build, the full test suite under the race detector, and a short
-# deterministic fuzz smoke over the DML parser.
+# vet, optional staticcheck, build, the full test suite under the race
+# detector, the dmplint corpus sweep, and a short deterministic fuzz smoke
+# over the DML parser.
 set -eux
 
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+elif command -v golangci-lint >/dev/null 2>&1; then
+	golangci-lint run ./...
+else
+	echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still ran)"
+fi
 go build ./...
 go test -race ./...
+go run ./cmd/dmplint -corpus
 go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
