@@ -1,6 +1,8 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 #
-#   make ci     vet + lint + build + race tests + dmplint over the corpus
+#   make ci     vet + lint + build + race tests (includes the traced
+#               concurrent harness sweep) + nil-Tracer allocation guard
+#               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
 #               + a 30s parser fuzz smoke
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   vet plus staticcheck/golangci-lint when installed
@@ -12,9 +14,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard
 
-ci: vet lint build race lint-corpus fuzz-smoke
+ci: vet lint build race alloc-guard lint-corpus trace-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +44,18 @@ race:
 # algorithm; any diagnostic fails the gate.
 lint-corpus:
 	$(GO) run ./cmd/dmplint -corpus
+
+# End-to-end tracing smoke: a traced DMP run must produce a JSON event
+# stream that dmptrace can decode and that contains dpred sessions.
+trace-smoke:
+	$(GO) run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
+	rm -f .trace-smoke.jsonl
+
+# Zero-overhead guard: a nil Tracer must add no allocation to event
+# emission. Runs without -race (the race target skips alloc counting).
+alloc-guard:
+	$(GO) test -run 'TestNilTracerEventNoAlloc' ./internal/pipeline
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

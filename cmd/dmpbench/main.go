@@ -4,7 +4,7 @@
 //
 //	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10]
 //	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
-//	         [-metrics-json file]
+//	         [-metrics-json file] [-pprof addr] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints a text table with one column per benchmark and an
 // arithmetic-mean summary column. Expect the full evaluation to take a few
@@ -13,13 +13,23 @@
 // when the DMP_CACHE_DIR environment variable names a cache directory — and
 // a run-metrics footer (cache hit rate, simulator throughput, worker-pool
 // occupancy, per-experiment wall time) is printed after the experiments.
-// -metrics-json writes the same metrics as JSON ("-" for stdout).
+// -metrics-json writes the same metrics as JSON ("-" for stdout), including
+// the session's aggregate dpred-session audit and any degenerate (zero
+// retired instructions) runs.
+//
+// For performance investigation, -pprof serves net/http/pprof on the given
+// address while the evaluation runs, and -cpuprofile/-memprofile write
+// runtime/pprof profiles to files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +44,36 @@ func main() {
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
 	metricsJSON := flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" = stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dmpbench: pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			defer f.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallelism: *par}
 	if *benches != "" {

@@ -4,6 +4,18 @@
 // Usage:
 //
 //	dmpsim -bin prog.dmp [-in inputs.txt] [-dmp] [-max N] [-metrics-json file]
+//	dmpsim -bench vpr [-dmp] [-scale N] [-max N]
+//	dmpsim -bench vpr -dmp -trace-json trace.jsonl
+//
+// -bench runs a benchmark from the built-in corpus instead of a compiled
+// binary; with -dmp it profiles the run input and applies the paper's
+// selection algorithm (All-best-heur) before simulating.
+//
+// -trace streams human-readable pipeline events (fetch breaks, flushes,
+// dpred-session lifecycle) to stderr; -trace-json streams the same events as
+// JSON lines to a file ("-" = stdout, in which case the statistics move to
+// stderr). Traced runs bypass the simulation cache — a cached answer would
+// emit no events. cmd/dmptrace summarizes a captured JSON stream.
 //
 // When the DMP_CACHE_DIR environment variable names a directory, simulation
 // results are memoized there by content hash (program + annotations, input
@@ -17,43 +29,105 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"dmp/internal/bench"
+	"dmp/internal/core"
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
+	"dmp/internal/profile"
 	"dmp/internal/simcache"
+	"dmp/internal/stats"
+	"dmp/internal/trace"
 )
 
 func main() {
 	bin := flag.String("bin", "", "DISA binary (from dmpcc)")
 	in := flag.String("in", "", "input tape (one integer per line)")
+	benchName := flag.String("bench", "", "run a corpus benchmark instead of -bin (see dmpbench)")
+	scale := flag.Int("scale", 1, "input scale factor for -bench")
 	dmp := flag.Bool("dmp", false, "enable dynamic predication")
 	maxInsts := flag.Uint64("max", 0, "simulate at most N instructions (0 = all)")
+	traceText := flag.Bool("trace", false, "stream pipeline events as text to stderr")
+	traceJSON := flag.String("trace-json", "", "stream pipeline events as JSON lines to this file (\"-\" = stdout)")
+	auditTop := flag.Int("audit-top", 10, "rows in the dpred session-audit table (0 = all)")
 	metricsJSON := flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
-	if *bin == "" {
-		fmt.Fprintln(os.Stderr, "dmpsim: -bin is required")
+	if (*bin == "") == (*benchName == "") {
+		fmt.Fprintln(os.Stderr, "dmpsim: exactly one of -bin or -bench is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*bin)
-	check(err)
-	prog, err := isa.ReadProgram(f)
-	f.Close()
-	check(err)
 
+	var prog *isa.Program
 	var input []int64
-	if *in != "" {
-		input, err = readTape(*in)
+	var err error
+	if *benchName != "" {
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "dmpsim: unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		prog, err = b.Compile()
 		check(err)
+		input = b.Input(bench.RunInput, *scale)
+		if *dmp {
+			prof, err := profile.Collect(prog, input, profile.Options{})
+			check(err)
+			res, err := core.Select(prog, prof, core.HeuristicParams())
+			check(err)
+			prog = prog.WithAnnots(res.Annots)
+		}
+	} else {
+		f, err := os.Open(*bin)
+		check(err)
+		prog, err = isa.ReadProgram(f)
+		f.Close()
+		check(err)
+		if *in != "" {
+			input, err = readTape(*in)
+			check(err)
+		}
 	}
+
+	// Statistics go to stdout unless the JSON event stream owns it.
+	out := io.Writer(os.Stdout)
 
 	cfg := pipeline.DefaultConfig()
 	cfg.DMP = *dmp
 	cfg.MaxInsts = *maxInsts
+	var tracers multiTracer
+	if *traceText {
+		tw := trace.NewTextWriter(os.Stderr)
+		defer func() { check(tw.Close()) }()
+		tracers = append(tracers, tw)
+	}
+	if *traceJSON != "" {
+		w := io.Writer(os.Stdout)
+		if *traceJSON == "-" {
+			out = os.Stderr
+		} else {
+			f, err := os.Create(*traceJSON)
+			check(err)
+			defer func() { check(f.Close()) }()
+			w = f
+		}
+		jw := trace.NewJSONWriter(w)
+		defer func() { check(jw.Close()) }()
+		tracers = append(tracers, jw)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		cfg.Tracer = tracers[0]
+	default:
+		cfg.Tracer = tracers
+	}
+
 	cache := simcache.FromEnv()
 	start := time.Now()
 	st, err := cache.Run(prog, input, cfg)
@@ -64,47 +138,67 @@ func main() {
 	if *dmp {
 		mode = "DMP"
 	}
-	fmt.Printf("mode             %s\n", mode)
-	fmt.Printf("cycles           %d\n", st.Cycles)
-	fmt.Printf("retired          %d\n", st.Retired)
-	fmt.Printf("IPC              %.4f\n", st.IPC())
-	fmt.Printf("MPKI             %.2f\n", st.MPKI())
-	fmt.Printf("flushes          %d (%.2f per KI)\n", st.Flushes, st.FlushesPerKI())
-	fmt.Printf("wrong-path fetch %d\n", st.WrongPathFetched)
-	if *dmp {
-		fmt.Printf("dpred entries    %d (%d loop)\n", st.DpredEntries, st.DpredLoopEntries)
-		fmt.Printf("merged/no-merge  %d / %d\n", st.DpredMerged, st.DpredNoMerge)
-		fmt.Printf("saved flushes    %d\n", st.DpredSavedFlushes)
-		fmt.Printf("select-uops      %d\n", st.SelectUops)
-		fmt.Printf("pred-FALSE NOPs  %d\n", st.Nopped)
-		fmt.Printf("loop exits       late=%d early=%d no-exit=%d\n", st.LoopLateExit, st.LoopEarlyExit, st.LoopNoExit)
-		fmt.Printf("confidence       PVN=%.2f coverage=%.2f\n", st.ConfPVN, st.ConfCoverage)
+	fmt.Fprintf(out, "mode             %s\n", mode)
+	fmt.Fprintf(out, "cycles           %d\n", st.Cycles)
+	fmt.Fprintf(out, "retired          %d\n", st.Retired)
+	if st.Degenerate() {
+		fmt.Fprintf(out, "WARNING          zero instructions retired; per-KI metrics report 0\n")
 	}
-	fmt.Printf("I$/D$/L2 miss%%   %.2f / %.2f / %.2f\n",
+	fmt.Fprintf(out, "IPC              %.4f\n", st.IPC())
+	fmt.Fprintf(out, "MPKI             %.2f\n", st.MPKI())
+	fmt.Fprintf(out, "flushes          %d (%.2f per KI)\n", st.Flushes, st.FlushesPerKI())
+	fmt.Fprintf(out, "wrong-path fetch %d\n", st.WrongPathFetched)
+	if *dmp {
+		fmt.Fprintf(out, "dpred entries    %d (%d loop)\n", st.DpredEntries, st.DpredLoopEntries)
+		fmt.Fprintf(out, "merged/no-merge  %d / %d\n", st.DpredMerged, st.DpredNoMerge)
+		fmt.Fprintf(out, "saved flushes    %d\n", st.DpredSavedFlushes)
+		fmt.Fprintf(out, "select-uops      %d\n", st.SelectUops)
+		fmt.Fprintf(out, "pred-FALSE NOPs  %d\n", st.Nopped)
+		fmt.Fprintf(out, "loop exits       late=%d early=%d no-exit=%d\n", st.LoopLateExit, st.LoopEarlyExit, st.LoopNoExit)
+		fmt.Fprintf(out, "confidence       PVN=%.2f coverage=%.2f\n", st.ConfPVN, st.ConfCoverage)
+	}
+	fmt.Fprintf(out, "I$/D$/L2 miss%%   %.2f / %.2f / %.2f\n",
 		st.ICache.MissRate()*100, st.DCache.MissRate()*100, st.L2.MissRate()*100)
+	if *dmp {
+		fmt.Fprintln(out)
+		stats.RenderAudits(out, st.Audit, *auditTop)
+	}
 	snap := cache.Metrics()
 	if cache.Dir() != "" {
 		source := "simulated"
 		if snap.DiskHits > 0 {
 			source = "disk cache hit"
 		}
-		fmt.Printf("cache            %s (%s=%s)\n", source, simcache.EnvDir, cache.Dir())
+		if snap.Bypasses > 0 {
+			source = "simulated (cache bypassed: tracing)"
+		}
+		fmt.Fprintf(out, "cache            %s (%s=%s)\n", source, simcache.EnvDir, cache.Dir())
 	}
 
 	if *metricsJSON != "" {
-		out := os.Stdout
+		mout := io.Writer(out)
 		if *metricsJSON != "-" {
 			f, err := os.Create(*metricsJSON)
 			check(err)
 			defer f.Close()
-			out = f
+			mout = f
 		}
-		enc := json.NewEncoder(out)
+		enc := json.NewEncoder(mout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(struct {
 			Wall  time.Duration     `json:"wall_ns"`
 			Cache simcache.Snapshot `json:"cache"`
-		}{wall, snap}))
+			Audit trace.AuditTotals `json:"audit"`
+		}{wall, snap, st.AuditTotals()}))
+	}
+}
+
+// multiTracer fans one event out to several tracers (-trace plus -trace-json).
+type multiTracer []trace.Tracer
+
+func (m multiTracer) Event(e trace.Event) {
+	for _, t := range m {
+		t.Event(e)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
 	"dmp/internal/simcache"
+	"dmp/internal/trace"
 	"dmp/internal/verify"
 )
 
@@ -32,6 +33,12 @@ type Options struct {
 	// Cache memoizes simulations across experiments (nil = a fresh cache
 	// honouring DMP_CACHE_DIR; see internal/simcache).
 	Cache *simcache.Cache
+	// Tracer, when non-nil, receives structured pipeline events from every
+	// simulation the session runs (internal/trace). It must be safe for
+	// concurrent use — simulations run in parallel — and it disables
+	// memoization for the session's runs (see simcache.Cache.Run), so it
+	// is meant for debugging sweeps, not full evaluations.
+	Tracer trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +65,7 @@ type Workload struct {
 	ProfTrain *profile.Profile
 
 	opts     Options
+	sess     *Session
 	baseOnce sync.Once
 	base     pipeline.Stats
 	baseErr  error
@@ -71,6 +79,34 @@ type Session struct {
 	pool  poolCounters
 	expMu sync.Mutex
 	exps  []ExperimentMetric
+
+	// runMu guards the per-run aggregates below (dpred-session audit
+	// totals and degenerate-run diagnostics), surfaced by Metrics.
+	runMu      sync.Mutex
+	dmpRuns    uint64
+	sessTotals trace.AuditTotals
+	degenRuns  uint64
+	degenNames map[string]bool
+}
+
+// noteRun folds one simulation result into the session aggregates: DMP runs
+// contribute their session audit, and any run that retired zero instructions
+// (per-kilo-instruction metrics meaningless) is recorded as degenerate so
+// the metrics report can flag it instead of averaging silent zeros.
+func (s *Session) noteRun(name string, st pipeline.Stats, dmp bool) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if dmp {
+		s.dmpRuns++
+		s.sessTotals.Add(st.Audit)
+	}
+	if st.Degenerate() {
+		s.degenRuns++
+		if s.degenNames == nil {
+			s.degenNames = map[string]bool{}
+		}
+		s.degenNames[name] = true
+	}
 }
 
 // Cache returns the session's simulation cache.
@@ -104,6 +140,7 @@ func NewSession(opts Options) (*Session, error) {
 			RunInput: b.Input(bench.RunInput, opts.Scale),
 			TrainIn:  b.Input(bench.TrainInput, opts.Scale),
 			opts:     opts,
+			sess:     s,
 		}
 		if w.ProfRun, err = profile.Collect(prog, w.RunInput, profile.Options{}); err != nil {
 			return fmt.Errorf("%s: run profile: %w", b.Name, err)
@@ -158,6 +195,7 @@ func (w *Workload) simConfig(dmp bool) pipeline.Config {
 	cfg := pipeline.DefaultConfig()
 	cfg.DMP = dmp
 	cfg.MaxInsts = w.opts.MaxInsts
+	cfg.Tracer = w.opts.Tracer
 	return cfg
 }
 
@@ -170,6 +208,8 @@ func (w *Workload) Baseline() (pipeline.Stats, error) {
 		w.base, w.baseErr = w.opts.Cache.Run(w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
 		if w.baseErr != nil {
 			w.baseErr = fmt.Errorf("%s: baseline: %w", w.Bench.Name, w.baseErr)
+		} else if w.sess != nil {
+			w.sess.noteRun(w.Bench.Name, w.base, false)
 		}
 	})
 	return w.base, w.baseErr
@@ -190,6 +230,9 @@ func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, erro
 	st, err := w.opts.Cache.Run(annotated, w.RunInput, w.simConfig(true))
 	if err != nil {
 		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
+	}
+	if w.sess != nil {
+		w.sess.noteRun(w.Bench.Name, st, true)
 	}
 	return st, nil
 }

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"dmp/internal/simcache"
+	"dmp/internal/trace"
 )
 
 // poolCounters instruments the forEachIdx worker pool: aggregate wall time
@@ -65,6 +68,18 @@ type RunMetrics struct {
 	Experiments []ExperimentMetric `json:"experiments"`
 	Cache       simcache.Snapshot  `json:"cache"`
 	Pool        PoolMetrics        `json:"pool"`
+	// DMPRuns counts DMP simulation results folded into Sessions (cache-
+	// answered results included: the aggregate is over logical runs).
+	DMPRuns uint64 `json:"dmp_runs"`
+	// Sessions aggregates the per-branch dpred-session audit over every
+	// DMP run of the session; Branches sums audited rows per run.
+	Sessions trace.AuditTotals `json:"sessions"`
+	// DegenerateRuns counts simulations that retired zero instructions
+	// (e.g. MaxInsts below warm-up), whose per-kilo-instruction metrics
+	// report 0 by convention; DegenerateBenchmarks names the affected
+	// benchmarks.
+	DegenerateRuns       uint64   `json:"degenerate_runs,omitempty"`
+	DegenerateBenchmarks []string `json:"degenerate_benchmarks,omitempty"`
 }
 
 // NoteExperiment records one experiment's wall time for the metrics report.
@@ -79,15 +94,27 @@ func (s *Session) Metrics() RunMetrics {
 	s.expMu.Lock()
 	exps := append([]ExperimentMetric(nil), s.exps...)
 	s.expMu.Unlock()
-	return RunMetrics{
-		Experiments: exps,
-		Cache:       s.Opts.Cache.Metrics(),
-		Pool: PoolMetrics{
-			Parallelism: s.Opts.Parallelism,
-			Busy:        time.Duration(s.pool.busyNS.Load()),
-			Wall:        time.Duration(s.pool.wallNS.Load()),
-		},
+	s.runMu.Lock()
+	var degen []string
+	for name := range s.degenNames {
+		degen = append(degen, name)
 	}
+	sort.Strings(degen)
+	m := RunMetrics{
+		Experiments:          exps,
+		Cache:                s.Opts.Cache.Metrics(),
+		DMPRuns:              s.dmpRuns,
+		Sessions:             s.sessTotals,
+		DegenerateRuns:       s.degenRuns,
+		DegenerateBenchmarks: degen,
+	}
+	s.runMu.Unlock()
+	m.Pool = PoolMetrics{
+		Parallelism: s.Opts.Parallelism,
+		Busy:        time.Duration(s.pool.busyNS.Load()),
+		Wall:        time.Duration(s.pool.wallNS.Load()),
+	}
+	return m
 }
 
 // WriteJSON writes the metrics report as indented JSON.
@@ -117,5 +144,15 @@ func (m RunMetrics) Footer(w io.Writer) {
 			total += e.Wall
 		}
 		fmt.Fprintf(w, " total=%v\n", total.Round(time.Millisecond))
+	}
+	if m.DMPRuns > 0 {
+		t := m.Sessions
+		fmt.Fprintf(w, "dpred audit   %d sessions over %d DMP runs: %d merged, %d fell back, %d cancelled by flush; %d flushes avoided, %d cycles wasted\n",
+			t.Entered, m.DMPRuns, t.Merged, t.Fallback, t.FlushCancelled,
+			t.SavedFlushes, t.WastedCycles)
+	}
+	if m.DegenerateRuns > 0 {
+		fmt.Fprintf(w, "WARNING       %d run(s) retired zero instructions (%s); their per-KI metrics report 0\n",
+			m.DegenerateRuns, strings.Join(m.DegenerateBenchmarks, ", "))
 	}
 }

@@ -20,7 +20,10 @@
 // when a dynamically predicated branch would have mispredicted.
 package pipeline
 
-import "dmp/internal/cache"
+import (
+	"dmp/internal/cache"
+	"dmp/internal/trace"
+)
 
 // Config holds the machine configuration (defaults are Table 1).
 type Config struct {
@@ -71,6 +74,15 @@ type Config struct {
 	// WatchdogCycles aborts the simulation if no instruction retires for
 	// this many cycles (a model bug, not a program property).
 	WatchdogCycles int64
+
+	// Tracer receives structured pipeline events (internal/trace): fetch
+	// breaks, flushes, dpred-session lifecycle and loop-predication
+	// outcomes. nil disables tracing; every emission site nil-checks the
+	// hook so the default path adds no work to the hot loop. The tracer is
+	// excluded from the canonical configuration (AppendCanonical), and the
+	// memoization layer bypasses its cache for traced runs — a cached
+	// answer would silently emit no events.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the Table 1 machine.
@@ -146,7 +158,23 @@ type Stats struct {
 	ConfCoverage float64
 	// Cache statistics.
 	ICache, DCache, L2 cache.Stats
+	// Audit is the per-branch dpred-session audit table, sorted by branch
+	// address: sessions entered, how each ended (merge, dual-path
+	// fallback, flush cancellation, loop outcomes), flushes avoided and
+	// dpred cycles wasted. Always collected — its cost is per session, not
+	// per instruction — and reproducible offline from a captured event
+	// stream (internal/trace.AuditBuilder).
+	Audit []trace.BranchAudit `json:"Audit,omitempty"`
 }
+
+// AuditTotals sums the session audit table.
+func (s Stats) AuditTotals() trace.AuditTotals { return trace.Totals(s.Audit) }
+
+// Degenerate reports a run that retired no instructions (e.g. MaxInsts
+// smaller than the warm-up), whose per-kilo-instruction metrics are
+// meaningless: they return 0 by convention and callers should surface a
+// diagnostic rather than average the zeros silently.
+func (s Stats) Degenerate() bool { return s.Retired == 0 }
 
 // IPC returns useful instructions per cycle.
 func (s Stats) IPC() float64 {

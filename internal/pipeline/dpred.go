@@ -16,6 +16,9 @@ type dpredSession struct {
 	branchSeq int64
 	annot     *isa.DivergeInfo
 	isLoop    bool
+	// enterCyc is the cycle the session opened; session-end events report
+	// the span since it as the session's dpred overhead.
+	enterCyc int64
 	// actualPath is the path tag of the correct side (trace outcome); loop
 	// sessions use 0 for real iterations and 1 for extra iterations.
 	actualPath int8

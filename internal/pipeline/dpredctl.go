@@ -1,6 +1,9 @@
 package pipeline
 
-import "dmp/internal/isa"
+import (
+	"dmp/internal/isa"
+	"dmp/internal/trace"
+)
 
 // This file implements the fetch-side control of dynamic predication:
 // session entry, CFM parking and merging, select-µop insertion, and the
@@ -13,6 +16,7 @@ func (s *Sim) enterForwardDpred(st *stream, e *entry, annot *isa.DivergeInfo) (b
 		branchPC:   e.pc,
 		branchSeq:  e.seq,
 		annot:      annot,
+		enterCyc:   s.cycle,
 		resolveCyc: -1,
 		parkedAt:   [2]int{parkNone, parkNone},
 		savedMisp:  e.misp,
@@ -21,6 +25,7 @@ func (s *Sim) enterForwardDpred(st *stream, e *entry, annot *isa.DivergeInfo) (b
 	e.sess = sess
 	e.isDivBranch = true
 	s.stats.DpredEntries++
+	s.event(trace.Event{Kind: trace.KindDpredEnter, Cycle: s.cycle, Seq: e.seq, PC: e.pc, Branch: e.pc})
 
 	predPC, otherPC := e.inst.Target, e.pc+1
 	if !e.predTaken {
@@ -78,6 +83,11 @@ func (s *Sim) mergeForward() {
 	if sess.savedMisp {
 		s.stats.DpredSavedFlushes++
 	}
+	mergePC := sess.branchPC
+	if sess.parkedAt[0] >= 0 {
+		mergePC = sess.parkedAt[0] // address CFM; return CFMs keep the branch PC
+	}
+	s.endSession(sess, trace.KindDpredMerge, sess.savedMisp, "", mergePC)
 	s.enqueueMarker(sess)
 	s.enqueueSelects(sess, sess.selectUopRegs())
 	s.collapseForward(sess)
@@ -90,10 +100,12 @@ func (s *Sim) endForwardDpred(viaFlush bool) {
 	sess := s.dp
 	if !sess.merged {
 		s.stats.DpredNoMerge++
-		s.fbRecord(sess.branchPC, sess.savedMisp && !viaFlush)
-		if sess.savedMisp && !viaFlush {
+		saved := sess.savedMisp && !viaFlush
+		s.fbRecord(sess.branchPC, saved)
+		if saved {
 			s.stats.DpredSavedFlushes++
 		}
+		s.endSession(sess, trace.KindDpredFallback, saved, "", sess.branchPC)
 	}
 	s.enqueueMarker(sess)
 	s.collapseForward(sess)
@@ -128,6 +140,7 @@ func (s *Sim) enterLoopDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool
 		branchSeq:  e.seq,
 		annot:      annot,
 		isLoop:     true,
+		enterCyc:   s.cycle,
 		resolveCyc: -1,
 		actualPath: 0,
 	}
@@ -137,6 +150,7 @@ func (s *Sim) enterLoopDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool
 	st.path = 0
 	s.stats.DpredEntries++
 	s.stats.DpredLoopEntries++
+	s.event(trace.Event{Kind: trace.KindDpredEnter, Cycle: s.cycle, Seq: e.seq, PC: e.pc, Branch: e.pc, Loop: true})
 	return s.onTraceLoopInstance(st, e)
 }
 
@@ -150,6 +164,7 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 	if sess.predsUsed > s.cfg.PredicateRegs {
 		// Out of predicate registers: stop predicating; the loop continues
 		// unpredicated.
+		s.endSession(sess, trace.KindLoopEnd, false, "preds-exhausted", e.pc)
 		sess.ended = true
 		s.dp = nil
 	}
@@ -165,6 +180,7 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 			// Correctly predicted loop exit: the CFM (loop exit) is reached;
 			// dpred ends with only select-µop overhead.
 			s.enqueueSelects(sess, sess.takeLoopWritten())
+			s.endSession(sess, trace.KindLoopEnd, false, "exit-predicted", e.pc)
 			sess.ended = true
 			s.dp = nil
 			st.path = -1
@@ -209,6 +225,7 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 	if s.dp == sess {
 		s.stats.LoopEarlyExit++
 		s.fbRecord(sess.branchPC, false)
+		s.endSession(sess, trace.KindLoopEarlyExit, false, "", e.pc)
 		sess.ended = true
 		s.dp = nil
 	}
@@ -261,6 +278,7 @@ func (s *Sim) offTraceLoopInstance(st *stream, e *entry) (bool, int) {
 		s.stats.LoopLateExit++
 		s.stats.DpredSavedFlushes++
 		s.fbRecord(sess.branchPC, true)
+		s.endSession(sess, trace.KindLoopLateExit, true, "", exitPC)
 		pl.loopCond = false
 		sess.pendingLoop = nil
 		st.onTrace = true
@@ -291,6 +309,7 @@ func (s *Sim) endLoopDpredByResolve() {
 	}
 	s.fbRecord(sess.branchPC, false)
 	s.enqueueSelects(sess, sess.takeLoopWritten())
+	s.endSession(sess, trace.KindLoopEnd, false, "resolved", sess.branchPC)
 	sess.ended = true
 	s.dp = nil
 	for _, st := range s.streams {

@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"dmp/internal/isa"
+	"dmp/internal/trace"
+)
+
+func TestTracedEventsMatchStatsForward(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	input := randBits(11, 1500)
+	cfg := DefaultConfig()
+	cfg.DMP = true
+	col := trace.NewCollector()
+	cfg.Tracer = col
+	st, err := Run(annotate(p, br, merge), input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEventStatsEquality(t, st, col)
+}
+
+func TestTracedEventsMatchStatsLoop(t *testing.T) {
+	p, exitBr, head, _ := loopProg(t)
+	input := randIters(12, 800, 6)
+	cfg := DefaultConfig()
+	cfg.DMP = true
+	col := trace.NewCollector()
+	cfg.Tracer = col
+	st, err := Run(annotateLoop(p, exitBr, head), input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DpredLoopEntries == 0 {
+		t.Fatal("loop program entered no loop sessions")
+	}
+	checkEventStatsEquality(t, st, col)
+}
+
+// checkEventStatsEquality asserts the tentpole invariant: every aggregate the
+// Stats report is reproducible by counting the event stream, and the audit
+// table folded into Stats equals the one an offline AuditBuilder reconstructs.
+func checkEventStatsEquality(t *testing.T, st Stats, col *trace.Collector) {
+	t.Helper()
+	if st.DpredEntries == 0 || st.Flushes == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	if got := col.Count(trace.KindFlush); got != st.Flushes {
+		t.Errorf("flush events = %d, Stats.Flushes = %d", got, st.Flushes)
+	}
+	if got := col.Count(trace.KindDpredEnter); got != st.DpredEntries {
+		t.Errorf("dpred-enter events = %d, Stats.DpredEntries = %d", got, st.DpredEntries)
+	}
+	if got := col.Count(trace.KindDpredMerge); got != st.DpredMerged {
+		t.Errorf("cfm-merge events = %d, Stats.DpredMerged = %d", got, st.DpredMerged)
+	}
+	if got := col.Count(trace.KindDpredFallback); got != st.DpredNoMerge {
+		t.Errorf("fallback events = %d, Stats.DpredNoMerge = %d", got, st.DpredNoMerge)
+	}
+	if got := col.Count(trace.KindDpredThrottled); got != st.DpredThrottled {
+		t.Errorf("throttled events = %d, Stats.DpredThrottled = %d", got, st.DpredThrottled)
+	}
+	if got := col.Count(trace.KindLoopEarlyExit); got != st.LoopEarlyExit {
+		t.Errorf("loop-early-exit events = %d, Stats.LoopEarlyExit = %d", got, st.LoopEarlyExit)
+	}
+	if got := col.Count(trace.KindLoopLateExit); got != st.LoopLateExit {
+		t.Errorf("loop-late-exit events = %d, Stats.LoopLateExit = %d", got, st.LoopLateExit)
+	}
+	if got := col.Count(trace.KindLoopNoExit); got != st.LoopNoExit {
+		t.Errorf("loop-no-exit events = %d, Stats.LoopNoExit = %d", got, st.LoopNoExit)
+	}
+
+	var loopEnters, saved uint64
+	var b trace.AuditBuilder
+	for _, e := range col.Events() {
+		b.Add(e)
+		if e.Kind == trace.KindDpredEnter && e.Loop {
+			loopEnters++
+		}
+		if e.Kind.EndsSession() && e.Saved {
+			saved++
+		}
+	}
+	if loopEnters != st.DpredLoopEntries {
+		t.Errorf("loop dpred-enter events = %d, Stats.DpredLoopEntries = %d", loopEnters, st.DpredLoopEntries)
+	}
+	if saved != st.DpredSavedFlushes {
+		t.Errorf("saved session ends = %d, Stats.DpredSavedFlushes = %d", saved, st.DpredSavedFlushes)
+	}
+	if got := b.Build(); !reflect.DeepEqual(got, st.Audit) {
+		t.Errorf("offline audit differs from Stats.Audit:\n got %+v\nwant %+v", got, st.Audit)
+	}
+}
+
+// The audit must be identical whether or not a tracer is attached: the
+// observer must not perturb the simulation.
+func TestTracerDoesNotPerturbStats(t *testing.T) {
+	p, br, merge := hammockProg(t, 3)
+	input := randBits(13, 1200)
+	plain := runSim(t, annotate(p, br, merge), input, true)
+
+	cfg := DefaultConfig()
+	cfg.DMP = true
+	cfg.Tracer = trace.NewCollector()
+	traced, err := Run(annotate(p, br, merge), input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("tracing changed the simulation:\n plain %+v\ntraced %+v", plain, traced)
+	}
+}
+
+// The zero-overhead guard: with a nil Tracer, emitting events costs no
+// allocation — neither on the tracer-only fast path (fetch breaks) nor on
+// the always-audited session path once a branch's audit row exists.
+func TestNilTracerEventNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not stable under -race")
+	}
+	p, br, merge := hammockProg(t, 3)
+	s := New(annotate(p, br, merge), constBits(1, 10), DefaultConfig())
+
+	fetchBreak := trace.Event{Kind: trace.KindFetchBreak, Cycle: 1, PC: 4, Branch: -1, Why: "line"}
+	if n := testing.AllocsPerRun(200, func() { s.event(fetchBreak) }); n != 0 {
+		t.Errorf("fetch-break event with nil tracer allocates %.1f/op", n)
+	}
+
+	flush := trace.Event{Kind: trace.KindFlush, Cycle: 2, PC: br, Branch: br}
+	s.event(flush) // warm the audit row for this branch
+	if n := testing.AllocsPerRun(200, func() { s.event(flush) }); n != 0 {
+		t.Errorf("audited event with nil tracer allocates %.1f/op (after row warm-up)", n)
+	}
+}
+
+// Benchmark pair guarding the "nil Tracer costs nothing" claim: compare
+//
+//	go test -run - -bench BenchmarkDMPRun ./internal/pipeline/
+//
+// ns/op and allocs/op between the two cases.
+func BenchmarkDMPRun(b *testing.B) {
+	p, br, merge := benchHammock(b)
+	prog := annotate(p, br, merge)
+	input := randBits(3, 2000)
+	b.Run("nil-tracer", func(b *testing.B) {
+		cfg := DefaultConfig()
+		cfg.DMP = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(prog, input, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		cfg := DefaultConfig()
+		cfg.DMP = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Tracer = trace.NewCollector()
+			if _, err := Run(prog, input, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchHammock mirrors hammockProg for benchmarks (which hold a *testing.B).
+func benchHammock(b *testing.B) (p *isa.Program, brPC, mergePC int) {
+	b.Helper()
+	bd := isa.NewBuilder()
+	bd.Func("main")
+	bd.Label("loop")
+	bd.InAvail(1)
+	bd.Beqz(1, "done")
+	bd.In(2)
+	brPC = bd.Beqz(2, "else")
+	for i := 0; i < 3; i++ {
+		bd.ALUI(isa.OpAdd, 3, 3, 1)
+	}
+	bd.Jmp("merge")
+	bd.Label("else")
+	for i := 0; i < 3; i++ {
+		bd.ALUI(isa.OpSub, 3, 3, 1)
+	}
+	bd.Label("merge")
+	mergePC = bd.PC()
+	bd.ALUI(isa.OpAdd, 4, 4, 1)
+	bd.ALUI(isa.OpXor, 5, 5, 4)
+	bd.Jmp("loop")
+	bd.Label("done")
+	bd.Out(3)
+	bd.Halt()
+	p, err := bd.Link()
+	if err != nil {
+		b.Fatalf("Link: %v", err)
+	}
+	return p, brPC, mergePC
+}

@@ -5,6 +5,7 @@ import (
 	"dmp/internal/cache"
 	"dmp/internal/emu"
 	"dmp/internal/isa"
+	"dmp/internal/trace"
 )
 
 // stream is one fetch stream. The machine has one stream normally and two
@@ -89,12 +90,18 @@ func (s *Sim) fetch() {
 		line := st.pc >> 3
 		if line != st.lastLine {
 			if i > 0 {
+				if s.cfg.Tracer != nil {
+					s.cfg.Tracer.Event(trace.Event{Kind: trace.KindFetchBreak, Cycle: s.cycle, Seq: s.seq, PC: st.pc, Branch: -1, Why: "line"})
+				}
 				return // line-boundary fetch break
 			}
 			lat := s.hier.I.Access(cache.InstAddr(st.pc))
 			st.lastLine = line
 			if lat > cache.ICacheConfig.HitCycles {
 				st.stalledUntil = s.cycle + int64(lat)
+				if s.cfg.Tracer != nil {
+					s.cfg.Tracer.Event(trace.Event{Kind: trace.KindFetchBreak, Cycle: s.cycle, Seq: s.seq, PC: st.pc, Branch: -1, Why: "icache-miss"})
+				}
 				return
 			}
 		}
@@ -236,6 +243,7 @@ func (s *Sim) fetchOnTraceCond(st *stream, e *entry, tre traceEntry) (bool, int)
 			if annot.Short || lowConf {
 				if s.fbThrottled(e.pc) {
 					s.stats.DpredThrottled++
+					s.event(trace.Event{Kind: trace.KindDpredThrottled, Cycle: s.cycle, Seq: e.seq, PC: e.pc, Branch: e.pc})
 				} else if annot.Loop {
 					return s.enterLoopDpred(st, e, annot)
 				} else {
@@ -299,6 +307,9 @@ func (s *Sim) takenRedirect(st *stream, pc, target int) bool {
 	if _, hit := s.btb.Lookup(pc); !hit {
 		s.btb.Update(pc, target)
 		st.stalledUntil = s.cycle + 1 // decode-redirect bubble
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Event(trace.Event{Kind: trace.KindFetchBreak, Cycle: s.cycle, Seq: s.seq, PC: pc, Branch: target, Why: "taken"})
 	}
 	return false
 }

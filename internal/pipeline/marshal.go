@@ -2,8 +2,12 @@ package pipeline
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"reflect"
+	"sync"
 
 	"dmp/internal/emu"
 )
@@ -17,9 +21,64 @@ import (
 // AppendCanonical appends a deterministic rendering of the configuration to
 // dst. Every field participates via Go's struct formatting, so adding a
 // Config field automatically changes the canonical form (and thereby
-// invalidates stale cache entries keyed on it).
+// invalidates stale cache entries keyed on it). The Tracer hook is excluded:
+// it is an observer, not a simulation parameter, and its rendering (an
+// interface pointer) would differ between otherwise identical runs.
 func (c Config) AppendCanonical(dst []byte) []byte {
+	c.Tracer = nil
 	return fmt.Appendf(dst, "%+v", c)
+}
+
+// StatsSchema returns a short stable fingerprint of the Stats wire shape
+// (field names and types, recursively). The simulation cache folds it into
+// its keys and on-disk layout so that extending Stats — which would
+// otherwise make old cache entries decode with silently zero-valued new
+// fields — turns stale entries into misses instead.
+func StatsSchema() string {
+	statsSchemaOnce.Do(func() {
+		statsSchemaHex = schemaOf(reflect.TypeOf(Stats{}))
+	})
+	return statsSchemaHex
+}
+
+var (
+	statsSchemaOnce sync.Once
+	statsSchemaHex  string
+)
+
+// schemaOf fingerprints a type's wire shape: struct field names, JSON tags
+// and element types, walked recursively. Type names are deliberately left
+// out — JSON carries none, so two structurally identical types have the same
+// wire shape; recursion is cut with the ordinal of the struct's first visit.
+func schemaOf(t reflect.Type) string {
+	h := sha256.New()
+	seen := map[reflect.Type]int{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		if ord, ok := seen[t]; ok {
+			fmt.Fprintf(h, "cycle(%d)", ord)
+			return
+		}
+		switch t.Kind() {
+		case reflect.Struct:
+			seen[t] = len(seen)
+			fmt.Fprint(h, "struct{")
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				fmt.Fprintf(h, "%s %q ", f.Name, f.Tag.Get("json"))
+				walk(f.Type)
+				fmt.Fprint(h, ";")
+			}
+			fmt.Fprint(h, "}")
+		case reflect.Slice, reflect.Array, reflect.Pointer:
+			fmt.Fprintf(h, "%s of ", t.Kind())
+			walk(t.Elem())
+		default:
+			fmt.Fprintf(h, "%s", t)
+		}
+	}
+	walk(t)
+	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
 // MarshalStats encodes simulation statistics for the on-disk cache layer.

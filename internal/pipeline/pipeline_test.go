@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dmp/internal/isa"
@@ -211,7 +212,7 @@ func TestDMPDeterminism(t *testing.T) {
 	input := randBits(7, 1500)
 	a := runSim(t, annotate(p, br, merge), input, true)
 	b := runSim(t, annotate(p, br, merge), input, true)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("nondeterministic stats:\n%+v\n%+v", a, b)
 	}
 }

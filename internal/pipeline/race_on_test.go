@@ -1,0 +1,8 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is active; the strict
+// zero-allocation assertions are skipped under -race, where instrumentation
+// changes allocation behaviour.
+const raceEnabled = true

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatsSchemaStable(t *testing.T) {
+	s := StatsSchema()
+	if len(s) != 12 {
+		t.Fatalf("StatsSchema() = %q, want a 12-hex-digit fingerprint", s)
+	}
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("StatsSchema() = %q contains non-hex %q", s, c)
+		}
+	}
+	if StatsSchema() != s {
+		t.Error("StatsSchema() not deterministic")
+	}
+	if schemaOf(reflect.TypeOf(Stats{})) != s {
+		t.Error("StatsSchema() disagrees with a direct schemaOf walk")
+	}
+}
+
+// The fingerprint must react to the changes that would make old serialized
+// Stats decode incorrectly: added fields, renamed fields or tags, changed
+// types — while identical shapes agree.
+func TestSchemaOfDiscriminates(t *testing.T) {
+	type v1 struct {
+		Cycles  int64
+		Retired uint64 `json:"retired"`
+	}
+	type v1Copy struct {
+		Cycles  int64
+		Retired uint64 `json:"retired"`
+	}
+	type added struct {
+		Cycles  int64
+		Retired uint64 `json:"retired"`
+		Flushes uint64
+	}
+	type renamed struct {
+		Cycles  int64
+		Retired uint64 `json:"retired_insts"`
+	}
+	type retyped struct {
+		Cycles  int32
+		Retired uint64 `json:"retired"`
+	}
+	base := schemaOf(reflect.TypeOf(v1{}))
+	if got := schemaOf(reflect.TypeOf(v1Copy{})); got != base {
+		t.Error("identical shapes produced different fingerprints")
+	}
+	for name, typ := range map[string]reflect.Type{
+		"added field": reflect.TypeOf(added{}),
+		"renamed tag": reflect.TypeOf(renamed{}),
+		"retyped":     reflect.TypeOf(retyped{}),
+	} {
+		if schemaOf(typ) == base {
+			t.Errorf("%s not reflected in the fingerprint", name)
+		}
+	}
+}
+
+// Recursive types must not hang the walk.
+func TestSchemaOfRecursiveType(t *testing.T) {
+	type node struct {
+		Next  *node
+		Value int
+	}
+	if schemaOf(reflect.TypeOf(node{})) == "" {
+		t.Error("recursive type produced empty fingerprint")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"dmp/internal/cache"
 	"dmp/internal/emu"
 	"dmp/internal/isa"
+	"dmp/internal/trace"
 )
 
 // Sim is one simulation instance. Create with New, run with Run.
@@ -50,6 +51,10 @@ type Sim struct {
 	stats           Stats
 	lastRetireCycle int64
 	fetchDone       bool
+
+	// audit accumulates the per-branch session audit (always on: its cost
+	// is per dpred session / flush, not per instruction).
+	audit trace.AuditBuilder
 
 	readsBuf []int
 }
@@ -105,6 +110,7 @@ func (s *Sim) Run() (Stats, error) {
 		}
 	}
 	s.stats.Cycles = s.cycle
+	s.stats.Audit = s.audit.Build()
 	s.stats.ConfPVN = s.conf.PVN()
 	s.stats.ConfCoverage = s.conf.Coverage()
 	s.stats.ICache = s.hier.I.Stats()
@@ -297,8 +303,31 @@ func (s *Sim) checkFlush() {
 	}
 }
 
+// event routes an audit-relevant event to the always-on audit builder and,
+// when tracing is enabled, to the configured tracer. High-volume events that
+// carry no audit information (fetch breaks) skip this path and are emitted
+// at their call sites under an inline nil-Tracer check instead.
+func (s *Sim) event(ev trace.Event) {
+	s.audit.Add(ev)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Event(ev)
+	}
+}
+
+// endSession emits the end-of-session event for sess: the outcome kind, the
+// cycle span the session was live (its dpred overhead), and whether ending
+// this way avoided a pipeline flush.
+func (s *Sim) endSession(sess *dpredSession, kind trace.Kind, saved bool, why string, pc int) {
+	s.event(trace.Event{
+		Kind: kind, Cycle: s.cycle, Seq: sess.branchSeq,
+		PC: pc, Branch: sess.branchPC, Loop: sess.isLoop,
+		Saved: saved, Overhead: s.cycle - sess.enterCyc, Why: why,
+	})
+}
+
 func (s *Sim) doFlush(e *entry) {
 	s.stats.Flushes++
+	s.event(trace.Event{Kind: trace.KindFlush, Cycle: s.cycle, Seq: e.seq, PC: e.pc, Branch: e.pc, Loop: e.loopCond})
 	// Squash the ROB tail younger than e.
 	lo, hi := s.robHead, len(s.rob)
 	for lo < hi {
@@ -323,8 +352,15 @@ func (s *Sim) doFlush(e *entry) {
 	if e.sess != nil && !e.isDivBranch && !e.loopCond {
 		s.stats.DpredInnerFlush++
 	}
-	// Cancel any active dpred session.
+	// Cancel any active dpred session. A loop session flushed by its own
+	// pending no-exit entry ends as the no-exit outcome; any other flush
+	// under an open session is a cancellation.
 	if s.dp != nil {
+		if e.loopCond && e.sess == s.dp {
+			s.endSession(s.dp, trace.KindLoopNoExit, false, "", e.pc)
+		} else {
+			s.endSession(s.dp, trace.KindDpredFlushCancel, false, "", e.pc)
+		}
 		s.dp.ended = true
 		s.dp = nil
 	}

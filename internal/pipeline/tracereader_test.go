@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+)
+
+// straightProg returns a program that consumes every input value into an
+// accumulator: a predictable instruction count for boundary tests.
+func straightProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.Label("loop")
+	b.InAvail(1)
+	b.Beqz(1, "done")
+	b.In(2)
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Out(3)
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func TestTraceReaderPeekNextDone(t *testing.T) {
+	p := straightProg(t)
+	tr := newTraceReader(emu.New(p, constBits(1, 4), 0), 0)
+
+	if tr.Done() {
+		t.Fatal("Done before first entry")
+	}
+	a, ok := tr.Peek()
+	if !ok {
+		t.Fatal("Peek failed on fresh reader")
+	}
+	// Peek must not consume: a second Peek and the following Next see the
+	// same entry, and Count only moves on Next.
+	if b, ok := tr.Peek(); !ok || b != a {
+		t.Errorf("second Peek = (%+v, %v), want same entry", b, ok)
+	}
+	if tr.Count() != 0 {
+		t.Errorf("Count after Peek = %d, want 0", tr.Count())
+	}
+	c, ok := tr.Next()
+	if !ok || c != a {
+		t.Errorf("Next = (%+v, %v), want the peeked entry", c, ok)
+	}
+	if tr.Count() != 1 {
+		t.Errorf("Count after Next = %d, want 1", tr.Count())
+	}
+
+	// Drain; the reader must end cleanly exactly once.
+	n := tr.Count()
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		n = tr.Count()
+	}
+	if !tr.Done() || tr.Err() != nil {
+		t.Errorf("after drain: Done=%v Err=%v", tr.Done(), tr.Err())
+	}
+	if _, ok := tr.Peek(); ok {
+		t.Error("Peek succeeded after exhaustion")
+	}
+	if n == 0 {
+		t.Error("no entries consumed")
+	}
+}
+
+func TestTraceReaderMaxInstsBoundary(t *testing.T) {
+	p := straightProg(t)
+	// Unbounded length for this input.
+	full := newTraceReader(emu.New(p, constBits(1, 50), 0), 0)
+	var total uint64
+	for {
+		if _, ok := full.Next(); !ok {
+			break
+		}
+		total++
+	}
+	if total < 10 {
+		t.Fatalf("test program too short: %d entries", total)
+	}
+
+	max := total / 2
+	tr := newTraceReader(emu.New(p, constBits(1, 50), 0), max)
+	var got uint64
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		got++
+	}
+	if got != max {
+		t.Errorf("consumed %d entries with maxInsts=%d", got, max)
+	}
+	if !tr.Done() || tr.Err() != nil {
+		t.Errorf("after cap: Done=%v Err=%v", tr.Done(), tr.Err())
+	}
+	// The cap is checked before stepping, so a capped reader must never
+	// over-consume even when polled again.
+	if _, ok := tr.Next(); ok || tr.Count() != max {
+		t.Errorf("reader moved past cap: count=%d", tr.Count())
+	}
+}
+
+// A faulting program must surface the emulator error through Sim.Run as a
+// functional-execution error, not hang or silently truncate the run.
+func TestRunSurfacesEmulatorFault(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.ALUI(isa.OpAdd, 3, 3, 1)
+	b.Ld(1, 0, 1<<40) // load far out of the memory range
+	b.Halt()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	for _, dmp := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.DMP = dmp
+		_, err := Run(p, nil, cfg)
+		if err == nil {
+			t.Fatalf("dmp=%v: no error from faulting program", dmp)
+		}
+		if !strings.Contains(err.Error(), "functional execution") ||
+			!strings.Contains(err.Error(), "out of range") {
+			t.Errorf("dmp=%v: error = %v, want functional-execution wrap of the emu fault", dmp, err)
+		}
+	}
+}
+
+func TestRunMaxInstsRetiresExactly(t *testing.T) {
+	p := straightProg(t)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 40
+	st, err := Run(p, constBits(1, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 40 {
+		t.Errorf("Retired = %d, want exactly MaxInsts=40", st.Retired)
+	}
+}

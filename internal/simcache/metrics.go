@@ -11,6 +11,7 @@ type Metrics struct {
 	dedups    atomic.Uint64
 	diskHits  atomic.Uint64
 	misses    atomic.Uint64
+	bypasses  atomic.Uint64
 	simWallNS atomic.Int64
 	simCycles atomic.Int64
 }
@@ -21,6 +22,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Dedups:    m.dedups.Load(),
 		DiskHits:  m.diskHits.Load(),
 		Misses:    m.misses.Load(),
+		Bypasses:  m.bypasses.Load(),
 		SimWall:   time.Duration(m.simWallNS.Load()),
 		SimCycles: m.simCycles.Load(),
 	}
@@ -38,6 +40,9 @@ type Snapshot struct {
 	DiskHits uint64 `json:"disk_hits"`
 	// Misses counts simulations actually executed.
 	Misses uint64 `json:"misses"`
+	// Bypasses counts traced simulations that skipped memoization (a
+	// cached answer would emit no events); they execute every time.
+	Bypasses uint64 `json:"bypasses"`
 	// SimWall is the aggregate wall time spent inside pipeline.Run.
 	SimWall time.Duration `json:"sim_wall_ns"`
 	// SimCycles is the total simulated cycles across executed runs.
@@ -73,6 +78,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Dedups:    s.Dedups - prev.Dedups,
 		DiskHits:  s.DiskHits - prev.DiskHits,
 		Misses:    s.Misses - prev.Misses,
+		Bypasses:  s.Bypasses - prev.Bypasses,
 		SimWall:   s.SimWall - prev.SimWall,
 		SimCycles: s.SimCycles - prev.SimCycles,
 	}

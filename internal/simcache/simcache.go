@@ -33,9 +33,14 @@ import (
 // EnvDir names the environment variable that enables the on-disk layer.
 const EnvDir = "DMP_CACHE_DIR"
 
-// keySchema is folded into every key; bump it when the key derivation or the
-// on-disk stats encoding changes shape, so stale directories read as misses.
-const keySchema = "dmp-simcache-v1\x00"
+// keySchema is folded into every key. It has two components: a hand-bumped
+// generation for changes to the key derivation itself, and the reflection-
+// derived fingerprint of the Stats wire shape (pipeline.StatsSchema), so that
+// extending Stats automatically invalidates old entries — without it, stale
+// DMP_CACHE_DIR entries written by an older binary would unmarshal with the
+// new fields silently zero-valued. The same fingerprint versions the on-disk
+// layout (see diskPath).
+var keySchema = "dmp-simcache-v2\x00" + pipeline.StatsSchema() + "\x00"
 
 // Key identifies one simulation: a content hash of program, input and config.
 type Key [sha256.Size]byte
@@ -129,10 +134,22 @@ func (c *Cache) KeyOf(prog *isa.Program, input []int64, cfg pipeline.Config) Key
 
 // Run returns the memoized statistics for the simulation, executing it at
 // most once per process per distinct (program, input, config) triple. On a
-// nil cache it degenerates to pipeline.Run.
+// nil cache it degenerates to pipeline.Run. Traced runs (cfg.Tracer != nil)
+// bypass memoization entirely: a cached answer would silently emit no
+// events, and the tracer is deliberately not part of the cache key.
 func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
 	if c == nil {
 		return pipeline.Run(prog, input, cfg)
+	}
+	if cfg.Tracer != nil {
+		c.metrics.bypasses.Add(1)
+		start := time.Now()
+		st, err := pipeline.Run(prog, input, cfg)
+		c.metrics.simWallNS.Add(int64(time.Since(start)))
+		if err == nil {
+			c.metrics.simCycles.Add(st.Cycles)
+		}
+		return st, err
 	}
 	key := c.KeyOf(prog, input, cfg)
 
@@ -179,8 +196,12 @@ func (c *Cache) Metrics() Snapshot {
 	return c.metrics.snapshot()
 }
 
+// diskPath places entries under a schema-versioned subdirectory. The Stats
+// fingerprint is already folded into the key hash; repeating it in the path
+// keeps generations physically separate, so stale-schema files can never be
+// picked up (and are easy to garbage-collect by directory).
 func (c *Cache) diskPath(key Key) string {
-	return filepath.Join(c.dir, key.String()+".json")
+	return filepath.Join(c.dir, "s-"+pipeline.StatsSchema(), key.String()+".json")
 }
 
 // loadDisk consults the persistent layer; any failure (missing file, stale
@@ -212,10 +233,11 @@ func (c *Cache) storeDisk(key Key, st pipeline.Stats) {
 	if err != nil {
 		return
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	dir := filepath.Dir(c.diskPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	tmp, err := os.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return
 	}

@@ -3,6 +3,7 @@ package simcache
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestRunMemoizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Error("memoized result differs from first run")
 	}
 	m := c.Metrics()
@@ -129,7 +130,7 @@ func TestRunDeduplicatesConcurrent(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatal(errs[i])
 		}
-		if results[i] != results[0] {
+		if !reflect.DeepEqual(results[i], results[0]) {
 			t.Errorf("worker %d saw a different result", i)
 		}
 	}
@@ -153,7 +154,7 @@ func TestDiskLayer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	entries, err := filepath.Glob(filepath.Join(dir, "s-*", "*.json"))
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("cache dir entries = %v (err %v), want 1", entries, err)
 	}
@@ -163,7 +164,7 @@ func TestDiskLayer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Error("disk-cached result differs from simulated result")
 	}
 	m := cold.Metrics()
@@ -183,7 +184,7 @@ func TestDiskLayer(t *testing.T) {
 	if rm := rec.Metrics(); rm.Misses != 1 || rm.DiskHits != 0 {
 		t.Errorf("corrupt entry metrics = %+v, want re-simulation", rm)
 	}
-	if cres != a {
+	if !reflect.DeepEqual(cres, a) {
 		t.Error("re-simulated result differs")
 	}
 }

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dmp/internal/trace"
+)
+
+// RankAudits orders an audit table by how much trouble each branch caused:
+// pipeline flushes first, then wasted dpred cycles, then session count, with
+// the branch address as the deterministic tie-break. The input is not
+// modified.
+func RankAudits(audits []trace.BranchAudit) []trace.BranchAudit {
+	out := append([]trace.BranchAudit(nil), audits...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Flushes != b.Flushes {
+			return a.Flushes > b.Flushes
+		}
+		if a.WastedCycles != b.WastedCycles {
+			return a.WastedCycles > b.WastedCycles
+		}
+		if a.Entered != b.Entered {
+			return a.Entered > b.Entered
+		}
+		return a.Branch < b.Branch
+	})
+	return out
+}
+
+// RenderAudits writes the per-branch dpred-session audit table, ranked by
+// RankAudits and truncated to topN rows (topN <= 0 renders every row), with
+// a totals row over the full table.
+func RenderAudits(w io.Writer, audits []trace.BranchAudit, topN int) {
+	if len(audits) == 0 {
+		fmt.Fprintln(w, "session audit: no dpred sessions or flushes recorded")
+		return
+	}
+	ranked := RankAudits(audits)
+	shown := len(ranked)
+	if topN > 0 && topN < shown {
+		shown = topN
+	}
+	fmt.Fprintf(w, "%-8s%8s%8s%8s%8s%8s%8s%10s%18s\n",
+		"branch", "flushes", "entered", "merged", "fallbk", "cancel", "saved", "wasted", "loop e/l/n/end")
+	for _, a := range ranked[:shown] {
+		fmt.Fprintf(w, "%-8d%8d%8d%8d%8d%8d%8d%10d%18s\n",
+			a.Branch, a.Flushes, a.Entered, a.Merged, a.Fallback, a.FlushCancelled,
+			a.SavedFlushes, a.WastedCycles,
+			fmt.Sprintf("%d/%d/%d/%d", a.LoopEarlyExit, a.LoopLateExit, a.LoopNoExit, a.LoopEnded))
+	}
+	if shown < len(ranked) {
+		fmt.Fprintf(w, "... %d more branches\n", len(ranked)-shown)
+	}
+	t := trace.Totals(audits)
+	fmt.Fprintf(w, "%-8s%8d%8d%8d%8d%8d%8d%10d%18s  (%d branches)\n",
+		"total", t.Flushes, t.Entered, t.Merged, t.Fallback, t.FlushCancelled,
+		t.SavedFlushes, t.WastedCycles,
+		fmt.Sprintf("%d/%d/%d/%d", t.LoopEarlyExit, t.LoopLateExit, t.LoopNoExit, t.LoopEnded),
+		t.Branches)
+}

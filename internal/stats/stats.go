@@ -22,19 +22,33 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs, which must be positive.
+// GeoMean returns the geometric mean of the positive values of xs.
+// Non-positive values (a degenerate benchmark with speedup <= 0) are skipped
+// rather than zero-poisoning the whole summary; use GeoMeanSkip when the
+// caller needs to report how many values were dropped.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+	g, _ := GeoMeanSkip(xs)
+	return g
+}
+
+// GeoMeanSkip returns the geometric mean of the positive values of xs and
+// the number of non-positive values skipped. It returns (0, len(xs)) when no
+// value is positive, and (0, 0) for empty input.
+func GeoMeanSkip(xs []float64) (geomean float64, skipped int) {
 	var s float64
+	n := 0
 	for _, x := range xs {
-		if x <= 0 {
-			return 0
+		if x <= 0 || math.IsNaN(x) {
+			skipped++
+			continue
 		}
 		s += math.Log(x)
+		n++
 	}
-	return math.Exp(s / float64(len(xs)))
+	if n == 0 {
+		return 0, skipped
+	}
+	return math.Exp(s / float64(n)), skipped
 }
 
 // Table is a column-per-benchmark result table: each row is a named series

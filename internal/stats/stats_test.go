@@ -24,11 +24,25 @@ func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
 		t.Errorf("GeoMean = %v, want 4", got)
 	}
-	if GeoMean([]float64{1, 0}) != 0 {
-		t.Error("GeoMean with zero should be 0")
+	// Non-positive values are skipped, not zero-poisoning the summary.
+	if got := GeoMean([]float64{4, 0}); got != 4 {
+		t.Errorf("GeoMean with zero = %v, want 4 (zero skipped)", got)
 	}
-	if GeoMean([]float64{1, -2}) != 0 {
-		t.Error("GeoMean with negative should be 0")
+	if got := GeoMean([]float64{4, -2}); got != 4 {
+		t.Errorf("GeoMean with negative = %v, want 4 (negative skipped)", got)
+	}
+}
+
+func TestGeoMeanSkip(t *testing.T) {
+	g, skipped := GeoMeanSkip([]float64{2, 0, 8, -1, math.NaN()})
+	if math.Abs(g-4) > 1e-12 || skipped != 3 {
+		t.Errorf("GeoMeanSkip = (%v, %d), want (4, 3)", g, skipped)
+	}
+	if g, skipped := GeoMeanSkip([]float64{0, -3}); g != 0 || skipped != 2 {
+		t.Errorf("GeoMeanSkip all-nonpositive = (%v, %d), want (0, 2)", g, skipped)
+	}
+	if g, skipped := GeoMeanSkip(nil); g != 0 || skipped != 0 {
+		t.Errorf("GeoMeanSkip(nil) = (%v, %d), want (0, 0)", g, skipped)
 	}
 }
 

@@ -1,0 +1,174 @@
+package trace
+
+import "sort"
+
+// BranchAudit aggregates dpred-session outcomes and flushes for one branch
+// address. The simulator folds a sorted []BranchAudit into its Stats; the
+// same table is reproducible offline by feeding a captured event stream
+// through an AuditBuilder.
+//
+// Entered may exceed the sum of the end-outcome counters by one when the
+// simulated trace ran out while a session was still open.
+type BranchAudit struct {
+	// Branch is the branch address the row audits.
+	Branch int `json:"branch"`
+	// Flushes counts pipeline flushes triggered by this branch.
+	Flushes uint64 `json:"flushes,omitempty"`
+	// Entered counts dpred sessions opened at this branch; LoopEntered is
+	// the loop-session subset.
+	Entered     uint64 `json:"entered,omitempty"`
+	LoopEntered uint64 `json:"loop_entered,omitempty"`
+	// Merged counts forward sessions that reached a CFM on both paths.
+	Merged uint64 `json:"merged,omitempty"`
+	// Fallback counts forward sessions ended by resolution before merge
+	// (the dual-path fallback).
+	Fallback uint64 `json:"fallback,omitempty"`
+	// FlushCancelled counts sessions cancelled by a pipeline flush.
+	FlushCancelled uint64 `json:"flush_cancelled,omitempty"`
+	// Loop outcome counters (Section 5.1 cases); LoopEnded covers clean
+	// ends (predicted exit, resolution, predicate exhaustion).
+	LoopEarlyExit uint64 `json:"loop_early_exit,omitempty"`
+	LoopLateExit  uint64 `json:"loop_late_exit,omitempty"`
+	LoopNoExit    uint64 `json:"loop_no_exit,omitempty"`
+	LoopEnded     uint64 `json:"loop_ended,omitempty"`
+	// Throttled counts dpred entries suppressed by usefulness feedback.
+	Throttled uint64 `json:"throttled,omitempty"`
+	// SavedFlushes counts session ends that avoided a pipeline flush.
+	SavedFlushes uint64 `json:"saved_flushes,omitempty"`
+	// WastedCycles sums the cycle spans of sessions that ended without
+	// avoiding a flush: dpred-mode overhead that bought nothing.
+	WastedCycles int64 `json:"wasted_cycles,omitempty"`
+}
+
+// Sessions returns the number of session-end outcomes recorded for the row.
+func (a BranchAudit) Sessions() uint64 {
+	return a.Merged + a.Fallback + a.FlushCancelled +
+		a.LoopEarlyExit + a.LoopLateExit + a.LoopNoExit + a.LoopEnded
+}
+
+// AuditBuilder accumulates BranchAudit rows from an event stream. The zero
+// value is ready to use. It is not safe for concurrent use; the simulator
+// owns one per run, and offline consumers feed it from a single decode loop.
+type AuditBuilder struct {
+	m map[int]*BranchAudit
+}
+
+// NewAuditBuilder returns an empty builder.
+func NewAuditBuilder() *AuditBuilder { return &AuditBuilder{} }
+
+func (b *AuditBuilder) row(branch int) *BranchAudit {
+	if b.m == nil {
+		b.m = map[int]*BranchAudit{}
+	}
+	a := b.m[branch]
+	if a == nil {
+		a = &BranchAudit{Branch: branch}
+		b.m[branch] = a
+	}
+	return a
+}
+
+// Add accounts one event. Kinds that carry no audit information
+// (fetch breaks) are ignored.
+func (b *AuditBuilder) Add(e Event) {
+	switch e.Kind {
+	case KindFlush:
+		b.row(e.Branch).Flushes++
+		return
+	case KindDpredEnter:
+		a := b.row(e.Branch)
+		a.Entered++
+		if e.Loop {
+			a.LoopEntered++
+		}
+		return
+	case KindDpredThrottled:
+		b.row(e.Branch).Throttled++
+		return
+	}
+	if !e.Kind.EndsSession() {
+		return
+	}
+	a := b.row(e.Branch)
+	switch e.Kind {
+	case KindDpredMerge:
+		a.Merged++
+	case KindDpredFallback:
+		a.Fallback++
+	case KindDpredFlushCancel:
+		a.FlushCancelled++
+	case KindLoopEarlyExit:
+		a.LoopEarlyExit++
+	case KindLoopLateExit:
+		a.LoopLateExit++
+	case KindLoopNoExit:
+		a.LoopNoExit++
+	case KindLoopEnd:
+		a.LoopEnded++
+	}
+	if e.Saved {
+		a.SavedFlushes++
+	} else {
+		a.WastedCycles += e.Overhead
+	}
+}
+
+// Build returns the audit table sorted by branch address.
+func (b *AuditBuilder) Build() []BranchAudit {
+	if len(b.m) == 0 {
+		return nil
+	}
+	out := make([]BranchAudit, 0, len(b.m))
+	for _, a := range b.m {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Branch < out[j].Branch })
+	return out
+}
+
+// AuditTotals sums an audit table; the harness aggregates these across every
+// DMP simulation of a session for the -metrics-json report.
+type AuditTotals struct {
+	// Branches counts distinct audited branch addresses.
+	Branches       int    `json:"branches"`
+	Flushes        uint64 `json:"flushes"`
+	Entered        uint64 `json:"entered"`
+	LoopEntered    uint64 `json:"loop_entered"`
+	Merged         uint64 `json:"merged"`
+	Fallback       uint64 `json:"fallback"`
+	FlushCancelled uint64 `json:"flush_cancelled"`
+	LoopEarlyExit  uint64 `json:"loop_early_exit"`
+	LoopLateExit   uint64 `json:"loop_late_exit"`
+	LoopNoExit     uint64 `json:"loop_no_exit"`
+	LoopEnded      uint64 `json:"loop_ended"`
+	Throttled      uint64 `json:"throttled"`
+	SavedFlushes   uint64 `json:"saved_flushes"`
+	WastedCycles   int64  `json:"wasted_cycles"`
+}
+
+// Add folds an audit table into the totals.
+func (t *AuditTotals) Add(audits []BranchAudit) {
+	t.Branches += len(audits)
+	for _, a := range audits {
+		t.Flushes += a.Flushes
+		t.Entered += a.Entered
+		t.LoopEntered += a.LoopEntered
+		t.Merged += a.Merged
+		t.Fallback += a.Fallback
+		t.FlushCancelled += a.FlushCancelled
+		t.LoopEarlyExit += a.LoopEarlyExit
+		t.LoopLateExit += a.LoopLateExit
+		t.LoopNoExit += a.LoopNoExit
+		t.LoopEnded += a.LoopEnded
+		t.Throttled += a.Throttled
+		t.SavedFlushes += a.SavedFlushes
+		t.WastedCycles += a.WastedCycles
+	}
+}
+
+// Totals sums one audit table.
+func Totals(audits []BranchAudit) AuditTotals {
+	var t AuditTotals
+	t.Add(audits)
+	return t
+}

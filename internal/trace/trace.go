@@ -1,0 +1,383 @@
+// Package trace is the cycle-level observability layer for the pipeline
+// model: a low-overhead structured event stream (fetch breaks, flushes,
+// dpred-session lifecycle, loop-predication outcomes) plus a per-diverge-
+// branch session audit built from those events.
+//
+// The simulator emits events through the pipeline.Config.Tracer hook, which
+// is nil-checked at every call site so the default (untraced) path costs
+// nothing. Events carry the cycle, the sequence number of the triggering
+// entry, the instruction PC and the (diverge or flushing) branch address, so
+// a drifting aggregate number can be tracked back to the individual dpred
+// sessions that produced it.
+//
+// The JSON wire format is one object per line:
+//
+//	{"kind":"cfm-merge","cycle":812,"seq":394,"pc":17,"branch":9,
+//	 "saved":true,"overhead":41}
+//
+// with "loop", "saved", "overhead" and "why" omitted when zero. The same
+// schema is consumed by cmd/dmptrace and by Reader in this package; an
+// AuditBuilder fed from a decoded stream reproduces exactly the audit table
+// the simulator folds into its Stats.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Kind enumerates the event types.
+type Kind uint8
+
+const (
+	// KindFetchBreak marks a front-end fetch break (Why: "line" for an
+	// I-cache line boundary, "icache-miss" for a miss stall, "taken" for a
+	// taken-branch redirect).
+	KindFetchBreak Kind = iota
+	// KindFlush is a pipeline flush; Branch is the flushing branch PC.
+	KindFlush
+	// KindDpredEnter opens a dpred session at a diverge branch (Loop set
+	// for loop sessions).
+	KindDpredEnter
+	// KindDpredMerge ends a forward session at a CFM point reached on both
+	// paths; PC is the merge point when it is an address CFM.
+	KindDpredMerge
+	// KindDpredFallback ends a forward session by branch resolution before
+	// the paths merged (the dual-path fallback).
+	KindDpredFallback
+	// KindDpredFlushCancel ends a session cancelled by a pipeline flush
+	// (an inner misprediction or an older branch's flush).
+	KindDpredFlushCancel
+	// KindLoopEarlyExit ends a loop session whose predictor left the loop
+	// while the trace kept iterating (flush at resolve).
+	KindLoopEarlyExit
+	// KindLoopLateExit ends a loop session whose extra predicated
+	// iterations rejoined the trace at the loop exit (flush avoided).
+	KindLoopLateExit
+	// KindLoopNoExit ends a loop session whose extra iterations never
+	// rejoined; the pending conditional flush fired.
+	KindLoopNoExit
+	// KindLoopEnd ends a loop session without a flush event of its own
+	// (Why: "exit-predicted", "preds-exhausted" or "resolved").
+	KindLoopEnd
+	// KindDpredThrottled marks a dpred entry suppressed by the usefulness
+	// feedback table.
+	KindDpredThrottled
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindFetchBreak:       "fetch-break",
+	KindFlush:            "flush",
+	KindDpredEnter:       "dpred-enter",
+	KindDpredMerge:       "cfm-merge",
+	KindDpredFallback:    "dual-path-fallback",
+	KindDpredFlushCancel: "flush-cancel",
+	KindLoopEarlyExit:    "loop-early-exit",
+	KindLoopLateExit:     "loop-late-exit",
+	KindLoopNoExit:       "loop-no-exit",
+	KindLoopEnd:          "loop-end",
+	KindDpredThrottled:   "dpred-throttled",
+}
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString maps a wire name back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// EndsSession reports whether the kind closes a dpred session.
+func (k Kind) EndsSession() bool {
+	switch k {
+	case KindDpredMerge, KindDpredFallback, KindDpredFlushCancel,
+		KindLoopEarlyExit, KindLoopLateExit, KindLoopNoExit, KindLoopEnd:
+		return true
+	}
+	return false
+}
+
+// Kinds lists every event kind in wire order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Event is one structured pipeline event.
+type Event struct {
+	Kind Kind
+	// Cycle is the simulation cycle the event occurred on.
+	Cycle int64
+	// Seq is the sequence number of the triggering entry (the diverge
+	// branch for session events), 0 when not applicable.
+	Seq int64
+	// PC is the instruction address the event is attached to.
+	PC int
+	// Branch is the diverge/flushing branch address, -1 when none.
+	Branch int
+	// Loop marks loop-session events.
+	Loop bool
+	// Saved marks a session end that avoided a pipeline flush.
+	Saved bool
+	// Overhead is the session's cycle span on session-end events.
+	Overhead int64
+	// Why refines the kind ("line", "icache-miss", "taken",
+	// "exit-predicted", "preds-exhausted", "resolved").
+	Why string
+}
+
+// appendJSON renders the event as a single JSON object without reflection or
+// intermediate allocation beyond growing dst.
+func (e Event) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","cycle":`...)
+	dst = strconv.AppendInt(dst, e.Cycle, 10)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendInt(dst, e.Seq, 10)
+	dst = append(dst, `,"pc":`...)
+	dst = strconv.AppendInt(dst, int64(e.PC), 10)
+	dst = append(dst, `,"branch":`...)
+	dst = strconv.AppendInt(dst, int64(e.Branch), 10)
+	if e.Loop {
+		dst = append(dst, `,"loop":true`...)
+	}
+	if e.Saved {
+		dst = append(dst, `,"saved":true`...)
+	}
+	if e.Overhead != 0 {
+		dst = append(dst, `,"overhead":`...)
+		dst = strconv.AppendInt(dst, e.Overhead, 10)
+	}
+	if e.Why != "" {
+		dst = append(dst, `,"why":"`...)
+		dst = append(dst, e.Why...) // wire whys are plain identifiers
+		dst = append(dst, '"')
+	}
+	return append(dst, '}')
+}
+
+// MarshalJSON implements json.Marshaler with the wire schema above.
+func (e Event) MarshalJSON() ([]byte, error) { return e.appendJSON(nil), nil }
+
+// wireEvent mirrors the JSON schema for decoding.
+type wireEvent struct {
+	Kind     string `json:"kind"`
+	Cycle    int64  `json:"cycle"`
+	Seq      int64  `json:"seq"`
+	PC       int    `json:"pc"`
+	Branch   int    `json:"branch"`
+	Loop     bool   `json:"loop"`
+	Saved    bool   `json:"saved"`
+	Overhead int64  `json:"overhead"`
+	Why      string `json:"why"`
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the wire schema.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var w wireEvent
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	k, ok := KindFromString(w.Kind)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", w.Kind)
+	}
+	*e = Event{Kind: k, Cycle: w.Cycle, Seq: w.Seq, PC: w.PC, Branch: w.Branch,
+		Loop: w.Loop, Saved: w.Saved, Overhead: w.Overhead, Why: w.Why}
+	return nil
+}
+
+// Tracer receives pipeline events. Implementations must be safe for
+// concurrent use: the harness shares one tracer across parallel simulations.
+type Tracer interface {
+	Event(Event)
+}
+
+// Collector accumulates events in memory (tests and summarizers).
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	counts [numKinds]uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Event implements Tracer.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events in arrival order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns the number of collected events of the kind.
+func (c *Collector) Count(k Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Len returns the total number of collected events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// JSONWriter streams events as JSON lines to an io.Writer.
+type JSONWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONWriter wraps w in a buffered JSON-lines event writer. Call Close to
+// flush.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Event implements Tracer.
+func (w *JSONWriter) Event(e Event) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.buf = e.appendJSON(w.buf[:0])
+		w.buf = append(w.buf, '\n')
+		_, w.err = w.bw.Write(w.buf)
+	}
+	w.mu.Unlock()
+}
+
+// Close flushes buffered events and returns the first write error.
+func (w *JSONWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// TextWriter streams events as human-readable lines to an io.Writer.
+type TextWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTextWriter wraps w in a buffered text event writer. Call Close to flush.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Event implements Tracer.
+func (w *TextWriter) Event(e Event) {
+	w.mu.Lock()
+	if w.err == nil {
+		_, w.err = fmt.Fprintf(w.bw, "cyc %-10d seq %-9d %-18s pc=%d branch=%d", e.Cycle, e.Seq, e.Kind, e.PC, e.Branch)
+		if w.err == nil {
+			if e.Loop {
+				fmt.Fprint(w.bw, " loop")
+			}
+			if e.Saved {
+				fmt.Fprint(w.bw, " saved")
+			}
+			if e.Overhead != 0 {
+				fmt.Fprintf(w.bw, " overhead=%d", e.Overhead)
+			}
+			if e.Why != "" {
+				fmt.Fprintf(w.bw, " why=%s", e.Why)
+			}
+			_, w.err = fmt.Fprintln(w.bw)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Close flushes buffered events and returns the first write error.
+func (w *TextWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Reader decodes a JSON-lines event stream.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a streaming decoder over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next event; io.EOF ends the stream.
+func (r *Reader) Next() (Event, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// ReadAll decodes every event from r.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	rd := NewReader(r)
+	for {
+		e, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindFetchBreak, Cycle: 1, Seq: 3, PC: 10, Branch: -1, Why: "line"},
+		{Kind: KindFlush, Cycle: 7, Seq: 9, PC: 12, Branch: 12},
+		{Kind: KindDpredEnter, Cycle: 8, Seq: 10, PC: 12, Branch: 12},
+		{Kind: KindDpredEnter, Cycle: 20, Seq: 30, PC: 40, Branch: 40, Loop: true},
+		{Kind: KindDpredEnter, Cycle: 65, Seq: 50, PC: 40, Branch: 40, Loop: true},
+		{Kind: KindDpredMerge, Cycle: 15, Seq: 10, PC: 17, Branch: 12, Saved: true, Overhead: 7},
+		{Kind: KindLoopLateExit, Cycle: 60, Seq: 30, PC: 44, Branch: 40, Loop: true, Saved: true, Overhead: 40},
+		{Kind: KindLoopEnd, Cycle: 70, Seq: 50, PC: 40, Branch: 40, Loop: true, Overhead: 5, Why: "exit-predicted"},
+		{Kind: KindDpredThrottled, Cycle: 80, Seq: 60, PC: 12, Branch: 12},
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = (%v, %v), want (%v, true)", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("no-such-kind"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Errorf("out-of-range kind string = %q", Kind(200).String())
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	for _, e := range sampleEvents() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Event
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("decode %s: %v", b, err)
+		}
+		if got != e {
+			t.Errorf("round trip %s:\n got %+v\nwant %+v", b, got, e)
+		}
+	}
+}
+
+// The hand-rolled appendJSON must agree with what encoding/json would accept,
+// and omit the optional fields when zero.
+func TestEventJSONShape(t *testing.T) {
+	e := Event{Kind: KindFlush, Cycle: 7, Seq: 9, PC: 12, Branch: 12}
+	b, _ := json.Marshal(e)
+	s := string(b)
+	for _, forbidden := range []string{"loop", "saved", "overhead", "why"} {
+		if strings.Contains(s, forbidden) {
+			t.Errorf("zero field %q not omitted: %s", forbidden, s)
+		}
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("not valid JSON: %s", b)
+	}
+	if m["kind"] != "flush" || m["cycle"] != float64(7) {
+		t.Errorf("unexpected shape: %s", b)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewJSONWriter(&buf)
+	for _, e := range events {
+		w.Event(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("stream round trip:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestReaderSkipsBlanksAndReportsLine(t *testing.T) {
+	in := "\n{\"kind\":\"flush\",\"cycle\":1,\"seq\":2,\"pc\":3,\"branch\":3}\n\nnot json\n"
+	r := NewReader(strings.NewReader(in))
+	if e, err := r.Next(); err != nil || e.Kind != KindFlush {
+		t.Fatalf("Next = (%+v, %v)", e, err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("bad line error = %v, want line number 4", err)
+	}
+}
+
+func TestReaderRejectsUnknownKind(t *testing.T) {
+	r := NewReader(strings.NewReader(`{"kind":"martian","cycle":1}`))
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("")).Next(); err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	for _, e := range sampleEvents() {
+		c.Event(e)
+	}
+	if c.Len() != len(sampleEvents()) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(sampleEvents()))
+	}
+	if c.Count(KindDpredEnter) != 3 || c.Count(KindFlush) != 1 || c.Count(KindDpredFallback) != 0 {
+		t.Errorf("counts: enter=%d flush=%d fallback=%d", c.Count(KindDpredEnter), c.Count(KindFlush), c.Count(KindDpredFallback))
+	}
+	if !reflect.DeepEqual(c.Events(), sampleEvents()) {
+		t.Error("Events() lost order or content")
+	}
+}
+
+func TestEndsSession(t *testing.T) {
+	want := map[Kind]bool{
+		KindDpredMerge: true, KindDpredFallback: true, KindDpredFlushCancel: true,
+		KindLoopEarlyExit: true, KindLoopLateExit: true, KindLoopNoExit: true, KindLoopEnd: true,
+	}
+	for _, k := range Kinds() {
+		if k.EndsSession() != want[k] {
+			t.Errorf("%v.EndsSession() = %v", k, k.EndsSession())
+		}
+	}
+}
+
+func TestAuditBuilder(t *testing.T) {
+	var b AuditBuilder
+	for _, e := range sampleEvents() {
+		b.Add(e)
+	}
+	audits := b.Build()
+	if len(audits) != 2 {
+		t.Fatalf("audit rows = %d, want 2 (branches 12 and 40)", len(audits))
+	}
+	// Sorted by branch address.
+	if audits[0].Branch != 12 || audits[1].Branch != 40 {
+		t.Fatalf("branches = %d, %d", audits[0].Branch, audits[1].Branch)
+	}
+	want12 := BranchAudit{Branch: 12, Flushes: 1, Entered: 1, Merged: 1, Throttled: 1, SavedFlushes: 1}
+	if audits[0] != want12 {
+		t.Errorf("branch 12 audit = %+v, want %+v", audits[0], want12)
+	}
+	want40 := BranchAudit{Branch: 40, Entered: 2, LoopEntered: 2, LoopLateExit: 1, LoopEnded: 1,
+		SavedFlushes: 1, WastedCycles: 5}
+	if audits[1] != want40 {
+		t.Errorf("branch 40 audit = %+v, want %+v", audits[1], want40)
+	}
+	if s := audits[1].Sessions(); s != 2 {
+		t.Errorf("branch 40 sessions = %d, want 2", s)
+	}
+
+	totals := Totals(audits)
+	if totals.Branches != 2 || totals.Entered != 3 || totals.SavedFlushes != 2 ||
+		totals.WastedCycles != 5 || totals.Flushes != 1 {
+		t.Errorf("totals = %+v", totals)
+	}
+}
+
+func TestAuditBuilderEmpty(t *testing.T) {
+	var b AuditBuilder
+	if b.Build() != nil {
+		t.Error("empty builder should build nil")
+	}
+	// Fetch breaks carry no audit information.
+	b.Add(Event{Kind: KindFetchBreak, Branch: -1})
+	if b.Build() != nil {
+		t.Error("fetch breaks must not create audit rows")
+	}
+}

@@ -15,5 +15,9 @@ else
 fi
 go build ./...
 go test -race ./...
+go test -run 'TestNilTracerEventNoAlloc' ./internal/pipeline
 go run ./cmd/dmplint -corpus
+go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
+go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
+rm -f .trace-smoke.jsonl
 go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
