@@ -1,9 +1,10 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 #
 #   make ci     vet + lint + build + race tests (includes the traced
-#               concurrent harness sweep) + nil-Tracer allocation guard
+#               concurrent harness sweep) + allocation guards (nil-Tracer
+#               event emission and steady-state allocs/instruction)
 #               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
-#               + a 30s parser fuzz smoke
+#               + the benchmark-regression gate + a 30s parser fuzz smoke
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   vet plus staticcheck/golangci-lint when installed
 #   make fuzz   longer local fuzzing session for the front-end and
@@ -14,9 +15,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare
 
-ci: vet lint build race alloc-guard lint-corpus trace-smoke fuzz-smoke
+ci: vet lint build race alloc-guard lint-corpus trace-smoke bench-compare fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,10 +53,17 @@ trace-smoke:
 	$(GO) run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 	rm -f .trace-smoke.jsonl
 
-# Zero-overhead guard: a nil Tracer must add no allocation to event
-# emission. Runs without -race (the race target skips alloc counting).
+# Zero-overhead guards: a nil Tracer must add no allocation to event
+# emission, and the simulator's steady-state allocs per retired instruction
+# must stay near zero. Runs without -race (race skips alloc counting).
 alloc-guard:
-	$(GO) test -run 'TestNilTracerEventNoAlloc' ./internal/pipeline
+	$(GO) test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
+
+# Benchmark-regression gate: re-measures the corpus benchmarks, refreshes
+# BENCH_PR4.json, and fails on a >15% throughput drop against the snapshot
+# committed at HEAD. SKIP_BENCH_COMPARE=1 skips it.
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

@@ -50,12 +50,14 @@ func reportMean(b *testing.B, tbl *stats.Table, row, metric string) {
 }
 
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.Table1(io.Discard)
 	}
 }
 
 func BenchmarkTable2Characteristics(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Table2(s)
@@ -68,6 +70,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 }
 
 func BenchmarkFig5Left(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig5Left(s)
@@ -80,6 +83,7 @@ func BenchmarkFig5Left(b *testing.B) {
 }
 
 func BenchmarkFig5Right(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig5Right(s)
@@ -92,6 +96,7 @@ func BenchmarkFig5Right(b *testing.B) {
 }
 
 func BenchmarkFig6Flushes(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig6(s)
@@ -104,6 +109,7 @@ func BenchmarkFig6Flushes(b *testing.B) {
 }
 
 func BenchmarkFig7Sweep(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	// A reduced sweep for the bench target; dmpbench runs the full 5x5 grid.
 	maxInstrs := []int{10, 50, 200}
@@ -119,6 +125,7 @@ func BenchmarkFig7Sweep(b *testing.B) {
 }
 
 func BenchmarkFig8Baselines(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig8(s)
@@ -131,6 +138,7 @@ func BenchmarkFig8Baselines(b *testing.B) {
 }
 
 func BenchmarkFig9InputSets(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig9(s)
@@ -143,6 +151,7 @@ func BenchmarkFig9InputSets(b *testing.B) {
 }
 
 func BenchmarkFig10Overlap(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		tbl, err := harness.Fig10(s)
@@ -184,6 +193,7 @@ func ablationImprovement(b *testing.B, mutate func(*core.Params)) float64 {
 }
 
 func BenchmarkAblationChainReduction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		on := ablationImprovement(b, func(p *core.Params) {})
 		off := ablationImprovement(b, func(p *core.Params) { p.DisableChainReduction = true })
@@ -193,6 +203,7 @@ func BenchmarkAblationChainReduction(b *testing.B) {
 }
 
 func BenchmarkAblationMaxCFM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		one := ablationImprovement(b, func(p *core.Params) { p.MaxCFM = 1 })
 		three := ablationImprovement(b, func(p *core.Params) { p.MaxCFM = 3 })
@@ -202,6 +213,7 @@ func BenchmarkAblationMaxCFM(b *testing.B) {
 }
 
 func BenchmarkAblationAccConf(b *testing.B) {
+	b.ReportAllocs()
 	// Footnote 5: the cost model is not sensitive to Acc_Conf in 20%-50%.
 	for i := 0; i < b.N; i++ {
 		for _, acc := range []float64{0.20, 0.40, 0.50} {
@@ -215,6 +227,7 @@ func BenchmarkAblationAccConf(b *testing.B) {
 }
 
 func BenchmarkAblationShortHammock(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		with := ablationImprovement(b, func(p *core.Params) {})
 		without := ablationImprovement(b, func(p *core.Params) { p.EnableShort = false })
@@ -224,6 +237,7 @@ func BenchmarkAblationShortHammock(b *testing.B) {
 }
 
 func BenchmarkAblationOverheadMethod(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		long := ablationImprovement(b, func(p *core.Params) { *p = core.CostParams(core.LongestPath) })
 		edge := ablationImprovement(b, func(p *core.Params) { *p = core.CostParams(core.EdgeWeighted) })
@@ -235,6 +249,7 @@ func BenchmarkAblationOverheadMethod(b *testing.B) {
 // --- Component microbenchmarks ---
 
 func BenchmarkPipelineBaseline(b *testing.B) {
+	b.ReportAllocs()
 	w := bench.ByName("compress")
 	prog, err := w.Compile()
 	if err != nil {
@@ -257,6 +272,7 @@ func BenchmarkPipelineBaseline(b *testing.B) {
 }
 
 func BenchmarkPipelineDMP(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	var w *harness.Workload
 	for _, c := range s.Workloads {
@@ -282,6 +298,7 @@ func BenchmarkPipelineDMP(b *testing.B) {
 }
 
 func BenchmarkSelection(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	var w *harness.Workload
 	for _, c := range s.Workloads {
@@ -301,6 +318,7 @@ func BenchmarkSelection(b *testing.B) {
 // static diverge-branch count shrinks while the performance improvement is
 // preserved (the paper's Section 8.3 expectation).
 func BenchmarkExtension2DProfiling(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		var plainBranches, filteredBranches, plainImp, filteredImp float64
@@ -348,6 +366,7 @@ func BenchmarkExtension2DProfiling(b *testing.B) {
 // BenchmarkExtensionFeedback measures the run-time usefulness-feedback
 // extension across the corpus.
 func BenchmarkExtensionFeedback(b *testing.B) {
+	b.ReportAllocs()
 	s := session(b)
 	for i := 0; i < b.N; i++ {
 		var off, on float64

@@ -86,6 +86,28 @@ func (r *RAS) Snapshot() RASSnapshot {
 	return s
 }
 
+// SnapshotInto captures the RAS state into an existing snapshot, reusing its
+// backing array when large enough (the allocation-free path for checkpoints
+// recycled through a pool).
+func (r *RAS) SnapshotInto(s *RASSnapshot) {
+	s.top, s.pos = r.top, r.pos
+	if cap(s.stack) < len(r.stack) {
+		s.stack = make([]int, len(r.stack))
+	}
+	s.stack = s.stack[:len(r.stack)]
+	copy(s.stack, r.stack)
+}
+
+// CopyFrom makes r an exact copy of o, reusing r's backing array when the
+// depths match (they always do within one simulator).
+func (r *RAS) CopyFrom(o *RAS) {
+	if len(r.stack) != len(o.stack) {
+		r.stack = make([]int, len(o.stack))
+	}
+	r.top, r.pos = o.top, o.pos
+	copy(r.stack, o.stack)
+}
+
 // Restore rewinds the RAS to a snapshot.
 func (r *RAS) Restore(s RASSnapshot) {
 	r.top = s.top

@@ -88,6 +88,7 @@ func checkAgainstReference(t *testing.T, label string, prog *isa.Program, input 
 		t.Errorf("%s: output stream differs (%d values, reference %d); %s",
 			label, len(gotOut), len(ref.Output), firstDivergence(prog.WithAnnots(nil), input, gotOut))
 	}
+	checkGolden(t, label, st)
 }
 
 // TestPipelineMatchesEmulator runs the full 17-benchmark corpus on both input
@@ -95,6 +96,7 @@ func checkAgainstReference(t *testing.T, label string, prog *isa.Program, input 
 // order of magnitude slower) it keeps the same checks on the representative
 // four-benchmark subset used by the rest of the harness tests.
 func TestPipelineMatchesEmulator(t *testing.T) {
+	defer flushGoldens(t)
 	benches := bench.All()
 	if testing.Short() || raceEnabled {
 		benches = nil

@@ -87,6 +87,11 @@ type Session struct {
 	sessTotals trace.AuditTotals
 	degenRuns  uint64
 	degenNames map[string]bool
+
+	// startMallocs is the process-wide heap-allocation count at session
+	// creation; Metrics reports the delta as the session's allocation cost
+	// (the numerator of allocs-per-kilo-instruction).
+	startMallocs uint64
 }
 
 // noteRun folds one simulation result into the session aggregates: DMP runs
@@ -126,7 +131,7 @@ func NewSession(opts Options) (*Session, error) {
 			list = append(list, b)
 		}
 	}
-	s := &Session{Opts: opts}
+	s := &Session{Opts: opts, startMallocs: procMallocs()}
 	s.Workloads = make([]*Workload, len(list))
 	err := s.forEachIdx(len(list), func(i int) error {
 		b := list[i]

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -12,6 +13,13 @@ import (
 	"dmp/internal/simcache"
 	"dmp/internal/trace"
 )
+
+// procMallocs returns the process-wide cumulative heap-allocation count.
+func procMallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 // poolCounters instruments the forEachIdx worker pool: aggregate wall time
 // spent inside pool sections and aggregate busy time across workers. Their
@@ -80,6 +88,20 @@ type RunMetrics struct {
 	// benchmarks.
 	DegenerateRuns       uint64   `json:"degenerate_runs,omitempty"`
 	DegenerateBenchmarks []string `json:"degenerate_benchmarks,omitempty"`
+	// ProcAllocs is the process-wide heap-allocation delta since the session
+	// opened. It covers the harness as well as the simulator, which makes it
+	// an honest (upper-bound) numerator for AllocsPerKI: the simulator's own
+	// hot loop is allocation-free at steady state.
+	ProcAllocs uint64 `json:"proc_allocs"`
+}
+
+// AllocsPerKI returns process heap allocations per simulated kilo-instruction
+// actually executed (cache-answered runs contribute no instructions).
+func (m RunMetrics) AllocsPerKI() float64 {
+	if m.Cache.SimInsts == 0 {
+		return 0
+	}
+	return float64(m.ProcAllocs) * 1000 / float64(m.Cache.SimInsts)
 }
 
 // NoteExperiment records one experiment's wall time for the metrics report.
@@ -114,6 +136,7 @@ func (s *Session) Metrics() RunMetrics {
 		Busy:        time.Duration(s.pool.busyNS.Load()),
 		Wall:        time.Duration(s.pool.wallNS.Load()),
 	}
+	m.ProcAllocs = procMallocs() - s.startMallocs
 	return m
 }
 
@@ -132,8 +155,10 @@ func (m RunMetrics) Footer(w io.Writer) {
 	c := m.Cache
 	fmt.Fprintf(w, "simulations   %d executed, %d cache hits (%d in-flight, %d disk); hit rate %.1f%%\n",
 		c.Misses, c.Hits+c.Dedups+c.DiskHits, c.Dedups, c.DiskHits, 100*c.HitRate())
-	fmt.Fprintf(w, "sim wall      %v aggregate, %.1fM simulated cycles/s\n",
-		c.SimWall.Round(time.Millisecond), c.CyclesPerSec()/1e6)
+	fmt.Fprintf(w, "sim wall      %v aggregate, %.1fM simulated cycles/s, %.0f simulated KI/s\n",
+		c.SimWall.Round(time.Millisecond), c.CyclesPerSec()/1e6, c.KIPS())
+	fmt.Fprintf(w, "allocations   %d process-wide, %.1f per simulated KI\n",
+		m.ProcAllocs, m.AllocsPerKI())
 	fmt.Fprintf(w, "worker pool   %d workers, %.1f%% occupancy\n",
 		m.Pool.Parallelism, 100*m.Pool.Occupancy())
 	if len(m.Experiments) > 0 {

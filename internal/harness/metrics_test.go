@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmp/internal/simcache"
+)
+
+// TestThroughputMetrics covers the simulator-throughput surface added with
+// the zero-allocation work: executed runs accumulate retired instructions
+// into the cache snapshot, the session reports a process-wide allocation
+// delta, and both derived rates land in the human-readable footer.
+func TestThroughputMetrics(t *testing.T) {
+	s := testSession(t)
+	w := s.Workloads[0]
+	if _, err := w.Baseline(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Cache.SimInsts == 0 {
+		t.Error("SimInsts = 0 after an executed simulation")
+	}
+	if m.Cache.SimWall > 0 && m.Cache.KIPS() <= 0 {
+		t.Errorf("KIPS() = %v with SimWall %v", m.Cache.KIPS(), m.Cache.SimWall)
+	}
+	if m.ProcAllocs == 0 {
+		t.Error("ProcAllocs = 0: session recorded no allocation delta")
+	}
+	if m.AllocsPerKI() <= 0 {
+		t.Errorf("AllocsPerKI() = %v", m.AllocsPerKI())
+	}
+
+	var buf bytes.Buffer
+	m.Footer(&buf)
+	out := buf.String()
+	for _, want := range []string{"simulated KI/s", "per simulated KI", "allocations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("footer missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotKIPSAndSub(t *testing.T) {
+	a := simcache.Snapshot{SimInsts: 4000, SimWall: 2e9}
+	if got := a.KIPS(); got != 2 {
+		t.Errorf("KIPS() = %v, want 2", got)
+	}
+	if got := (simcache.Snapshot{}).KIPS(); got != 0 {
+		t.Errorf("zero snapshot KIPS() = %v, want 0", got)
+	}
+	b := simcache.Snapshot{SimInsts: 1000, SimWall: 1e9}
+	d := a.Sub(b)
+	if d.SimInsts != 3000 || d.SimWall != 1e9 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestAllocsPerKIZeroInsts(t *testing.T) {
+	m := RunMetrics{ProcAllocs: 500}
+	if got := m.AllocsPerKI(); got != 0 {
+		t.Errorf("AllocsPerKI() with zero SimInsts = %v, want 0", got)
+	}
+}

@@ -46,6 +46,12 @@ type dpredSession struct {
 	// pendingLoop is the mispredicted loop instance awaiting late-exit
 	// rejoin or no-exit flush.
 	pendingLoop *entry
+
+	// refs counts the pointers keeping the session alive: one for s.dp while
+	// the session is open, plus one per entry tagged with it (predicated
+	// instructions, select-µops, markers, the diverge branch). The session
+	// returns to the per-Sim pool when the count reaches zero (see pool.go).
+	refs int32
 }
 
 // Stream parking states (values of parkedAt and stream.parkedAt).
@@ -86,9 +92,10 @@ func (d *dpredSession) bothParkedSame() bool {
 }
 
 // selectUopRegs returns the registers needing select-µops at a forward
-// merge: every register written on either predicated path.
-func (d *dpredSession) selectUopRegs() []uint8 {
-	return regsOf(d.written[0] | d.written[1])
+// merge: every register written on either predicated path. The result is
+// built in buf's backing array to keep the hot loop allocation-free.
+func (d *dpredSession) selectUopRegs(buf []uint8) []uint8 {
+	return regsOfInto(buf, d.written[0]|d.written[1])
 }
 
 // noteWrite records a destination register written under predication.
@@ -104,19 +111,20 @@ func (d *dpredSession) noteWrite(path int8, inst isa.Inst) {
 	}
 }
 
-// takeLoopWritten returns and clears the current iteration's written set.
-func (d *dpredSession) takeLoopWritten() []uint8 {
-	regs := regsOf(d.loopWritten)
+// takeLoopWritten returns (in buf's backing array) and clears the current
+// iteration's written set.
+func (d *dpredSession) takeLoopWritten(buf []uint8) []uint8 {
+	regs := regsOfInto(buf, d.loopWritten)
 	d.loopWritten = 0
 	return regs
 }
 
-func regsOf(mask uint64) []uint8 {
-	n := bits.OnesCount64(mask)
-	if n == 0 {
-		return nil
+// regsOfInto expands a register bitmask into buf[:0] in ascending order.
+func regsOfInto(buf []uint8, mask uint64) []uint8 {
+	out := buf[:0]
+	if bits.OnesCount64(mask) > cap(out) {
+		out = make([]uint8, 0, 64)
 	}
-	out := make([]uint8, 0, n)
 	for mask != 0 {
 		r := uint8(bits.TrailingZeros64(mask))
 		out = append(out, r)

@@ -12,16 +12,16 @@ import (
 // enterForwardDpred opens a forward (hammock) dpred session at the diverge
 // branch entry e and forks the second fetch stream.
 func (s *Sim) enterForwardDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool, int) {
-	sess := &dpredSession{
-		branchPC:   e.pc,
-		branchSeq:  e.seq,
-		annot:      annot,
-		enterCyc:   s.cycle,
-		resolveCyc: -1,
-		parkedAt:   [2]int{parkNone, parkNone},
-		savedMisp:  e.misp,
-	}
+	sess := s.allocSession()
+	sess.branchPC = e.pc
+	sess.branchSeq = e.seq
+	sess.annot = annot
+	sess.enterCyc = s.cycle
+	sess.resolveCyc = -1
+	sess.parkedAt = [2]int{parkNone, parkNone}
+	sess.savedMisp = e.misp
 	s.dp = sess
+	sess.refs++
 	e.sess = sess
 	e.isDivBranch = true
 	s.stats.DpredEntries++
@@ -31,9 +31,8 @@ func (s *Sim) enterForwardDpred(st *stream, e *entry, annot *isa.DivergeInfo) (b
 	if !e.predTaken {
 		predPC, otherPC = otherPC, predPC
 	}
-	st2 := newStream(otherPC, false, s.cfg.RASDepth)
-	snap := st.ras.Snapshot()
-	st2.ras.Restore(snap)
+	st2 := s.allocStream(otherPC, false)
+	st2.ras.CopyFrom(st.ras)
 	st2.hist = st.hist.Push(!e.predTaken)
 	st2.path = 1
 	st.hist = st.hist.Push(e.predTaken)
@@ -89,7 +88,7 @@ func (s *Sim) mergeForward() {
 	}
 	s.endSession(sess, trace.KindDpredMerge, sess.savedMisp, "", mergePC)
 	s.enqueueMarker(sess)
-	s.enqueueSelects(sess, sess.selectUopRegs())
+	s.enqueueSelects(sess, sess.selectUopRegs(s.selRegs))
 	s.collapseForward(sess)
 }
 
@@ -111,7 +110,8 @@ func (s *Sim) endForwardDpred(viaFlush bool) {
 	s.collapseForward(sess)
 }
 
-// collapseForward keeps the correct-path stream as the single fetch stream.
+// collapseForward keeps the correct-path stream as the single fetch stream;
+// the dropped one is parked for reuse by the next session.
 func (s *Sim) collapseForward(sess *dpredSession) {
 	var keep *stream
 	for _, st := range s.streams {
@@ -126,25 +126,29 @@ func (s *Sim) collapseForward(sess *dpredSession) {
 	if keep.parkedAt != parkDead {
 		keep.parkedAt = parkNone
 	}
+	for i, st := range s.streams {
+		if st != keep {
+			s.recycleStream(st)
+		}
+		s.streams[i] = nil
+	}
 	s.streams = s.streams[:1]
 	s.streams[0] = keep
-	sess.ended = true
-	s.dp = nil
+	s.closeSession(sess)
 }
 
 // enterLoopDpred opens a loop dpred session at a low-confidence loop diverge
 // branch and processes the entry instance.
 func (s *Sim) enterLoopDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool, int) {
-	sess := &dpredSession{
-		branchPC:   e.pc,
-		branchSeq:  e.seq,
-		annot:      annot,
-		isLoop:     true,
-		enterCyc:   s.cycle,
-		resolveCyc: -1,
-		actualPath: 0,
-	}
+	sess := s.allocSession()
+	sess.branchPC = e.pc
+	sess.branchSeq = e.seq
+	sess.annot = annot
+	sess.isLoop = true
+	sess.enterCyc = s.cycle
+	sess.resolveCyc = -1
 	s.dp = sess
+	sess.refs++
 	e.sess = sess
 	e.isDivBranch = true
 	st.path = 0
@@ -159,14 +163,13 @@ func (s *Sim) enterLoopDpred(st *stream, e *entry, annot *isa.DivergeInfo) (bool
 // four outcome cases.
 func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 	sess := s.dp
-	s.enqueueSelects(sess, sess.takeLoopWritten())
+	s.enqueueSelects(sess, sess.takeLoopWritten(s.selRegs))
 	sess.predsUsed++
 	if sess.predsUsed > s.cfg.PredicateRegs {
 		// Out of predicate registers: stop predicating; the loop continues
 		// unpredicated.
 		s.endSession(sess, trace.KindLoopEnd, false, "preds-exhausted", e.pc)
-		sess.ended = true
-		s.dp = nil
+		s.closeSession(sess)
 	}
 
 	e.fetchHist = st.hist
@@ -179,10 +182,9 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 		if e.predTaken != cont && s.dp == sess {
 			// Correctly predicted loop exit: the CFM (loop exit) is reached;
 			// dpred ends with only select-µop overhead.
-			s.enqueueSelects(sess, sess.takeLoopWritten())
+			s.enqueueSelects(sess, sess.takeLoopWritten(s.selRegs))
 			s.endSession(sess, trace.KindLoopEnd, false, "exit-predicted", e.pc)
-			sess.ended = true
-			s.dp = nil
+			s.closeSession(sess)
 			st.path = -1
 		}
 		if e.predTaken {
@@ -201,8 +203,8 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 		e.loopCond = true
 		e.fetchHist = st.hist
 		e.ckHist = st.hist.Push(e.taken)
-		snap := st.ras.Snapshot()
-		e.ckRAS = &snap
+		e.ckRAS = s.allocRASSnap()
+		st.ras.SnapshotInto(e.ckRAS)
 		if nxt, ok := s.tr.Peek(); ok {
 			e.resumePC = nxt.PC
 		} else {
@@ -226,8 +228,7 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 		s.stats.LoopEarlyExit++
 		s.fbRecord(sess.branchPC, false)
 		s.endSession(sess, trace.KindLoopEarlyExit, false, "", e.pc)
-		sess.ended = true
-		s.dp = nil
+		s.closeSession(sess)
 	}
 	st.path = -1
 	st.hist = st.hist.Push(e.predTaken)
@@ -245,7 +246,7 @@ func (s *Sim) onTraceLoopInstance(st *stream, e *entry) (bool, int) {
 // instance during a loop dpred session.
 func (s *Sim) offTraceLoopInstance(st *stream, e *entry) (bool, int) {
 	sess := s.dp
-	s.enqueueSelects(sess, sess.takeLoopWritten())
+	s.enqueueSelects(sess, sess.takeLoopWritten(s.selRegs))
 	sess.predsUsed++
 	if sess.predsUsed > s.cfg.PredicateRegs {
 		// Out of predicates while on extra iterations: stall until the
@@ -287,10 +288,12 @@ func (s *Sim) offTraceLoopInstance(st *stream, e *entry) (bool, int) {
 		if pl.ckRAS != nil {
 			st.ras.Restore(*pl.ckRAS)
 		}
+		// The cancelled flush no longer needs its checkpoints; return them
+		// to the pools now rather than when the entry leaves the machine.
+		s.releaseCk(pl)
 		st.pc = exitPC
-		s.enqueueSelects(sess, sess.takeLoopWritten())
-		sess.ended = true
-		s.dp = nil
+		s.enqueueSelects(sess, sess.takeLoopWritten(s.selRegs))
+		s.closeSession(sess)
 		return false, 0
 	}
 	// Exits to somewhere that is not the trace's continuation: keep walking
@@ -308,10 +311,9 @@ func (s *Sim) endLoopDpredByResolve() {
 		return
 	}
 	s.fbRecord(sess.branchPC, false)
-	s.enqueueSelects(sess, sess.takeLoopWritten())
+	s.enqueueSelects(sess, sess.takeLoopWritten(s.selRegs))
 	s.endSession(sess, trace.KindLoopEnd, false, "resolved", sess.branchPC)
-	sess.ended = true
-	s.dp = nil
+	s.closeSession(sess)
 	for _, st := range s.streams {
 		if st.path >= 0 {
 			st.path = -1
@@ -323,16 +325,22 @@ func (s *Sim) endLoopDpredByResolve() {
 // rename-side register table when it reaches the dispatch stage.
 func (s *Sim) enqueueMarker(sess *dpredSession) {
 	s.seq++
-	s.fqPush(&entry{kind: kindMarker, seq: s.seq, fetchCyc: s.cycle, sess: sess, path: -1, addr: -1})
+	e := s.allocEntry()
+	*e = entry{kind: kindMarker, seq: s.seq, fetchCyc: s.cycle, sess: sess, path: -1, addr: -1, refs: 1}
+	sess.refs++
+	s.fqPush(e)
 }
 
 // enqueueSelects inserts one select-µop per written register.
 func (s *Sim) enqueueSelects(sess *dpredSession, regs []uint8) {
 	for _, r := range regs {
 		s.seq++
-		s.fqPush(&entry{
+		e := s.allocEntry()
+		*e = entry{
 			kind: kindSelect, seq: s.seq, fetchCyc: s.cycle,
-			sess: sess, path: -1, addr: -1, selReg: r, onTrace: true,
-		})
+			sess: sess, path: -1, addr: -1, selReg: r, onTrace: true, refs: 1,
+		}
+		sess.refs++
+		s.fqPush(e)
 	}
 }

@@ -58,6 +58,11 @@ type entry struct {
 	dispatched bool
 	doneCyc    int64
 	tableCk    *[64]int64 // register table snapshot for flush restore
+
+	// refs counts the containers referencing the entry (fetch queue or
+	// reorder buffer, plus the pending-flush list); it returns to the
+	// per-Sim pool when the count drops to zero (see pool.go).
+	refs int8
 }
 
 // isPredFalse reports whether the entry is a predicated instruction on the

@@ -132,7 +132,8 @@ func (s *Sim) fetchOne(st *stream) (cont bool, notTaken int) {
 
 func (s *Sim) newEntry(st *stream, pc int, in isa.Inst, onTrace bool) *entry {
 	s.seq++
-	e := &entry{
+	e := s.allocEntry()
+	*e = entry{
 		kind:     kindInst,
 		seq:      s.seq,
 		pc:       pc,
@@ -141,6 +142,7 @@ func (s *Sim) newEntry(st *stream, pc int, in isa.Inst, onTrace bool) *entry {
 		onTrace:  onTrace,
 		addr:     -1,
 		path:     -1,
+		refs:     1,
 	}
 	s.stats.Fetched++
 	if !onTrace {
@@ -148,6 +150,7 @@ func (s *Sim) newEntry(st *stream, pc int, in isa.Inst, onTrace bool) *entry {
 	}
 	if s.dp != nil {
 		e.sess = s.dp
+		s.dp.refs++
 		e.path = st.path
 		s.dp.noteWrite(st.path, in)
 	}
@@ -282,8 +285,8 @@ func (s *Sim) fetchOnTraceCond(st *stream, e *entry, tre traceEntry) (bool, int)
 func (s *Sim) markFlush(st *stream, e *entry) {
 	e.willFlush = true
 	e.ckHist = e.fetchHist.Push(e.taken)
-	snap := st.ras.Snapshot()
-	e.ckRAS = &snap
+	e.ckRAS = s.allocRASSnap()
+	st.ras.SnapshotInto(e.ckRAS)
 	if nxt, ok := s.tr.Peek(); ok {
 		e.resumePC = nxt.PC
 	} else {

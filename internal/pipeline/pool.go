@@ -1,0 +1,175 @@
+package pipeline
+
+import "dmp/internal/bpred"
+
+// This file implements the simulator's steady-state allocation discipline.
+// The hot loop processes one entry per fetched instruction and one checkpoint
+// per pending flush; all of them are recycled through per-Sim free lists so
+// that, once the structures have warmed up, simulating an instruction
+// performs no heap allocation at all (see TestSteadyStateAllocs and
+// BenchmarkDMPRun).
+//
+// Ownership model: an entry is referenced by exactly one of the fetch queue
+// or the reorder buffer, plus optionally the pending-flush list. entry.refs
+// counts those containers; each removal calls decRef and the entry returns to
+// the pool when the count reaches zero. dpredSession.pendingLoop deliberately
+// does not count: it is only read while its session is open, and every path
+// that closes a session clears it.
+
+// allocEntry returns a zeroed entry from the pool (or a fresh one) with a
+// reference count of 1 for the container it is about to enter.
+func (s *Sim) allocEntry() *entry {
+	n := len(s.entryPool)
+	if n == 0 {
+		return &entry{refs: 1}
+	}
+	e := s.entryPool[n-1]
+	s.entryPool[n-1] = nil
+	s.entryPool = s.entryPool[:n-1]
+	e.refs = 1
+	return e
+}
+
+// decRef drops one container reference; the last drop recycles the entry.
+func (s *Sim) decRef(e *entry) {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	s.releaseCk(e)
+	if e.sess != nil {
+		s.releaseSess(e.sess)
+	}
+	*e = entry{}
+	s.entryPool = append(s.entryPool, e)
+}
+
+// releaseCk returns the entry's flush-recovery checkpoints to their pools.
+// Safe to call eagerly once a flush has fired or been cancelled: the entry
+// may still sit in the reorder buffer, but nothing reads the checkpoints
+// after the pending flush is gone.
+func (s *Sim) releaseCk(e *entry) {
+	if e.tableCk != nil {
+		s.tablePool = append(s.tablePool, e.tableCk)
+		e.tableCk = nil
+	}
+	if e.ckRAS != nil {
+		s.rasPool = append(s.rasPool, e.ckRAS)
+		e.ckRAS = nil
+	}
+}
+
+// allocSession returns a zeroed dpred session from the pool with one
+// reference for s.dp; the caller fills in the per-session fields.
+func (s *Sim) allocSession() *dpredSession {
+	n := len(s.sessPool)
+	if n == 0 {
+		return &dpredSession{refs: 1}
+	}
+	d := s.sessPool[n-1]
+	s.sessPool[n-1] = nil
+	s.sessPool = s.sessPool[:n-1]
+	d.refs = 1
+	return d
+}
+
+// releaseSess drops one session reference; the last drop recycles it. A
+// session outlives its fetch-side close as long as entries tagged with it
+// remain in the machine (predicated-FALSE accounting reads e.sess at retire).
+func (s *Sim) releaseSess(d *dpredSession) {
+	d.refs--
+	if d.refs > 0 {
+		return
+	}
+	*d = dpredSession{}
+	s.sessPool = append(s.sessPool, d)
+}
+
+// closeSession ends the fetch-side session and drops the s.dp reference.
+func (s *Sim) closeSession(d *dpredSession) {
+	d.ended = true
+	s.dp = nil
+	s.releaseSess(d)
+}
+
+// allocTable returns a rename-table checkpoint from the pool.
+func (s *Sim) allocTable() *[64]int64 {
+	n := len(s.tablePool)
+	if n == 0 {
+		return new([64]int64)
+	}
+	ck := s.tablePool[n-1]
+	s.tablePool[n-1] = nil
+	s.tablePool = s.tablePool[:n-1]
+	return ck
+}
+
+// allocRASSnap returns a RAS checkpoint from the pool; the caller fills it
+// with RAS.SnapshotInto, which reuses the snapshot's backing array.
+func (s *Sim) allocRASSnap() *bpred.RASSnapshot {
+	n := len(s.rasPool)
+	if n == 0 {
+		return new(bpred.RASSnapshot)
+	}
+	ck := s.rasPool[n-1]
+	s.rasPool[n-1] = nil
+	s.rasPool = s.rasPool[:n-1]
+	return ck
+}
+
+// allocStream returns a reset fetch stream, reusing the spare one (and its
+// RAS) left behind by the previous dpred session's collapse.
+func (s *Sim) allocStream(pc int, onTrace bool) *stream {
+	st := s.spareStream
+	if st == nil {
+		return newStream(pc, onTrace, s.cfg.RASDepth)
+	}
+	s.spareStream = nil
+	ras := st.ras
+	*st = stream{pc: pc, onTrace: onTrace, ras: ras, parkedAt: parkNone, path: -1, lastLine: -1}
+	return st
+}
+
+// recycleStream parks a dropped second fetch stream for the next session.
+func (s *Sim) recycleStream(st *stream) {
+	if s.spareStream == nil && st != nil {
+		s.spareStream = st
+	}
+}
+
+// Bounded store-to-load forwarding table, replacing the unbounded
+// map[addr]doneCyc the simulator originally grew for the life of a run.
+//
+// It is a direct-mapped tag+cycle array: a store installs (addr, doneCyc) at
+// addr's slot; a load forwards the recorded completion cycle only on an exact
+// tag hit, which makes a hit behaviourally identical to the map. Stale
+// entries are self-invalidating — a recorded cycle at or before the current
+// cycle cannot raise a load's issue slot (issue is already floored at
+// cycle+1), so only stores still in flight ever matter, and those occupy at
+// most a window's worth of slots. The table is deliberately *not* cleared on
+// a flush, which is the conservative direction: stores older than the flush
+// point survive in the window and must keep constraining later loads, while
+// squashed wrong-path stores never wrote the table (only on-trace stores do)
+// and squashed-then-refetched on-trace stores cannot exist (trace consumption
+// stops once a flush is pending). A conflict eviction can only lose a
+// constraint from a *different* in-flight address sharing the slot; the
+// golden differential suite (harness TestPipelineMatchesEmulator) pins that
+// the table reproduces the map's Stats bit-for-bit across the whole corpus.
+const storeFwdSize = 1 << 16 // power of two; ~128× the instruction window
+
+// sfLookup returns the completion cycle of the last store to addr, if the
+// table still holds it.
+func (s *Sim) sfLookup(addr int64) (int64, bool) {
+	i := int(uint64(addr) & (storeFwdSize - 1))
+	if s.sfTag[i] != addr {
+		return 0, false
+	}
+	return s.sfCyc[i], true
+}
+
+// sfStore records the completion cycle of a store to addr.
+func (s *Sim) sfStore(addr, doneCyc int64) {
+	i := int(uint64(addr) & (storeFwdSize - 1))
+	s.sfTag[i] = addr
+	s.sfCyc[i] = doneCyc
+}

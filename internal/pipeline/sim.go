@@ -32,8 +32,12 @@ type Sim struct {
 	rob     []*entry
 	robHead int
 
-	regReady  [64]int64
-	lastStore map[int64]int64
+	regReady [64]int64
+	// sfTag/sfCyc form the bounded direct-mapped store-to-load forwarding
+	// table (see pool.go for the equivalence argument against the unbounded
+	// map it replaced).
+	sfTag []int64
+	sfCyc []int64
 
 	issueTag []int64
 	issueCnt []uint16
@@ -42,8 +46,10 @@ type Sim struct {
 	rr      int
 	dp      *dpredSession
 
-	// flushList holds dispatched willFlush/loopCond entries in seq order.
+	// flushList holds dispatched willFlush/loopCond entries in seq order;
+	// head compaction mirrors fq/rob.
 	flushList []*entry
+	flHead    int
 
 	// fb is the usefulness-feedback table (DpredFeedback extension).
 	fb map[int]*fbEntry
@@ -56,7 +62,15 @@ type Sim struct {
 	// is per dpred session / flush, not per instruction).
 	audit trace.AuditBuilder
 
-	readsBuf []int
+	// Scratch buffers and free lists keeping the per-instruction path
+	// allocation-free at steady state (pool.go).
+	readsBuf    []int
+	selRegs     []uint8
+	entryPool   []*entry
+	sessPool    []*dpredSession
+	tablePool   []*[64]int64
+	rasPool     []*bpred.RASSnapshot
+	spareStream *stream
 }
 
 const issueRingSize = 1 << 18
@@ -65,20 +79,26 @@ const issueRingSize = 1 << 18
 func New(prog *isa.Program, input []int64, cfg Config) *Sim {
 	m := emu.New(prog, input, 0)
 	s := &Sim{
-		cfg:       cfg,
-		prog:      prog,
-		code:      prog.Code,
-		tr:        newTraceReader(m, cfg.MaxInsts),
-		pred:      bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
-		conf:      bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
-		btb:       bpred.NewBTB(cfg.BTBEntries),
-		hier:      cache.NewHierarchy(),
-		lastStore: map[int64]int64{},
-		issueTag:  make([]int64, issueRingSize),
-		issueCnt:  make([]uint16, issueRingSize),
+		cfg:      cfg,
+		prog:     prog,
+		code:     prog.Code,
+		tr:       newTraceReader(m, cfg.MaxInsts),
+		pred:     bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
+		conf:     bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
+		btb:      bpred.NewBTB(cfg.BTBEntries),
+		hier:     cache.NewHierarchy(),
+		sfTag:    make([]int64, storeFwdSize),
+		sfCyc:    make([]int64, storeFwdSize),
+		issueTag: make([]int64, issueRingSize),
+		issueCnt: make([]uint16, issueRingSize),
+		readsBuf: make([]int, 0, 4),
+		selRegs:  make([]uint8, 0, 64),
 	}
 	for i := range s.issueTag {
 		s.issueTag[i] = -1
+	}
+	for i := range s.sfTag {
+		s.sfTag[i] = -1
 	}
 	s.streams = []*stream{newStream(prog.Entry, true, cfg.RASDepth)}
 	return s
@@ -126,12 +146,23 @@ func (s *Sim) fqPush(e *entry) { s.fq = append(s.fq, e) }
 
 func (s *Sim) fqPop() *entry {
 	e := s.fq[s.fqHead]
+	s.fq[s.fqHead] = nil
 	s.fqHead++
 	if s.fqHead > 4096 && s.fqHead*2 > len(s.fq) {
-		s.fq = append(s.fq[:0], s.fq[s.fqHead:]...)
+		n := copy(s.fq, s.fq[s.fqHead:])
+		clearTail(s.fq[n:])
+		s.fq = s.fq[:n]
 		s.fqHead = 0
 	}
 	return e
+}
+
+// clearTail zeroes vacated slice slots after a head compaction so the backing
+// array retains no pointers to dead entries.
+func clearTail(tail []*entry) {
+	for i := range tail {
+		tail[i] = nil
+	}
 }
 
 // findIssueSlot reserves the earliest issue cycle >= earliest with free
@@ -193,6 +224,7 @@ func (s *Sim) dispatch() {
 		if e.kind == kindMarker {
 			s.fqPop()
 			s.applyMarker(e)
+			s.decRef(e)
 			continue
 		}
 		if s.robLen() >= s.cfg.ROBSize {
@@ -240,7 +272,7 @@ func (s *Sim) dispatchEntry(e *entry) {
 		}
 	}
 	if e.inst.Op == isa.OpLd && e.onTrace && e.addr >= 0 {
-		if t, ok := s.lastStore[e.addr]; ok && t > ready {
+		if t, ok := s.sfLookup(e.addr); ok && t > ready {
 			ready = t
 		}
 	}
@@ -251,7 +283,7 @@ func (s *Sim) dispatchEntry(e *entry) {
 		table[dst] = e.doneCyc
 	}
 	if e.inst.Op == isa.OpSt && e.onTrace && e.addr >= 0 {
-		s.lastStore[e.addr] = e.doneCyc
+		s.sfStore(e.addr, e.doneCyc)
 	}
 
 	if e.sess != nil {
@@ -274,19 +306,37 @@ func (s *Sim) dispatchEntry(e *entry) {
 	}
 
 	if e.willFlush || e.loopCond {
-		ck := *table
-		e.tableCk = &ck
+		ck := s.allocTable()
+		*ck = *table
+		e.tableCk = ck
+		e.refs++
 		s.flushList = append(s.flushList, e)
 	}
 }
 
+func (s *Sim) flushLen() int { return len(s.flushList) - s.flHead }
+
+// flushPopCancelled removes the cancelled entry at the pending-flush head,
+// using a head index (not a re-slice) so doFlush's flushList[:0] reuse keeps
+// the backing array.
+func (s *Sim) flushPopCancelled(e *entry) {
+	s.flushList[s.flHead] = nil
+	s.flHead++
+	if s.flushLen() == 0 {
+		s.flushList = s.flushList[:0]
+		s.flHead = 0
+	}
+	s.releaseCk(e)
+	s.decRef(e)
+}
+
 // checkFlush fires the oldest resolved pending flush, if any.
 func (s *Sim) checkFlush() {
-	for len(s.flushList) > 0 {
-		e := s.flushList[0]
+	for s.flushLen() > 0 {
+		e := s.flushList[s.flHead]
 		if !e.willFlush && !e.loopCond {
 			// Cancelled (loop late-exit rejoin).
-			s.flushList = s.flushList[1:]
+			s.flushPopCancelled(e)
 			continue
 		}
 		if e.doneCyc > s.cycle {
@@ -338,8 +388,16 @@ func (s *Sim) doFlush(e *entry) {
 			lo = mid + 1
 		}
 	}
+	for i := lo; i < len(s.rob); i++ {
+		s.decRef(s.rob[i])
+		s.rob[i] = nil
+	}
 	s.rob = s.rob[:lo]
 	// The whole fetch queue is younger than any dispatched entry.
+	for i := s.fqHead; i < len(s.fq); i++ {
+		s.decRef(s.fq[i])
+		s.fq[i] = nil
+	}
 	s.fq = s.fq[:0]
 	s.fqHead = 0
 	// Restore the rename-side table.
@@ -361,10 +419,15 @@ func (s *Sim) doFlush(e *entry) {
 		} else {
 			s.endSession(s.dp, trace.KindDpredFlushCancel, false, "", e.pc)
 		}
-		s.dp.ended = true
-		s.dp = nil
+		s.dp.pendingLoop = nil
+		s.closeSession(s.dp)
 	}
-	// Reset the front end to a single on-trace stream.
+	// Reset the front end to a single on-trace stream; a dropped second
+	// dpred stream is parked for the next session.
+	if len(s.streams) == 2 {
+		s.recycleStream(s.streams[1])
+		s.streams[1] = nil
+	}
 	st := s.streams[0]
 	s.streams = s.streams[:1]
 	st.pc = e.resumePC
@@ -377,14 +440,21 @@ func (s *Sim) doFlush(e *entry) {
 	}
 	st.stalledUntil = max64(s.cycle+1, e.fetchCyc+int64(s.cfg.MinMispPenalty))
 	st.lastLine = -1
-	// Drop this and younger pending flushes.
-	keep := s.flushList[:0]
-	for _, f := range s.flushList {
+	// Drop this and younger pending flushes; their checkpoints return to the
+	// pools (the entries themselves may stay in the ROB until they retire).
+	old := s.flushList
+	keep := old[:0]
+	for _, f := range old[s.flHead:] {
 		if f.seq < e.seq {
 			keep = append(keep, f)
+		} else {
+			s.releaseCk(f)
+			s.decRef(f)
 		}
 	}
+	clearTail(old[len(keep):])
 	s.flushList = keep
+	s.flHead = 0
 }
 
 // retire commits completed entries in order.
@@ -406,14 +476,18 @@ func (s *Sim) retire() {
 		if eff > s.cycle {
 			break
 		}
+		s.rob[s.robHead] = nil
 		s.robHead++
 		if s.robHead > 4096 && s.robHead*2 > len(s.rob) {
-			s.rob = append(s.rob[:0], s.rob[s.robHead:]...)
+			nn := copy(s.rob, s.rob[s.robHead:])
+			clearTail(s.rob[nn:])
+			s.rob = s.rob[:nn]
 			s.robHead = 0
 		}
 		n++
 		s.lastRetireCycle = s.cycle
 		s.retireEntry(e)
+		s.decRef(e)
 	}
 }
 

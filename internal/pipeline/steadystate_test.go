@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"dmp/internal/bench"
+)
+
+// runMallocs executes one simulation and returns (heap allocations during
+// the run including Sim construction, retired instructions).
+func runMallocs(t *testing.T, run func() (Stats, error)) (uint64, uint64) {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	st, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, st.Retired
+}
+
+// steadyAllocsPerKI isolates the per-instruction allocation rate from the
+// fixed Sim-construction and pool warm-up cost by differencing a short and a
+// long run of the same workload: the constant terms cancel and what remains
+// is the steady-state cost of the extra instructions.
+func steadyAllocsPerKI(t *testing.T, run func(maxInsts uint64) (Stats, error)) float64 {
+	t.Helper()
+	const short, long = 30_000, 150_000
+	shortAllocs, shortRet := runMallocs(t, func() (Stats, error) { return run(short) })
+	longAllocs, longRet := runMallocs(t, func() (Stats, error) { return run(long) })
+	if longRet <= shortRet {
+		t.Fatalf("long run retired %d <= short run %d; workload too small", longRet, shortRet)
+	}
+	extra := float64(longAllocs) - float64(shortAllocs)
+	if extra < 0 {
+		extra = 0
+	}
+	return extra * 1000 / float64(longRet-shortRet)
+}
+
+// TestSteadyStateAllocs guards the zero-allocation hot loop: once the
+// per-Sim pools are warm, simulating additional instructions must allocate
+// (almost) nothing — on a real corpus benchmark in baseline mode and on
+// dpred-heavy synthetic workloads in DMP mode. The bound is deliberately a
+// small constant rather than zero: GC bookkeeping and testing-harness noise
+// contribute a handful of allocations per run.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not stable under -race")
+	}
+	if testing.Short() {
+		t.Skip("multi-run allocation measurement is slow")
+	}
+	const maxAllocsPerKI = 1.0
+
+	w := bench.ByName("compress")
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := w.Input(bench.RunInput, 1)
+	t.Run("corpus-baseline", func(t *testing.T) {
+		got := steadyAllocsPerKI(t, func(maxInsts uint64) (Stats, error) {
+			cfg := DefaultConfig()
+			cfg.MaxInsts = maxInsts
+			return Run(prog, input, cfg)
+		})
+		if got > maxAllocsPerKI {
+			t.Errorf("steady-state allocations: %.2f per KI, want <= %.2f", got, maxAllocsPerKI)
+		}
+	})
+
+	hp, br, merge := hammockProg(t, 3)
+	hammock := annotate(hp, br, merge)
+	hammockIn := randBits(3, 40_000)
+	t.Run("dmp-hammock", func(t *testing.T) {
+		got := steadyAllocsPerKI(t, func(maxInsts uint64) (Stats, error) {
+			cfg := DefaultConfig()
+			cfg.DMP = true
+			cfg.MaxInsts = maxInsts
+			return Run(hammock, hammockIn, cfg)
+		})
+		if got > maxAllocsPerKI {
+			t.Errorf("steady-state allocations: %.2f per KI, want <= %.2f", got, maxAllocsPerKI)
+		}
+	})
+
+	lp, exitBr, head, _ := loopProg(t)
+	loop := annotateLoop(lp, exitBr, head)
+	loopIn := randBits(7, 40_000)
+	t.Run("dmp-loop", func(t *testing.T) {
+		got := steadyAllocsPerKI(t, func(maxInsts uint64) (Stats, error) {
+			cfg := DefaultConfig()
+			cfg.DMP = true
+			cfg.MaxInsts = maxInsts
+			return Run(loop, loopIn, cfg)
+		})
+		if got > maxAllocsPerKI {
+			t.Errorf("steady-state allocations: %.2f per KI, want <= %.2f", got, maxAllocsPerKI)
+		}
+	})
+}

@@ -14,6 +14,7 @@ type Metrics struct {
 	bypasses  atomic.Uint64
 	simWallNS atomic.Int64
 	simCycles atomic.Int64
+	simInsts  atomic.Uint64
 }
 
 func (m *Metrics) snapshot() Snapshot {
@@ -25,6 +26,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Bypasses:  m.bypasses.Load(),
 		SimWall:   time.Duration(m.simWallNS.Load()),
 		SimCycles: m.simCycles.Load(),
+		SimInsts:  m.simInsts.Load(),
 	}
 }
 
@@ -47,6 +49,9 @@ type Snapshot struct {
 	SimWall time.Duration `json:"sim_wall_ns"`
 	// SimCycles is the total simulated cycles across executed runs.
 	SimCycles int64 `json:"sim_cycles"`
+	// SimInsts is the total retired instructions across executed runs
+	// (cache-answered runs excluded: the denominator of real throughput).
+	SimInsts uint64 `json:"sim_insts"`
 }
 
 // Requests returns the total number of cache lookups.
@@ -71,6 +76,15 @@ func (s Snapshot) CyclesPerSec() float64 {
 	return float64(s.SimCycles) / s.SimWall.Seconds()
 }
 
+// KIPS returns the simulator throughput in simulated kilo-instructions per
+// wall-clock second over the executed runs.
+func (s Snapshot) KIPS() float64 {
+	if s.SimWall <= 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / 1000 / s.SimWall.Seconds()
+}
+
 // Sub returns the counter deltas since an earlier snapshot.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
@@ -81,5 +95,6 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Bypasses:  s.Bypasses - prev.Bypasses,
 		SimWall:   s.SimWall - prev.SimWall,
 		SimCycles: s.SimCycles - prev.SimCycles,
+		SimInsts:  s.SimInsts - prev.SimInsts,
 	}
 }

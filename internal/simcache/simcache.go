@@ -148,6 +148,7 @@ func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipe
 		c.metrics.simWallNS.Add(int64(time.Since(start)))
 		if err == nil {
 			c.metrics.simCycles.Add(st.Cycles)
+			c.metrics.simInsts.Add(st.Retired)
 		}
 		return st, err
 	}
@@ -183,6 +184,7 @@ func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipe
 	c.metrics.simWallNS.Add(int64(time.Since(start)))
 	if r.err == nil {
 		c.metrics.simCycles.Add(r.stats.Cycles)
+		c.metrics.simInsts.Add(r.stats.Retired)
 		c.storeDisk(key, r.stats)
 	}
 	return r.stats, r.err

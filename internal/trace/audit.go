@@ -1,6 +1,6 @@
 package trace
 
-import "sort"
+import "slices"
 
 // BranchAudit aggregates dpred-session outcomes and flushes for one branch
 // address. The simulator folds a sorted []BranchAudit into its Stats; the
@@ -122,7 +122,7 @@ func (b *AuditBuilder) Build() []BranchAudit {
 	for _, a := range b.m {
 		out = append(out, *a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Branch < out[j].Branch })
+	slices.SortFunc(out, func(a, b BranchAudit) int { return a.Branch - b.Branch })
 	return out
 }
 

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 CI gate. Mirrors `make ci` for environments without make:
 # vet, optional staticcheck, build, the full test suite under the race
-# detector, the dmplint corpus sweep, and a short deterministic fuzz smoke
-# over the DML parser.
+# detector, the allocation guards, the dmplint corpus sweep, the
+# benchmark-regression gate (skippable with SKIP_BENCH_COMPARE=1), and a
+# short deterministic fuzz smoke over the DML parser.
 set -eux
 
 go vet ./...
@@ -15,7 +16,8 @@ else
 fi
 go build ./...
 go test -race ./...
-go test -run 'TestNilTracerEventNoAlloc' ./internal/pipeline
+go test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
+sh scripts/bench_compare.sh
 go run ./cmd/dmplint -corpus
 go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
