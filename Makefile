@@ -4,7 +4,9 @@
 #               concurrent harness sweep) + allocation guards (nil-Tracer
 #               event emission and steady-state allocs/instruction)
 #               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
-#               + the benchmark-regression gate + a 30s parser fuzz smoke
+#               + the emulator fast-path differential suite + the
+#               benchmark-regression gate + 30s parser and emulator
+#               differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   vet plus staticcheck/golangci-lint when installed
 #   make fuzz   longer local fuzzing session for the front-end and
@@ -15,9 +17,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff
 
-ci: vet lint build race alloc-guard lint-corpus trace-smoke bench-compare fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -60,20 +62,29 @@ alloc-guard:
 	$(GO) test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
 
 # Benchmark-regression gate: re-measures the corpus benchmarks, refreshes
-# BENCH_PR4.json, and fails on a >15% throughput drop against the snapshot
-# committed at HEAD. SKIP_BENCH_COMPARE=1 skips it.
+# BENCH_PR5.json, and fails on a >15% throughput drop (or allocs/op growth)
+# against the snapshot committed at HEAD. SKIP_BENCH_COMPARE=1 skips it;
+# BENCH_UPDATE=1 refreshes the snapshot without gating.
 bench-compare:
 	sh scripts/bench_compare.sh
+
+# Differential check of the predecoded fast execution paths against the
+# reference interpreter: corpus trace-for-trace, block/batch equivalence,
+# and the hand-written fault matrix.
+emu-diff:
+	$(GO) test -run 'TestFastMatchesReference|TestRunMatchesReference|TestRunBlockMatchesReference|TestStepBatchMatchesReference|TestFaultEquivalence|TestStepBatchFaults' ./internal/emu
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
+	$(GO) test -run '^$$' -fuzz=FuzzEmuDiff -fuzztime=30s ./internal/emu
 
 # Longer local session over the front-end and toolchain targets.
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=5m ./internal/lang
 	$(GO) test -run '^$$' -fuzz=FuzzCheck -fuzztime=5m ./internal/lang
 	$(GO) test -run '^$$' -fuzz=FuzzCompileVerify -fuzztime=5m ./internal/verify
+	$(GO) test -run '^$$' -fuzz=FuzzEmuDiff -fuzztime=5m ./internal/emu
 
 # Regenerate the checked-in evaluation transcript (slow; see EXPERIMENTS.md).
 eval:

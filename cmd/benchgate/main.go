@@ -5,14 +5,16 @@
 // metrics such as sim-insts/s), folds repeated -count runs into one result
 // per benchmark (best throughput, fewest allocations — the least-noisy
 // estimate of the code's capability), writes the snapshot, and fails when
-// the measured throughput of any benchmark shared with the baseline drops
-// by more than -max-regress percent.
+// any benchmark shared with the baseline drops throughput by more than
+// -max-regress percent or grows allocs/op beyond -max-alloc-growth percent.
+// Passing -update rewrites the snapshot and skips the gate, for deliberate
+// baseline refreshes after a perf-relevant change.
 //
 // Typical use (see scripts/bench_compare.sh):
 //
 //	go test -run '^$' -bench ... -benchmem -count 3 ./... > bench.txt
-//	git show HEAD:BENCH_PR4.json > baseline.json
-//	benchgate -in bench.txt -baseline baseline.json -out BENCH_PR4.json
+//	git show HEAD:BENCH_PR5.json > baseline.json
+//	benchgate -in bench.txt -baseline baseline.json -out BENCH_PR5.json
 package main
 
 import (
@@ -136,6 +138,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline snapshot to gate against (optional)")
 	out := flag.String("out", "", "snapshot file to write (optional)")
 	maxRegress := flag.Float64("max-regress", 15, "max allowed throughput drop, percent")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 25, "max allowed allocs/op growth, percent (0 disables)")
+	update := flag.Bool("update", false, "rewrite the snapshot from the measurements and skip the gate")
 	flag.Parse()
 
 	src := os.Stdin
@@ -188,6 +192,12 @@ func main() {
 		}
 	}
 
+	if *update {
+		// The snapshot above is the new baseline; nothing to gate against.
+		fmt.Printf("benchgate: snapshot updated (%d benchmarks), gate skipped (-update)\n", len(cur))
+		return
+	}
+
 	failed := false
 	for name, b := range base.Benchmarks {
 		c, ok := cur[name]
@@ -205,11 +215,22 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%-40s throughput %12.0f -> %12.0f ops/s (%+.1f%%, limit -%.0f%%) allocs/op %.0f -> %.0f [%s]\n",
-			name, bt, ct, delta, *maxRegress, b.AllocsPerOp, c.AllocsPerOp, status)
+		// Allocation creep in the hot loop erodes throughput gradually, so
+		// gate allocs/op alongside raw speed. A small absolute slack keeps
+		// benchmarks with near-zero counts from tripping on one allocation.
+		allocStatus := ""
+		if *maxAllocGrowth > 0 && b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp {
+			growth := 100 * (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			if growth > *maxAllocGrowth && c.AllocsPerOp-b.AllocsPerOp > 8 {
+				allocStatus = " ALLOC-FAIL"
+				failed = true
+			}
+		}
+		fmt.Printf("%-40s throughput %12.0f -> %12.0f ops/s (%+.1f%%, limit -%.0f%%) allocs/op %.0f -> %.0f [%s%s]\n",
+			name, bt, ct, delta, *maxRegress, b.AllocsPerOp, c.AllocsPerOp, status, allocStatus)
 	}
 	if failed {
-		fatal(fmt.Errorf("benchgate: throughput regression beyond %.0f%%", *maxRegress))
+		fatal(fmt.Errorf("benchgate: regression beyond limits (throughput -%.0f%%, allocs/op +%.0f%%)", *maxRegress, *maxAllocGrowth))
 	}
 }
 

@@ -54,6 +54,11 @@ func main() {
 	}
 	var brs []br
 	for pc, m := range prof.Mispred {
+		if m == 0 {
+			// Dense slice: only branches that actually mispredicted count,
+			// matching the old sparse-map behaviour.
+			continue
+		}
 		brs = append(brs, br{pc, m})
 	}
 	sort.Slice(brs, func(i, j int) bool { return brs[i].misp > brs[j].misp })

@@ -74,15 +74,32 @@ func NewPerceptron(tables, histLen int) *Perceptron {
 
 func (p *Perceptron) index(pc int) int { return pc & (len(p.weights) - 1) }
 
+// output computes the perceptron sum y = w0 + sum_i (h_i ? +w_i : -w_i).
+// The loop is branchless — history bits near 50% taken make a per-bit branch
+// mispredict constantly — using the identity (w ^ m) - m == (m == 0 ? w : -w)
+// for m in {0, -1}, and unrolled 4×. The result is bit-identical to the
+// naive add/subtract formulation: every term is the exact ±w_i.
 func (p *Perceptron) output(pc int, h History) int32 {
 	w := p.weights[p.index(pc)]
+	_ = w[p.histLen]
 	y := int32(w[0])
-	for i := 1; i <= p.histLen; i++ {
-		if h&(1<<(i-1)) != 0 {
-			y += int32(w[i])
-		} else {
-			y -= int32(w[i])
-		}
+	hh := uint64(h)
+	i := 1
+	for ; i+3 <= p.histLen; i += 4 {
+		m0 := int32(hh&1) - 1
+		m1 := int32(hh>>1&1) - 1
+		m2 := int32(hh>>2&1) - 1
+		m3 := int32(hh>>3&1) - 1
+		y += (int32(w[i]) ^ m0) - m0
+		y += (int32(w[i+1]) ^ m1) - m1
+		y += (int32(w[i+2]) ^ m2) - m2
+		y += (int32(w[i+3]) ^ m3) - m3
+		hh >>= 4
+	}
+	for ; i <= p.histLen; i++ {
+		m := int32(hh&1) - 1
+		y += (int32(w[i]) ^ m) - m
+		hh >>= 1
 	}
 	return y
 }
@@ -97,11 +114,47 @@ func (p *Perceptron) Update(pc int, h History, taken bool) {
 	if pred == taken && abs32(y) > p.theta {
 		return
 	}
+	p.train(pc, h, taken)
+}
+
+// PredictAndTrain predicts the branch and immediately trains on its resolved
+// outcome, computing the perceptron sum once. It is exactly equivalent to
+// Predict followed by Update with the same arguments; the profiler uses it
+// because it resolves each branch in the same step it predicts it.
+func (p *Perceptron) PredictAndTrain(pc int, h History, taken bool) bool {
+	y := p.output(pc, h)
+	pred := y >= 0
+	if pred == taken && abs32(y) > p.theta {
+		return pred
+	}
+	p.train(pc, h, taken)
+	return pred
+}
+
+// train applies one saturating-increment step toward the outcome. The weight
+// update is branchless on the history bits: d = +1 when the bit agrees with
+// the outcome, -1 otherwise, clamped to ±127. Weights never reach -128, so
+// the clamp is exactly sat8.
+func (p *Perceptron) train(pc int, h History, taken bool) {
 	w := p.weights[p.index(pc)]
+	_ = w[p.histLen]
 	w[0] = sat8(w[0], taken)
+	t := uint64(0)
+	if taken {
+		t = 1
+	}
+	hh := uint64(h)
 	for i := 1; i <= p.histLen; i++ {
-		agree := (h&(1<<(i-1)) != 0) == taken
-		w[i] = sat8(w[i], agree)
+		d := int32(1) - int32((hh&1)^t)<<1
+		v := int32(w[i]) + d
+		if v > 127 {
+			v = 127
+		}
+		if v < -127 {
+			v = -127
+		}
+		w[i] = int8(v)
+		hh >>= 1
 	}
 }
 

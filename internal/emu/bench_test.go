@@ -1,0 +1,59 @@
+package emu_test
+
+import (
+	"errors"
+	"testing"
+
+	"dmp/internal/bench"
+	"dmp/internal/emu"
+)
+
+const benchEmuInsts = 1_000_000
+
+// BenchmarkEmuRun measures the block-batched fast path (the engine behind
+// profiling and pipeline trace generation).
+func BenchmarkEmuRun(b *testing.B) {
+	b.ReportAllocs()
+	w := bench.ByName("compress")
+	prog, err := w.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(bench.RunInput, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog, input, 0)
+		if _, err := m.Run(benchEmuInsts); err != nil && !isLimit(err) {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchEmuInsts*b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkEmuStepRef measures the reference interpreter for comparison.
+func BenchmarkEmuStepRef(b *testing.B) {
+	b.ReportAllocs()
+	w := bench.ByName("compress")
+	prog, err := w.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(bench.RunInput, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog, input, 0)
+		for n := 0; n < benchEmuInsts; n++ {
+			if _, err := m.StepRef(); err != nil {
+				if errors.Is(err, emu.ErrHalted) {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(benchEmuInsts*b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+func isLimit(err error) bool {
+	return err != nil && err.Error() == "emu: instruction limit 1000000 exceeded"
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dmp/internal/isa"
+	"dmp/internal/predecode"
 )
 
 // DefaultMemWords is the default data-memory size in 8-byte words.
@@ -37,6 +38,9 @@ type Trace struct {
 // data memory, an input tape and an output stream.
 type Machine struct {
 	prog *isa.Program
+	// pre is the predecoded form of prog.Code, built once per machine and
+	// consumed by the fast execution paths in fast.go.
+	pre *predecode.Program
 	// Regs holds the 64 architectural registers. Regs[0] stays zero.
 	Regs [isa.NumRegs]int64
 	// Mem is the data memory in words. Globals live at its bottom; the stack
@@ -66,6 +70,7 @@ func New(p *isa.Program, input []int64, memWords int) *Machine {
 	}
 	m := &Machine{
 		prog:  p,
+		pre:   predecode.Compile(p),
 		Mem:   make([]int64, memWords),
 		PC:    p.Entry,
 		input: input,
@@ -73,6 +78,10 @@ func New(p *isa.Program, input []int64, memWords int) *Machine {
 	m.Regs[isa.RegSP] = int64(memWords)
 	return m
 }
+
+// Predecoded returns the machine's predecoded program, shared with the
+// pipeline so the code segment is lowered once per simulation.
+func (m *Machine) Predecoded() *predecode.Program { return m.pre }
 
 // Program returns the program being executed.
 func (m *Machine) Program() *isa.Program { return m.prog }
@@ -83,9 +92,40 @@ func (m *Machine) Halted() bool { return m.halted }
 // InputRemaining returns the number of unread input-tape values.
 func (m *Machine) InputRemaining() int { return len(m.input) - m.inPos }
 
-// Step executes one instruction and returns its trace entry. After the
-// machine halts, Step returns ErrHalted.
+// Step executes one instruction on the predecoded fast path and returns its
+// trace entry. After the machine halts, Step returns ErrHalted. It is
+// observationally identical to StepRef (enforced by the differential suite).
 func (m *Machine) Step() (Trace, error) {
+	if m.halted {
+		return Trace{}, ErrHalted
+	}
+	pc := m.PC
+	if uint(pc) >= uint(len(m.prog.Code)) {
+		return Trace{}, fmt.Errorf("emu: pc %d out of range", pc)
+	}
+	next, taken, addr, err := m.exec1(pc)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr := Trace{PC: pc, Inst: m.prog.Code[pc], NextPC: next, Taken: taken, Addr: addr}
+	m.PC = next
+	m.Retired++
+	return tr, nil
+}
+
+// setRd writes v to the destination register unless it is the hardwired
+// zero register.
+func (m *Machine) setRd(rd uint8, v int64) {
+	if rd != isa.RegZero {
+		m.Regs[rd] = v
+	}
+}
+
+// StepRef is the reference interpreter: a direct transcription of the ISA
+// semantics as one switch over isa.Inst, kept as the oracle the predecoded
+// fast path is differentially tested against (and as readable documentation
+// of the instruction set's behaviour).
+func (m *Machine) StepRef() (Trace, error) {
 	if m.halted {
 		return Trace{}, ErrHalted
 	}
@@ -97,73 +137,74 @@ func (m *Machine) Step() (Trace, error) {
 	tr := Trace{PC: pc, Inst: in}
 	next := pc + 1
 
-	src2 := func() int64 {
+	// The second ALU operand, resolved once for the opcodes that use it.
+	var src2 int64
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpCmpEQ, isa.OpCmpNE, isa.OpCmpLT, isa.OpCmpLE,
+		isa.OpCmpGT, isa.OpCmpGE:
 		if in.UseImm {
-			return in.Imm
-		}
-		return m.Regs[in.Rs2]
-	}
-	setRd := func(v int64) {
-		if in.Rd != isa.RegZero {
-			m.Regs[in.Rd] = v
+			src2 = in.Imm
+		} else {
+			src2 = m.Regs[in.Rs2]
 		}
 	}
-
 	switch in.Op {
 	case isa.OpNop:
 	case isa.OpAdd:
-		setRd(m.Regs[in.Rs1] + src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]+src2)
 	case isa.OpSub:
-		setRd(m.Regs[in.Rs1] - src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]-src2)
 	case isa.OpMul:
-		setRd(m.Regs[in.Rs1] * src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]*src2)
 	case isa.OpDiv:
-		d := src2()
+		d := src2
 		if d == 0 {
-			setRd(0)
+			m.setRd(in.Rd, 0)
 		} else {
-			setRd(m.Regs[in.Rs1] / d)
+			m.setRd(in.Rd, m.Regs[in.Rs1]/d)
 		}
 	case isa.OpRem:
-		d := src2()
+		d := src2
 		if d == 0 {
-			setRd(0)
+			m.setRd(in.Rd, 0)
 		} else {
-			setRd(m.Regs[in.Rs1] % d)
+			m.setRd(in.Rd, m.Regs[in.Rs1]%d)
 		}
 	case isa.OpAnd:
-		setRd(m.Regs[in.Rs1] & src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]&src2)
 	case isa.OpOr:
-		setRd(m.Regs[in.Rs1] | src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]|src2)
 	case isa.OpXor:
-		setRd(m.Regs[in.Rs1] ^ src2())
+		m.setRd(in.Rd, m.Regs[in.Rs1]^src2)
 	case isa.OpShl:
-		setRd(m.Regs[in.Rs1] << (uint64(src2()) & 63))
+		m.setRd(in.Rd, m.Regs[in.Rs1]<<(uint64(src2)&63))
 	case isa.OpShr:
-		setRd(m.Regs[in.Rs1] >> (uint64(src2()) & 63))
+		m.setRd(in.Rd, m.Regs[in.Rs1]>>(uint64(src2)&63))
 	case isa.OpCmpEQ:
-		setRd(b2i(m.Regs[in.Rs1] == src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] == src2))
 	case isa.OpCmpNE:
-		setRd(b2i(m.Regs[in.Rs1] != src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] != src2))
 	case isa.OpCmpLT:
-		setRd(b2i(m.Regs[in.Rs1] < src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] < src2))
 	case isa.OpCmpLE:
-		setRd(b2i(m.Regs[in.Rs1] <= src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] <= src2))
 	case isa.OpCmpGT:
-		setRd(b2i(m.Regs[in.Rs1] > src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] > src2))
 	case isa.OpCmpGE:
-		setRd(b2i(m.Regs[in.Rs1] >= src2()))
+		m.setRd(in.Rd, b2i(m.Regs[in.Rs1] >= src2))
 	case isa.OpMovI:
-		setRd(in.Imm)
+		m.setRd(in.Rd, in.Imm)
 	case isa.OpMov:
-		setRd(m.Regs[in.Rs1])
+		m.setRd(in.Rd, m.Regs[in.Rs1])
 	case isa.OpLd:
 		addr := m.Regs[in.Rs1] + in.Imm
 		if addr < 0 || addr >= int64(len(m.Mem)) {
 			return Trace{}, fmt.Errorf("emu: pc %d: load address %d out of range", pc, addr)
 		}
 		tr.Addr = addr
-		setRd(m.Mem[addr])
+		m.setRd(in.Rd, m.Mem[addr])
 	case isa.OpSt:
 		addr := m.Regs[in.Rs1] + in.Imm
 		if addr < 0 || addr >= int64(len(m.Mem)) {
@@ -195,13 +236,13 @@ func (m *Machine) Step() (Trace, error) {
 		next = int(m.Regs[in.Rs1])
 	case isa.OpIn:
 		if m.inPos < len(m.input) {
-			setRd(m.input[m.inPos])
+			m.setRd(in.Rd, m.input[m.inPos])
 			m.inPos++
 		} else {
-			setRd(0)
+			m.setRd(in.Rd, 0)
 		}
 	case isa.OpInAvail:
-		setRd(int64(len(m.input) - m.inPos))
+		m.setRd(in.Rd, int64(len(m.input)-m.inPos))
 	case isa.OpOut:
 		m.Output = append(m.Output, m.Regs[in.Rs1])
 	case isa.OpHalt:
@@ -222,17 +263,22 @@ func (m *Machine) Step() (Trace, error) {
 
 // Run executes until halt or until maxInsts instructions have retired
 // (maxInsts <= 0 means no limit). It returns the number of instructions
-// retired by this call.
+// retired by this call. Execution proceeds block by block via RunBlock.
 func (m *Machine) Run(maxInsts uint64) (uint64, error) {
 	var n uint64
 	for !m.halted {
 		if maxInsts > 0 && n >= maxInsts {
 			return n, fmt.Errorf("emu: instruction limit %d exceeded", maxInsts)
 		}
-		if _, err := m.Step(); err != nil {
+		var budget uint64
+		if maxInsts > 0 {
+			budget = maxInsts - n
+		}
+		br, err := m.RunBlock(budget)
+		n += br.N
+		if err != nil {
 			return n, err
 		}
-		n++
 	}
 	return n, nil
 }

@@ -326,7 +326,12 @@ func (s *Sim) endLoopDpredByResolve() {
 func (s *Sim) enqueueMarker(sess *dpredSession) {
 	s.seq++
 	e := s.allocEntry()
-	*e = entry{kind: kindMarker, seq: s.seq, fetchCyc: s.cycle, sess: sess, path: -1, addr: -1, refs: 1}
+	e.kind = kindMarker
+	e.seq = s.seq
+	e.fetchCyc = s.cycle
+	e.sess = sess
+	e.path = -1
+	e.addr = -1
 	sess.refs++
 	s.fqPush(e)
 }
@@ -336,10 +341,14 @@ func (s *Sim) enqueueSelects(sess *dpredSession, regs []uint8) {
 	for _, r := range regs {
 		s.seq++
 		e := s.allocEntry()
-		*e = entry{
-			kind: kindSelect, seq: s.seq, fetchCyc: s.cycle,
-			sess: sess, path: -1, addr: -1, selReg: r, onTrace: true, refs: 1,
-		}
+		e.kind = kindSelect
+		e.seq = s.seq
+		e.fetchCyc = s.cycle
+		e.sess = sess
+		e.path = -1
+		e.addr = -1
+		e.selReg = r
+		e.onTrace = true
 		sess.refs++
 		s.fqPush(e)
 	}

@@ -132,18 +132,18 @@ func (s *Sim) fetchOne(st *stream) (cont bool, notTaken int) {
 
 func (s *Sim) newEntry(st *stream, pc int, in isa.Inst, onTrace bool) *entry {
 	s.seq++
+	// allocEntry hands back a zeroed entry (refs already 1); assigning the
+	// handful of non-zero fields directly avoids constructing and copying a
+	// full struct literal on the hottest path in the simulator.
 	e := s.allocEntry()
-	*e = entry{
-		kind:     kindInst,
-		seq:      s.seq,
-		pc:       pc,
-		inst:     in,
-		fetchCyc: s.cycle,
-		onTrace:  onTrace,
-		addr:     -1,
-		path:     -1,
-		refs:     1,
-	}
+	e.kind = kindInst
+	e.seq = s.seq
+	e.pc = pc
+	e.inst = in
+	e.fetchCyc = s.cycle
+	e.onTrace = onTrace
+	e.addr = -1
+	e.path = -1
 	s.stats.Fetched++
 	if !onTrace {
 		s.stats.WrongPathFetched++
@@ -233,7 +233,7 @@ func (s *Sim) fetchOnTrace(st *stream) (bool, int) {
 
 // fetchOnTraceCond handles an on-trace conditional branch: prediction,
 // dpred-mode entry, misprediction bookkeeping and redirection.
-func (s *Sim) fetchOnTraceCond(st *stream, e *entry, tre traceEntry) (bool, int) {
+func (s *Sim) fetchOnTraceCond(st *stream, e *entry, tre *traceEntry) (bool, int) {
 	in := e.inst
 	e.fetchHist = st.hist
 	e.predTaken = s.pred.Predict(e.pc, st.hist)

@@ -18,6 +18,9 @@ import "dmp/internal/bpred"
 
 // allocEntry returns a zeroed entry from the pool (or a fresh one) with a
 // reference count of 1 for the container it is about to enter.
+// allocEntry returns an entry with refs == 1 and every other field zero:
+// fresh allocations are zeroed by the runtime and decRef zeroes entries
+// before pooling them. Callers rely on this to set only non-zero fields.
 func (s *Sim) allocEntry() *entry {
 	n := len(s.entryPool)
 	if n == 0 {

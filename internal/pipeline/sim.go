@@ -7,6 +7,7 @@ import (
 	"dmp/internal/cache"
 	"dmp/internal/emu"
 	"dmp/internal/isa"
+	"dmp/internal/predecode"
 	"dmp/internal/trace"
 )
 
@@ -15,6 +16,10 @@ type Sim struct {
 	cfg  Config
 	prog *isa.Program
 	code []isa.Inst
+	// recs is the predecoded view of code (shared with the emulator):
+	// source/destination registers and latency class per PC, so dispatch
+	// does not re-derive them through isa.Inst switches.
+	recs []predecode.Rec
 	tr   *traceReader
 
 	pred *bpred.Perceptron
@@ -64,7 +69,6 @@ type Sim struct {
 
 	// Scratch buffers and free lists keeping the per-instruction path
 	// allocation-free at steady state (pool.go).
-	readsBuf    []int
 	selRegs     []uint8
 	entryPool   []*entry
 	sessPool    []*dpredSession
@@ -82,6 +86,7 @@ func New(prog *isa.Program, input []int64, cfg Config) *Sim {
 		cfg:      cfg,
 		prog:     prog,
 		code:     prog.Code,
+		recs:     m.Predecoded().Recs,
 		tr:       newTraceReader(m, cfg.MaxInsts),
 		pred:     bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
 		conf:     bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
@@ -91,7 +96,6 @@ func New(prog *isa.Program, input []int64, cfg Config) *Sim {
 		sfCyc:    make([]int64, storeFwdSize),
 		issueTag: make([]int64, issueRingSize),
 		issueCnt: make([]uint16, issueRingSize),
-		readsBuf: make([]int, 0, 4),
 		selRegs:  make([]uint8, 0, 64),
 	}
 	for i := range s.issueTag {
@@ -196,13 +200,13 @@ func (s *Sim) tableFor(e *entry) *[64]int64 {
 
 // latencyOf returns the execution latency of an instruction; loads consult
 // the cache model (on-trace addresses) or assume an L1 hit (wrong path).
-func (s *Sim) latencyOf(e *entry) int {
-	switch e.inst.Op {
-	case isa.OpMul:
+func (s *Sim) latencyOf(e *entry, rec *predecode.Rec) int {
+	switch rec.Lat {
+	case predecode.LatMul:
 		return s.cfg.LatMul
-	case isa.OpDiv, isa.OpRem:
+	case predecode.LatDiv:
 		return s.cfg.LatDiv
-	case isa.OpLd:
+	case predecode.LatLoad:
 		if e.onTrace && e.addr >= 0 {
 			return s.hier.D.Access(cache.DataAddr(e.addr))
 		}
@@ -262,13 +266,13 @@ func (s *Sim) dispatchEntry(e *entry) {
 		return
 	}
 
-	// Source readiness.
-	reads := e.inst.Reads(s.readsBuf[:0])
-	s.readsBuf = reads[:0]
+	// Source readiness, from the predecoded source-register list.
+	rec := &s.recs[e.pc]
 	var ready int64
-	for _, r := range reads {
-		if table[r] > ready {
-			ready = table[r]
+	if rec.NR >= 1 {
+		ready = table[rec.R1]
+		if rec.NR == 2 && table[rec.R2] > ready {
+			ready = table[rec.R2]
 		}
 	}
 	if e.inst.Op == isa.OpLd && e.onTrace && e.addr >= 0 {
@@ -277,10 +281,10 @@ func (s *Sim) dispatchEntry(e *entry) {
 		}
 	}
 	issue := s.findIssueSlot(max64(s.cycle+1, ready))
-	e.doneCyc = issue + int64(s.latencyOf(e))
+	e.doneCyc = issue + int64(s.latencyOf(e, rec))
 
-	if dst := e.inst.Writes(); dst > 0 {
-		table[dst] = e.doneCyc
+	if rec.Rd > 0 {
+		table[rec.Rd] = e.doneCyc
 	}
 	if e.inst.Op == isa.OpSt && e.onTrace && e.addr >= 0 {
 		s.sfStore(e.addr, e.doneCyc)

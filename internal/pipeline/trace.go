@@ -6,68 +6,100 @@ import (
 	"dmp/internal/emu"
 )
 
-// traceReader supplies the correct execution path lazily from the functional
-// emulator, with one entry of lookahead (needed to know the resume PC after
-// a flush before consuming the entry).
+// traceBatchSize is how many correct-path entries the reader requests from
+// the emulator per refill. Batching amortises the per-call overhead of the
+// emulator across a few hundred instructions; the buffer is allocated once
+// per Sim, so the steady-state loop stays allocation-free.
+const traceBatchSize = 256
+
+// traceReader supplies the correct execution path from the functional
+// emulator in batches, exposing the same one-entry-lookahead interface the
+// fetch stage needs (Peek to learn the resume PC after a flush before
+// consuming the entry). Running the emulator up to a batch ahead of the
+// pipeline is safe: the pipeline only reads trace entries, never the
+// machine's registers or memory, until the run completes.
 type traceReader struct {
-	m        *emu.Machine
-	buf      emu.Trace
-	buffered bool
-	done     bool
+	m   *emu.Machine
+	buf []emu.Trace
+	pos int // next unconsumed index in buf[:n]
+	n   int
+	// done is set at halt or when maxInsts entries have been produced.
+	done bool
+	// pending holds a fault discovered mid-batch; it surfaces as err only
+	// after the entries before it have been consumed, exactly when a
+	// step-by-step reader would have hit it.
+	pending  error
 	err      error
 	count    uint64
+	fetched  uint64
 	maxInsts uint64
 }
 
 func newTraceReader(m *emu.Machine, maxInsts uint64) *traceReader {
-	return &traceReader{m: m, maxInsts: maxInsts}
+	return &traceReader{m: m, buf: make([]emu.Trace, traceBatchSize), maxInsts: maxInsts}
 }
 
 func (t *traceReader) fill() {
-	if t.buffered || t.done || t.err != nil {
+	if t.pos < t.n || t.done || t.err != nil {
 		return
 	}
-	if t.maxInsts > 0 && t.count >= t.maxInsts {
-		t.done = true
+	if t.pending != nil {
+		t.err = t.pending
 		return
 	}
-	tr, err := t.m.Step()
-	if err != nil {
-		if errors.Is(err, emu.ErrHalted) {
+	lim := uint64(len(t.buf))
+	if t.maxInsts > 0 {
+		rem := t.maxInsts - t.fetched
+		if rem == 0 {
 			t.done = true
-		} else {
-			t.err = err
+			return
 		}
-		return
+		if rem < lim {
+			lim = rem
+		}
 	}
-	t.buf = tr
-	t.buffered = true
+	k, err := t.m.StepBatch(t.buf[:lim], 0)
+	t.pos, t.n = 0, k
+	t.fetched += uint64(k)
+	if err != nil {
+		switch {
+		case errors.Is(err, emu.ErrHalted):
+			t.done = true
+		case k == 0:
+			t.err = err
+		default:
+			t.pending = err
+		}
+	}
 }
 
-// Peek returns the next correct-path entry without consuming it.
-func (t *traceReader) Peek() (emu.Trace, bool) {
+// Peek returns the next correct-path entry without consuming it. The
+// pointer is valid until the next call that consumes an entry past the
+// current batch.
+func (t *traceReader) Peek() (*emu.Trace, bool) {
 	t.fill()
-	if !t.buffered {
-		return emu.Trace{}, false
+	if t.pos >= t.n {
+		return nil, false
 	}
-	return t.buf, true
+	return &t.buf[t.pos], true
 }
 
 // Next consumes and returns the next correct-path entry.
-func (t *traceReader) Next() (emu.Trace, bool) {
+func (t *traceReader) Next() (*emu.Trace, bool) {
 	t.fill()
-	if !t.buffered {
-		return emu.Trace{}, false
+	if t.pos >= t.n {
+		return nil, false
 	}
-	t.buffered = false
+	tr := &t.buf[t.pos]
+	t.pos++
 	t.count++
-	return t.buf, true
+	return tr, true
 }
 
 // Done reports whether the trace is exhausted.
 func (t *traceReader) Done() bool {
 	t.fill()
-	return !t.buffered && (t.done || t.err != nil)
+	return t.pos >= t.n && (t.done || t.err != nil)
 }
 
 // Err returns a functional-execution error, if any.

@@ -1,0 +1,159 @@
+package predecode
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+func TestLowerALUForms(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, UseImm: true, Imm: 42},
+		{Op: isa.OpMul, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: isa.OpDiv, Rd: 4, Rs1: 5, UseImm: true, Imm: 7},
+		{Op: isa.OpHalt},
+	}}
+	recs := Compile(p).Recs
+
+	if recs[0].Kind != KAddRR || recs[0].NR != 2 || recs[0].R1 != 1 || recs[0].R2 != 2 || recs[0].Rd != 3 {
+		t.Errorf("add rr lowered to %+v", recs[0])
+	}
+	if recs[1].Kind != KAddRI || recs[1].NR != 1 || recs[1].Imm != 42 {
+		t.Errorf("add ri lowered to %+v", recs[1])
+	}
+	if recs[1].Kind != recs[0].Kind+1 {
+		t.Errorf("RI kind %d is not RR kind %d + 1", recs[1].Kind, recs[0].Kind)
+	}
+	if recs[2].Lat != LatMul || recs[3].Lat != LatDiv || recs[0].Lat != LatALU {
+		t.Errorf("latency classes: add=%d mul=%d div=%d", recs[0].Lat, recs[2].Lat, recs[3].Lat)
+	}
+}
+
+// TestLowerZeroDest checks that writes to R0 become KNop for the emulator
+// while keeping the reads and latency class the pipeline schedules with.
+func TestLowerZeroDest(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		{Op: isa.OpMul, Rd: 0, Rs1: 1, Rs2: 2},
+		{Op: isa.OpLd, Rd: 0, Rs1: 3, Imm: 8},
+		{Op: isa.OpIn, Rd: 0},
+		{Op: isa.OpInAvail, Rd: 0},
+		{Op: isa.OpHalt},
+	}}
+	recs := Compile(p).Recs
+
+	if recs[0].Kind != KNop || recs[0].NR != 2 || recs[0].Lat != LatMul || recs[0].Rd != 0 {
+		t.Errorf("mul->r0 lowered to %+v", recs[0])
+	}
+	// A load to R0 must keep its bounds check (and address for tracing).
+	if recs[1].Kind != KLdNoWB || recs[1].NR != 1 || recs[1].R1 != 3 || recs[1].Lat != LatLoad {
+		t.Errorf("ld->r0 lowered to %+v", recs[1])
+	}
+	// An input read to R0 still consumes the tape.
+	if recs[2].Kind != KInNoWB {
+		t.Errorf("in->r0 lowered to %+v", recs[2])
+	}
+	// inavail to R0 has no effect at all.
+	if recs[3].Kind != KNop {
+		t.Errorf("inavail->r0 lowered to %+v", recs[3])
+	}
+}
+
+func TestLowerControl(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		{Op: isa.OpBeqz, Rs1: 7, Target: 3},
+		{Op: isa.OpCall, Target: 2},
+		{Op: isa.OpRet},
+		{Op: isa.OpHalt},
+	}}
+	recs := Compile(p).Recs
+
+	br := recs[0]
+	if br.Kind != KBeqz || !br.IsCondBranch() || !br.IsControl() || br.R1 != 7 || br.Target != 3 {
+		t.Errorf("beqz lowered to %+v", br)
+	}
+	if recs[1].Kind != KCall || recs[1].Rd != isa.RegLR || recs[1].IsCondBranch() {
+		t.Errorf("call lowered to %+v", recs[1])
+	}
+	if recs[2].Kind != KRet || recs[2].NR != 1 || recs[2].R1 != isa.RegLR {
+		t.Errorf("ret lowered to %+v", recs[2])
+	}
+	if recs[3].Kind != KHalt || !recs[3].IsControl() {
+		t.Errorf("halt lowered to %+v", recs[3])
+	}
+}
+
+func TestLowerBadOpcode(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		{Op: isa.Op(200)},
+		{Op: isa.OpHalt},
+	}}
+	recs := Compile(p).Recs
+	if recs[0].Kind != KBad {
+		t.Errorf("invalid opcode lowered to %+v", recs[0])
+	}
+	// KBad ends a straight-line run like control flow does.
+	if recs[0].NextCtl != 0 {
+		t.Errorf("NextCtl over KBad = %d, want 0", recs[0].NextCtl)
+	}
+}
+
+// TestNextCtl pins the straight-line run boundaries: every record points at
+// the first control-flow (or undecodable) instruction at or after it, and
+// enders point at themselves.
+func TestNextCtl(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		/* 0 */ {Op: isa.OpAdd, Rd: 1, Rs1: 1, UseImm: true, Imm: 1},
+		/* 1 */ {Op: isa.OpMov, Rd: 2, Rs1: 1},
+		/* 2 */ {Op: isa.OpBnez, Rs1: 2, Target: 0},
+		/* 3 */ {Op: isa.OpOut, Rs1: 1},
+		/* 4 */ {Op: isa.OpHalt},
+	}}
+	recs := Compile(p).Recs
+	want := []int32{2, 2, 2, 4, 4}
+	for pc, w := range want {
+		if recs[pc].NextCtl != w {
+			t.Errorf("NextCtl[%d] = %d, want %d", pc, recs[pc].NextCtl, w)
+		}
+	}
+}
+
+// TestNextCtlNoEnder covers a code segment whose tail has no control flow:
+// NextCtl saturates at len(code).
+func TestNextCtlNoEnder(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{
+		{Op: isa.OpJmp, Target: 1},
+		{Op: isa.OpAdd, Rd: 1, Rs1: 1, UseImm: true, Imm: 1},
+		{Op: isa.OpNop},
+	}}
+	recs := Compile(p).Recs
+	want := []int32{0, 3, 3}
+	for pc, w := range want {
+		if recs[pc].NextCtl != w {
+			t.Errorf("NextCtl[%d] = %d, want %d", pc, recs[pc].NextCtl, w)
+		}
+	}
+}
+
+// TestKindCoverage lowers every defined opcode and checks none of them land
+// on KBad, and that the RR/RI pairing convention holds across the ALU kinds.
+func TestKindCoverage(t *testing.T) {
+	for op := isa.OpNop; op <= isa.OpHalt; op++ {
+		in := isa.Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Target: 0}
+		p := &isa.Program{Code: []isa.Inst{in}}
+		if k := Compile(p).Recs[0].Kind; k == KBad {
+			t.Errorf("defined opcode %s lowered to KBad", op)
+		}
+	}
+	pairs := []struct{ rr, ri Kind }{
+		{KAddRR, KAddRI}, {KSubRR, KSubRI}, {KMulRR, KMulRI}, {KDivRR, KDivRI},
+		{KRemRR, KRemRI}, {KAndRR, KAndRI}, {KOrRR, KOrRI}, {KXorRR, KXorRI},
+		{KShlRR, KShlRI}, {KShrRR, KShrRI}, {KCmpEQRR, KCmpEQRI}, {KCmpNERR, KCmpNERI},
+		{KCmpLTRR, KCmpLTRI}, {KCmpLERR, KCmpLERI}, {KCmpGTRR, KCmpGTRI}, {KCmpGERR, KCmpGERI},
+	}
+	for _, pr := range pairs {
+		if pr.ri != pr.rr+1 {
+			t.Errorf("kind pair (%d, %d) breaks the RR+1 == RI convention", pr.rr, pr.ri)
+		}
+	}
+}

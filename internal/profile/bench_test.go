@@ -1,0 +1,30 @@
+package profile
+
+import (
+	"testing"
+
+	"dmp/internal/bench"
+)
+
+// BenchmarkProfileCollect measures the profiler fast path: block-batched
+// emulation feeding dense per-PC counters and the fused predict-and-train
+// perceptron hook.
+func BenchmarkProfileCollect(b *testing.B) {
+	b.ReportAllocs()
+	w := bench.ByName("compress")
+	prog, err := w.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(bench.TrainInput, 1)
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		p, err := Collect(prog, input, Options{MaxInsts: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired = p.TotalRetired
+	}
+	b.ReportMetric(float64(retired)*float64(b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}

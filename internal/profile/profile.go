@@ -10,7 +10,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"dmp/internal/bpred"
 	"dmp/internal/cfg"
@@ -22,12 +21,14 @@ import (
 type Profile struct {
 	// ExecCount[pc] is the number of times the instruction at pc retired.
 	ExecCount []uint64
-	// Taken and NotTaken count conditional-branch outcomes per branch PC.
-	Taken    map[int]uint64
-	NotTaken map[int]uint64
+	// Taken and NotTaken count conditional-branch outcomes, indexed by
+	// branch PC (dense, parallel to the code segment; non-branch PCs stay
+	// zero).
+	Taken    []uint64
+	NotTaken []uint64
 	// Mispred counts mispredictions per branch PC under the profiling
 	// predictor.
-	Mispred map[int]uint64
+	Mispred []uint64
 	// TotalRetired is the number of retired instructions.
 	TotalRetired uint64
 }
@@ -46,54 +47,92 @@ func Collect(p *isa.Program, input []int64, opt Options) (*Profile, error) {
 	return collectWithHook(p, input, opt, nil)
 }
 
+// predictTrainer is implemented by predictors that can fold the
+// predict-then-train sequence of a profiled branch into one pass
+// (bpred.Perceptron); the profiler resolves every branch in the same step it
+// predicts it, so the fusion is exactly equivalent.
+type predictTrainer interface {
+	PredictAndTrain(pc int, h bpred.History, taken bool) bool
+}
+
 // collectWithHook runs the profiler, invoking hook (if non-nil) for every
 // retired conditional branch with its misprediction outcome. The 2D profiler
 // builds its time-sliced view through this hook.
+//
+// Execution is block-batched: emu.RunBlock retires each straight-line run in
+// one call and reports the conditional branch ending it. Because every
+// conditional branch ends a block, the per-branch predictor/hook sequence is
+// identical to a step-by-step loop.
 func collectWithHook(p *isa.Program, input []int64, opt Options, hook func(pc int, misp bool)) (*Profile, error) {
 	pred := opt.Predictor
 	if pred == nil {
 		pred = bpred.NewPerceptron(bpred.PerceptronDefaultTables, bpred.PerceptronDefaultHist)
 	}
+	pt, _ := pred.(predictTrainer)
 	m := emu.New(p, input, 0)
+	n := len(p.Code)
 	prof := &Profile{
-		ExecCount: make([]uint64, len(p.Code)),
-		Taken:     map[int]uint64{},
-		NotTaken:  map[int]uint64{},
-		Mispred:   map[int]uint64{},
+		ExecCount: make([]uint64, n),
+		Taken:     make([]uint64, n),
+		NotTaken:  make([]uint64, n),
+		Mispred:   make([]uint64, n),
 	}
 	var hist bpred.History
 	for !m.Halted() {
-		if opt.MaxInsts > 0 && prof.TotalRetired >= opt.MaxInsts {
-			break
+		var budget uint64
+		if opt.MaxInsts > 0 {
+			if prof.TotalRetired >= opt.MaxInsts {
+				break
+			}
+			budget = opt.MaxInsts - prof.TotalRetired
 		}
-		tr, err := m.Step()
+		br, err := m.RunBlock(budget)
 		if err != nil {
 			return nil, fmt.Errorf("profile: %w", err)
 		}
-		prof.ExecCount[tr.PC]++
-		prof.TotalRetired++
-		if tr.Inst.IsCondBranch() {
-			if tr.Taken {
-				prof.Taken[tr.PC]++
+		for pc := br.Start; pc < br.Start+int(br.N); pc++ {
+			prof.ExecCount[pc]++
+		}
+		prof.TotalRetired += br.N
+		if br.Branch >= 0 {
+			pc := br.Branch
+			if br.Taken {
+				prof.Taken[pc]++
 			} else {
-				prof.NotTaken[tr.PC]++
+				prof.NotTaken[pc]++
 			}
-			misp := pred.Predict(tr.PC, hist) != tr.Taken
+			var misp bool
+			if pt != nil {
+				misp = pt.PredictAndTrain(pc, hist, br.Taken) != br.Taken
+			} else {
+				misp = pred.Predict(pc, hist) != br.Taken
+			}
 			if misp {
-				prof.Mispred[tr.PC]++
+				prof.Mispred[pc]++
 			}
 			if hook != nil {
-				hook(tr.PC, misp)
+				hook(pc, misp)
 			}
-			pred.Update(tr.PC, hist, tr.Taken)
-			hist = hist.Push(tr.Taken)
+			if pt == nil {
+				pred.Update(pc, hist, br.Taken)
+			}
+			hist = hist.Push(br.Taken)
 		}
 	}
 	return prof, nil
 }
 
+// ctrAt reads a dense counter slice, treating out-of-range PCs as zero (the
+// behaviour the old map representation gave for free).
+func ctrAt(s []uint64, pc int) uint64 {
+	if pc < 0 || pc >= len(s) {
+		return 0
+	}
+	return s[pc]
+}
+
 // BranchExec returns the dynamic execution count of the branch at pc.
-func (p *Profile) BranchExec(pc int) uint64 { return p.Taken[pc] + p.NotTaken[pc] }
+func (p *Profile) BranchExec(pc int) uint64 { return ctrAt(p.Taken, pc) + ctrAt(p.NotTaken, pc) }
 
 // TakenProb returns the profiled probability that the branch at pc is taken.
 // Unexecuted branches report 0.5 (no information).
@@ -102,7 +141,7 @@ func (p *Profile) TakenProb(pc int) float64 {
 	if n == 0 {
 		return 0.5
 	}
-	return float64(p.Taken[pc]) / float64(n)
+	return float64(ctrAt(p.Taken, pc)) / float64(n)
 }
 
 // MispRate returns the profiled misprediction rate of the branch at pc.
@@ -111,7 +150,7 @@ func (p *Profile) MispRate(pc int) float64 {
 	if n == 0 {
 		return 0
 	}
-	return float64(p.Mispred[pc]) / float64(n)
+	return float64(ctrAt(p.Mispred, pc)) / float64(n)
 }
 
 // MPKI returns overall mispredictions per kilo-instruction.
@@ -147,10 +186,10 @@ func (p *Profile) EdgeProb(g *cfg.Graph, from, to int) float64 {
 	}
 	// Successor order is [fallthrough, taken].
 	if to == succs[1] {
-		return float64(p.Taken[brPC]) / float64(n)
+		return float64(ctrAt(p.Taken, brPC)) / float64(n)
 	}
 	if to == succs[0] {
-		return float64(p.NotTaken[brPC]) / float64(n)
+		return float64(ctrAt(p.NotTaken, brPC)) / float64(n)
 	}
 	return 0
 }
@@ -194,9 +233,9 @@ func (p *Profile) LoopProfile(g *cfg.Graph, l *cfg.Loop) LoopStats {
 			brPC := latch.End - 1
 			// Which direction reaches the header?
 			if last.Target == header.Start {
-				backEdges += p.Taken[brPC]
+				backEdges += ctrAt(p.Taken, brPC)
 			} else {
-				backEdges += p.NotTaken[brPC]
+				backEdges += ctrAt(p.NotTaken, brPC)
 			}
 		default:
 			// Unconditional or fallthrough latch: every execution loops.
@@ -236,22 +275,28 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	for _, c := range p.ExecCount {
 		putUv(&buf, c)
 	}
-	writeMap := func(m map[int]uint64) {
-		putUv(&buf, uint64(len(m)))
-		// Deterministic order.
-		keys := make([]int, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
+	// Dense counter slices serialise in the legacy sparse-map format: an
+	// entry count followed by (pc, value) pairs in ascending pc order —
+	// byte-identical to what the map encoder produced, since maps only ever
+	// held non-zero entries and were written key-sorted.
+	writeCounters := func(s []uint64) {
+		var nz uint64
+		for _, v := range s {
+			if v != 0 {
+				nz++
+			}
 		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			putUv(&buf, uint64(k))
-			putUv(&buf, m[k])
+		putUv(&buf, nz)
+		for pc, v := range s {
+			if v != 0 {
+				putUv(&buf, uint64(pc))
+				putUv(&buf, v)
+			}
 		}
 	}
-	writeMap(p.Taken)
-	writeMap(p.NotTaken)
-	writeMap(p.Mispred)
+	writeCounters(p.Taken)
+	writeCounters(p.NotTaken)
+	writeCounters(p.Mispred)
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
 }
@@ -273,9 +318,9 @@ func Read(r io.Reader) (*Profile, error) {
 	p := &Profile{
 		ExecCount:    make([]uint64, n),
 		TotalRetired: binary.LittleEndian.Uint64(hdr[8:]),
-		Taken:        map[int]uint64{},
-		NotTaken:     map[int]uint64{},
-		Mispred:      map[int]uint64{},
+		Taken:        make([]uint64, n),
+		NotTaken:     make([]uint64, n),
+		Mispred:      make([]uint64, n),
 	}
 	for i := range p.ExecCount {
 		v, err := binary.ReadUvarint(br)
@@ -284,7 +329,7 @@ func Read(r io.Reader) (*Profile, error) {
 		}
 		p.ExecCount[i] = v
 	}
-	readMap := func(m map[int]uint64) error {
+	readCounters := func(s []uint64) error {
 		cnt, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
@@ -301,12 +346,15 @@ func Read(r io.Reader) (*Profile, error) {
 			if err != nil {
 				return err
 			}
-			m[int(k)] = v
+			if k >= uint64(n) {
+				return fmt.Errorf("profile: branch pc %d out of range", k)
+			}
+			s[k] = v
 		}
 		return nil
 	}
-	for _, m := range []map[int]uint64{p.Taken, p.NotTaken, p.Mispred} {
-		if err := readMap(m); err != nil {
+	for _, s := range [][]uint64{p.Taken, p.NotTaken, p.Mispred} {
+		if err := readCounters(s); err != nil {
 			return nil, err
 		}
 	}

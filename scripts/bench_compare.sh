@@ -2,10 +2,12 @@
 # Benchmark-regression gate for the simulator's hot loop.
 #
 # Runs the root corpus benchmarks (BenchmarkPipelineBaseline/DMP, which
-# report sim-insts/s) plus the pipeline-level BenchmarkDMPRun, folds the
-# repeats through cmd/benchgate, rewrites BENCH_PR4.json, and fails when
+# report sim-insts/s), the pipeline-level BenchmarkDMPRun, and the execution
+# engine benchmarks (BenchmarkEmuRun, BenchmarkProfileCollect), folds the
+# repeats through cmd/benchgate, rewrites BENCH_PR5.json, and fails when
 # throughput drops more than BENCH_MAX_REGRESS percent (default 15) against
-# the snapshot committed at HEAD.
+# the snapshot committed at HEAD, or allocs/op grows past the benchgate
+# default.
 #
 # benchgate folds repeats best-of, so noise is one-sided (a loaded machine
 # can only look slower); more repeats tighten the estimate.
@@ -14,6 +16,7 @@
 #   SKIP_BENCH_COMPARE=1   skip entirely (e.g. heavily-loaded CI machines)
 #   BENCH_COUNT=N          benchmark repeats to fold (default 5)
 #   BENCH_MAX_REGRESS=P    allowed throughput drop, percent (default 15)
+#   BENCH_UPDATE=1         refresh the snapshot without gating
 set -eu
 
 if [ "${SKIP_BENCH_COMPARE:-0}" = "1" ]; then
@@ -27,13 +30,19 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 count=${BENCH_COUNT:-5}
-go test -run '^$' -bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun' \
-	-benchmem -count "$count" . ./internal/pipeline | tee "$tmp/bench.txt"
+go test -run '^$' \
+	-bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun|BenchmarkEmuRun|BenchmarkProfileCollect' \
+	-benchmem -count "$count" . ./internal/pipeline ./internal/emu ./internal/profile | tee "$tmp/bench.txt"
 
 baseline=""
-if git show HEAD:BENCH_PR4.json > "$tmp/baseline.json" 2>/dev/null; then
+if git show HEAD:BENCH_PR5.json > "$tmp/baseline.json" 2>/dev/null; then
 	baseline="$tmp/baseline.json"
 fi
 
-go run ./cmd/benchgate -in "$tmp/bench.txt" -out BENCH_PR4.json \
-	${baseline:+-baseline "$baseline"} -max-regress "${BENCH_MAX_REGRESS:-15}"
+update=""
+if [ "${BENCH_UPDATE:-0}" = "1" ]; then
+	update="-update"
+fi
+
+go run ./cmd/benchgate -in "$tmp/bench.txt" -out BENCH_PR5.json \
+	${baseline:+-baseline "$baseline"} -max-regress "${BENCH_MAX_REGRESS:-15}" $update

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Tier-1 CI gate. Mirrors `make ci` for environments without make:
 # vet, optional staticcheck, build, the full test suite under the race
-# detector, the allocation guards, the dmplint corpus sweep, the
-# benchmark-regression gate (skippable with SKIP_BENCH_COMPARE=1), and a
-# short deterministic fuzz smoke over the DML parser.
+# detector, the allocation guards, the emulator fast-path differential
+# suite, the dmplint corpus sweep, the benchmark-regression gate (skippable
+# with SKIP_BENCH_COMPARE=1), and short deterministic fuzz smokes over the
+# DML parser and the emulator differential harness.
 set -eux
 
 go vet ./...
@@ -17,9 +18,11 @@ fi
 go build ./...
 go test -race ./...
 go test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
+go test -run 'TestFastMatchesReference|TestRunMatchesReference|TestRunBlockMatchesReference|TestStepBatchMatchesReference|TestFaultEquivalence|TestStepBatchFaults' ./internal/emu
 sh scripts/bench_compare.sh
 go run ./cmd/dmplint -corpus
 go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 rm -f .trace-smoke.jsonl
 go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
+go test -run '^$' -fuzz=FuzzEmuDiff -fuzztime=30s ./internal/emu
