@@ -5,8 +5,9 @@
 #               event emission and steady-state allocs/instruction)
 #               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
 #               + the emulator fast-path differential suite + the
-#               benchmark-regression gate + 30s parser and emulator
-#               differential fuzz smokes
+#               benchmark-regression gate + a generated-corpus smoke
+#               (dmpgen -check over 50 programs) + 30s parser and
+#               emulator differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   vet plus staticcheck/golangci-lint when installed
 #   make fuzz   longer local fuzzing session for the front-end and
@@ -17,9 +18,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke
 
-ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +74,13 @@ bench-compare:
 # and the hand-written fault matrix.
 emu-diff:
 	$(GO) test -run 'TestFastMatchesReference|TestRunMatchesReference|TestRunBlockMatchesReference|TestStepBatchMatchesReference|TestFaultEquivalence|TestStepBatchFaults' ./internal/emu
+
+# Generated-workload smoke: build a 50-program corpus across every preset
+# and push each program through the full quality gate (all 8 selection
+# algorithms verified + emu-vs-pipeline differential). Runs in seconds;
+# the population-scale version lives in the harness test suite.
+gen-smoke:
+	$(GO) run ./cmd/dmpgen -preset all -n 50 -seed 1 -check
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10]
+//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10|population]
 //	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
+//	         [-gen-preset all|P,Q] [-gen-n N] [-gen-seed S]
 //	         [-metrics-json file] [-pprof addr] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints a text table with one column per benchmark and an
@@ -16,6 +17,12 @@
 // -metrics-json writes the same metrics as JSON ("-" for stdout), including
 // the session's aggregate dpred-session audit and any degenerate (zero
 // retired instructions) runs.
+//
+// -exp population evaluates a generated corpus instead of the paper's 17
+// hand-written benchmarks: it builds -gen-n programs from the -gen-preset
+// ProgramConf presets (seed-reproducible; see cmd/dmpgen for corpus export)
+// and prints the per-idiom baseline-vs-DMP win/loss table. It is excluded
+// from -exp all, which keeps reproducing the paper tables only.
 //
 // For performance investigation, -pprof serves net/http/pprof on the given
 // address while the evaluation runs, and -cpuprofile/-memprofile write
@@ -33,16 +40,20 @@ import (
 	"strings"
 	"time"
 
+	"dmp/internal/gen"
 	"dmp/internal/harness"
 	"dmp/internal/stats"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10, population")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	scale := flag.Int("scale", 1, "input scale factor")
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	genPreset := flag.String("gen-preset", "all", "-exp population: preset name, comma-separated list, or \"all\"")
+	genN := flag.Int("gen-n", 200, "-exp population: corpus size")
+	genSeed := flag.Uint64("gen-seed", 1, "-exp population: base seed")
 	metricsJSON := flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +89,32 @@ func main() {
 	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallelism: *par}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	// The population experiment evaluates a generated corpus and needs no
+	// paper-benchmark session; it is opt-in rather than part of -exp all.
+	if *exp == "population" {
+		var confs []gen.ProgramConf
+		if *genPreset == "all" {
+			confs = gen.Presets()
+		} else {
+			for _, name := range strings.Split(*genPreset, ",") {
+				c, ok := gen.Preset(strings.TrimSpace(name))
+				if !ok {
+					check(fmt.Errorf("unknown preset %q", name))
+				}
+				confs = append(confs, c)
+			}
+		}
+		t0 := time.Now()
+		progs := gen.BuildCorpus(confs, *genN, *genSeed)
+		rep, err := harness.RunPopulation(progs, harness.PopulationOptions{
+			Parallelism: *par, MaxInsts: *maxInsts,
+		})
+		check(err)
+		rep.Render(os.Stdout)
+		fmt.Printf("(population in %v)\n", time.Since(t0).Round(time.Millisecond))
+		return
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }

@@ -1,0 +1,114 @@
+package main
+
+// Schema test for the manifest dmpgen -manifest emits: the JSON is decoded
+// generically (no struct tags in the loop) and every field consumers rely
+// on — version, base seed, conf array, per-program name/preset/seed/hash —
+// is checked for presence and type. This keeps the manifest format an
+// explicit contract rather than an accident of Go struct marshaling.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"testing"
+
+	"dmp/internal/gen"
+)
+
+var sha256Hex = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+func buildManifestJSON(t *testing.T) []byte {
+	t.Helper()
+	confs := gen.Presets()
+	progs := gen.BuildCorpus(confs, 10, 1)
+	var buf bytes.Buffer
+	if err := gen.NewManifest(confs, 1, progs).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestManifestSchema(t *testing.T) {
+	data := buildManifestJSON(t)
+	var top map[string]any
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatalf("manifest is not a JSON object: %v", err)
+	}
+
+	wantNum := func(m map[string]any, key string, where string) float64 {
+		v, ok := m[key].(float64)
+		if !ok {
+			t.Fatalf("%s: field %q missing or not a number (got %T)", where, key, m[key])
+		}
+		return v
+	}
+	wantStr := func(m map[string]any, key string, where string) string {
+		v, ok := m[key].(string)
+		if !ok {
+			t.Fatalf("%s: field %q missing or not a string (got %T)", where, key, m[key])
+		}
+		return v
+	}
+
+	if v := wantNum(top, "version", "manifest"); v != float64(gen.ManifestVersion) {
+		t.Errorf("version = %v, want %d", v, gen.ManifestVersion)
+	}
+	wantNum(top, "base_seed", "manifest")
+	count := wantNum(top, "count", "manifest")
+
+	presets, ok := top["presets"].([]any)
+	if !ok || len(presets) == 0 {
+		t.Fatalf("presets missing or empty (got %T)", top["presets"])
+	}
+	for i, p := range presets {
+		conf, ok := p.(map[string]any)
+		if !ok {
+			t.Fatalf("presets[%d] is not an object", i)
+		}
+		wantStr(conf, "name", fmt.Sprintf("presets[%d]", i))
+	}
+
+	programs, ok := top["programs"].([]any)
+	if !ok {
+		t.Fatalf("programs missing (got %T)", top["programs"])
+	}
+	if float64(len(programs)) != count {
+		t.Fatalf("count=%v but %d program entries", count, len(programs))
+	}
+	presetNames := map[string]bool{}
+	for _, c := range gen.Presets() {
+		presetNames[c.Name] = true
+	}
+	seen := map[string]bool{}
+	for i, e := range programs {
+		where := fmt.Sprintf("programs[%d]", i)
+		entry, ok := e.(map[string]any)
+		if !ok {
+			t.Fatalf("%s is not an object", where)
+		}
+		name := wantStr(entry, "name", where)
+		if seen[name] {
+			t.Errorf("%s: duplicate program name %q", where, name)
+		}
+		seen[name] = true
+		if p := wantStr(entry, "preset", where); !presetNames[p] {
+			t.Errorf("%s: preset %q not among the manifest presets", where, p)
+		}
+		wantNum(entry, "seed", where)
+		if h := wantStr(entry, "sha256", where); !sha256Hex.MatchString(h) {
+			t.Errorf("%s: sha256 %q is not 64 lowercase hex chars", where, h)
+		}
+		if n := wantNum(entry, "run_input_len", where); n <= 0 {
+			t.Errorf("%s: run_input_len = %v, want > 0", where, n)
+		}
+		wantNum(entry, "train_input_len", where)
+		wantStr(entry, "idiom", where)
+	}
+
+	// The emitted bytes must round-trip through the strict reader, so the
+	// schema above and the Go-side decoder cannot drift apart.
+	if _, err := gen.ReadManifest(bytes.NewReader(data)); err != nil {
+		t.Fatalf("emitted manifest rejected by ReadManifest: %v", err)
+	}
+}

@@ -1,301 +1,23 @@
 package bench
 
-// Random-DML program generation, in the style of microsmith's random-Go
-// generator: a seeded PRNG drives a grammar-directed builder that emits
-// well-formed, terminating programs. The generator seeds the front-end fuzz
-// corpora (internal/lang) and the encode/decode round-trip property tests
-// (internal/isa) with structurally diverse programs beyond the hand-written
-// 17-benchmark corpus.
+// Random-DML program generation now lives in internal/gen: a microsmith-style
+// ProgramBuilder with a configurable ProgramConf (idiom mix, branch-bias
+// targets, loop trip distributions, size budgets) driven by math/rand/v2 PCG
+// streams. This wrapper keeps the historical fuzz-seed entry point alive for
+// internal/lang, internal/isa and internal/emu callers.
 //
-// Generated programs are valid by construction:
-//   - identifiers are unique per scope and never collide with keywords or
-//     the in/inavail/out builtins;
-//   - functions only call previously emitted functions (no recursion);
-//   - loops iterate a fresh counter towards a small constant bound, and the
-//     counter is excluded from the assignable set, so every program halts;
-//   - array sizes are powers of two and every index expression is masked
-//     with `& (size-1)`, so runs stay in bounds;
-//   - division, remainder and shifts are safe by the language semantics
-//     (x/0 == 0, shift counts masked to 63).
+// Seed-compatibility note: the move from math/rand's per-call
+// rand.NewSource to PCG (gen.ManifestVersion 1 → 2) changed the program a
+// given seed produces. Fuzz corpora re-seed from scratch on every run, and
+// simcache keys are content-addressed over the program text, so nothing
+// persisted depends on the old mapping — but pinned (conf, seed) pairs must
+// carry the manifest version (see internal/gen).
 
-import (
-	"fmt"
-	"math/rand"
-	"strings"
-)
+import "dmp/internal/gen"
 
-// GenSource returns a random well-formed DML program for the seed. The same
-// seed always yields the same program (the generator uses only the seeded
-// PRNG — no global or cryptographic randomness).
+// GenSource returns a random well-formed DML program for the seed, using the
+// generator's default ("mixed") conf. The same seed always yields the same
+// program.
 func GenSource(seed int64) string {
-	g := &generator{r: rand.New(rand.NewSource(seed))}
-	return g.program()
-}
-
-type genFunc struct {
-	name  string
-	arity int
-}
-
-type generator struct {
-	r  *rand.Rand
-	sb strings.Builder
-
-	globals    []string       // scalar globals (readable and assignable)
-	arrays     map[string]int // array name -> power-of-two size
-	arrayNames []string       // deterministic iteration order for arrays
-	funcs      []genFunc      // previously emitted functions (callable)
-
-	// Per-function state.
-	readable   []string // in-scope locals and params
-	assignable []string // readable minus loop counters
-	nextLocal  int
-	loopDepth  int
-	budget     int // remaining statements for the current function
-}
-
-func (g *generator) printf(format string, args ...any) {
-	fmt.Fprintf(&g.sb, format, args...)
-}
-
-func (g *generator) program() string {
-	// Globals.
-	nScalars := 1 + g.r.Intn(3)
-	for i := 0; i < nScalars; i++ {
-		name := fmt.Sprintf("g%d", i)
-		g.globals = append(g.globals, name)
-		g.printf("var %s = %d;\n", name, g.r.Intn(41)-20)
-	}
-	g.arrays = map[string]int{}
-	nArrays := 1 + g.r.Intn(2)
-	for i := 0; i < nArrays; i++ {
-		name := fmt.Sprintf("a%d", i)
-		size := 8 << g.r.Intn(4) // 8..64
-		g.arrays[name] = size
-		g.arrayNames = append(g.arrayNames, name)
-		g.printf("var %s[%d];\n", name, size)
-	}
-	g.printf("\n")
-
-	// Helper functions.
-	nFuncs := 1 + g.r.Intn(3)
-	for i := 0; i < nFuncs; i++ {
-		g.emitFunc(fmt.Sprintf("f%d", i), g.r.Intn(4))
-	}
-	g.emitMain()
-	return g.sb.String()
-}
-
-func (g *generator) resetFunc(params []string) {
-	g.readable = append([]string(nil), params...)
-	g.assignable = append([]string(nil), params...)
-	g.nextLocal = 0
-	g.loopDepth = 0
-}
-
-func (g *generator) emitFunc(name string, arity int) {
-	params := make([]string, arity)
-	for i := range params {
-		params[i] = fmt.Sprintf("p%d", i)
-	}
-	g.resetFunc(params)
-	g.budget = 4 + g.r.Intn(8)
-	g.printf("func %s(%s) {\n", name, strings.Join(params, ", "))
-	g.block(1)
-	g.printf("\treturn %s;\n}\n\n", g.expr(2))
-	g.funcs = append(g.funcs, genFunc{name, arity})
-}
-
-func (g *generator) emitMain() {
-	g.resetFunc(nil)
-	g.budget = 8 + g.r.Intn(10)
-	g.printf("func main() {\n")
-	// Consume the input tape so generated programs exercise data-dependent
-	// control flow when run.
-	v := g.newLocal()
-	g.printf("\twhile (inavail()) {\n")
-	g.printf("\t\tvar %s = in();\n", v)
-	g.readable = append(g.readable, v)
-	g.assignable = append(g.assignable, v)
-	g.loopDepth++
-	g.block(2)
-	g.loopDepth--
-	g.printf("\t}\n")
-	g.block(1)
-	for _, name := range g.globals {
-		g.printf("\tout(%s);\n", name)
-	}
-	g.printf("}\n")
-}
-
-func (g *generator) newLocal() string {
-	name := fmt.Sprintf("v%d", g.nextLocal)
-	g.nextLocal++
-	return name
-}
-
-// block emits 1..n statements at the given indentation depth, restoring the
-// enclosing scope afterwards.
-func (g *generator) block(depth int) {
-	savedRead, savedAssign := len(g.readable), len(g.assignable)
-	n := 1 + g.r.Intn(3)
-	for i := 0; i < n && g.budget > 0; i++ {
-		g.budget--
-		g.stmt(depth)
-	}
-	g.readable = g.readable[:savedRead]
-	g.assignable = g.assignable[:savedAssign]
-}
-
-func (g *generator) indent(depth int) {
-	for i := 0; i < depth; i++ {
-		g.sb.WriteByte('\t')
-	}
-}
-
-func (g *generator) stmt(depth int) {
-	choice := g.r.Intn(10)
-	if depth >= 4 && choice >= 4 {
-		choice = g.r.Intn(4) // keep nesting shallow
-	}
-	switch choice {
-	case 0: // var declaration
-		name := g.newLocal()
-		g.indent(depth)
-		g.printf("var %s = %s;\n", name, g.expr(2))
-		g.readable = append(g.readable, name)
-		g.assignable = append(g.assignable, name)
-	case 1, 2: // assignment to a scalar
-		target := g.pickAssignable()
-		op := [...]string{"=", "+=", "-="}[g.r.Intn(3)]
-		g.indent(depth)
-		g.printf("%s %s %s;\n", target, op, g.expr(2))
-	case 3: // array store, index masked to stay in bounds
-		name, size := g.pickArray()
-		g.indent(depth)
-		g.printf("%s[(%s) & %d] = %s;\n", name, g.expr(1), size-1, g.expr(2))
-	case 4: // out
-		g.indent(depth)
-		g.printf("out(%s);\n", g.expr(2))
-	case 5, 6: // if / if-else
-		g.indent(depth)
-		g.printf("if (%s) {\n", g.expr(2))
-		g.block(depth + 1)
-		if g.r.Intn(2) == 0 {
-			g.indent(depth)
-			g.printf("} else {\n")
-			g.block(depth + 1)
-		}
-		g.indent(depth)
-		g.printf("}\n")
-	case 7: // bounded while loop over a fresh counter
-		i := g.newLocal()
-		g.readable = append(g.readable, i) // readable but NOT assignable
-		bound := 2 + g.r.Intn(7)
-		g.indent(depth)
-		g.printf("var %s = 0;\n", i)
-		g.indent(depth)
-		g.printf("while (%s < %d) {\n", i, bound)
-		g.loopDepth++
-		g.block(depth + 1)
-		if g.r.Intn(4) == 0 {
-			// Only break here: a continue would skip the counter increment
-			// below and the loop would never terminate.
-			g.indent(depth + 1)
-			g.printf("if (%s) { break; }\n", g.expr(1))
-		}
-		g.loopDepth--
-		g.indent(depth + 1)
-		g.printf("%s = %s + 1;\n", i, i)
-		g.indent(depth)
-		g.printf("}\n")
-	case 8: // bounded for loop
-		i := g.newLocal()
-		bound := 2 + g.r.Intn(7)
-		g.indent(depth)
-		g.printf("for (var %s = 0; %s < %d; %s = %s + 1) {\n", i, i, bound, i, i)
-		g.readable = append(g.readable, i)
-		g.loopDepth++
-		g.block(depth + 1)
-		g.loopDepth--
-		g.indent(depth)
-		g.printf("}\n")
-		// The counter is scoped to the loop header; drop it.
-		g.readable = g.readable[:len(g.readable)-1]
-	default: // expression statement: a call when possible
-		g.indent(depth)
-		g.printf("%s;\n", g.callOrExpr())
-	}
-}
-
-func (g *generator) pickAssignable() string {
-	pool := append(append([]string(nil), g.assignable...), g.globals...)
-	return pool[g.r.Intn(len(pool))]
-}
-
-func (g *generator) pickArray() (string, int) {
-	name := g.arrayNames[g.r.Intn(len(g.arrayNames))]
-	return name, g.arrays[name]
-}
-
-func (g *generator) callOrExpr() string {
-	if len(g.funcs) > 0 && g.r.Intn(2) == 0 {
-		return g.call()
-	}
-	return g.expr(1)
-}
-
-func (g *generator) call() string {
-	f := g.funcs[g.r.Intn(len(g.funcs))]
-	args := make([]string, f.arity)
-	for i := range args {
-		args[i] = g.expr(1)
-	}
-	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
-}
-
-var binOps = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
-	"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
-
-// expr emits a random expression with bounded depth.
-func (g *generator) expr(depth int) string {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		return g.atom()
-	}
-	switch g.r.Intn(6) {
-	case 0:
-		return fmt.Sprintf("(-%s)", g.expr(depth-1))
-	case 1:
-		return fmt.Sprintf("(!%s)", g.expr(depth-1))
-	case 2:
-		if len(g.funcs) > 0 {
-			return g.call()
-		}
-		fallthrough
-	default:
-		op := binOps[g.r.Intn(len(binOps))]
-		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
-	}
-}
-
-func (g *generator) atom() string {
-	pool := 3
-	if len(g.readable) > 0 {
-		pool++
-	}
-	switch g.r.Intn(pool) {
-	case 0:
-		return fmt.Sprintf("%d", g.r.Intn(201)-100)
-	case 1:
-		return g.globals[g.r.Intn(len(g.globals))]
-	case 2:
-		name, size := g.pickArray()
-		idx := fmt.Sprintf("%d", g.r.Intn(size))
-		if len(g.readable) > 0 && g.r.Intn(2) == 0 {
-			idx = fmt.Sprintf("%s & %d", g.readable[g.r.Intn(len(g.readable))], size-1)
-		}
-		return fmt.Sprintf("%s[%s]", name, idx)
-	default:
-		return g.readable[g.r.Intn(len(g.readable))]
-	}
+	return gen.Build(gen.Default(), uint64(seed)).Source
 }

@@ -8,6 +8,7 @@ import (
 	"dmp/internal/bench"
 	"dmp/internal/codegen"
 	"dmp/internal/emu"
+	"dmp/internal/gen"
 	"dmp/internal/isa"
 	"dmp/internal/lang"
 )
@@ -366,13 +367,23 @@ func TestStepBatchFaults(t *testing.T) {
 	}
 }
 
-// FuzzEmuDiff feeds generated DML programs (seeded by the corpus generator)
-// through the compiler and runs both engines in lockstep. Mutated sources
-// that no longer parse or check are skipped; anything that compiles must
-// execute identically on both paths.
+// FuzzEmuDiff feeds generated DML programs (seeded by the corpus generator's
+// default mix plus the biased-branch and deep-hammock presets) through the
+// compiler and runs both engines in lockstep. Mutated sources that no longer
+// parse or check are skipped; anything that compiles must execute
+// identically on both paths.
 func FuzzEmuDiff(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(bench.GenSource(seed), int64(seed))
+	}
+	for _, preset := range []string{"biased-branch", "deep-hammock"} {
+		conf, ok := gen.Preset(preset)
+		if !ok {
+			f.Fatalf("preset %s missing", preset)
+		}
+		for seed := uint64(0); seed < 6; seed++ {
+			f.Add(gen.Build(conf, seed).Source, int64(seed))
+		}
 	}
 	f.Fuzz(func(t *testing.T, src string, tapeSeed int64) {
 		file, err := lang.Parse(src)

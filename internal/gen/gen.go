@@ -1,0 +1,688 @@
+package gen
+
+// The ProgramBuilder: a seeded PCG drives a grammar-directed emitter whose
+// statement mix, hammock shapes, branch-bias targets and loop trip
+// distributions come from a ProgramConf. Generated programs are valid and
+// terminating by construction:
+//
+//   - identifiers are unique per scope and never collide with keywords or
+//     the in/inavail/out builtins;
+//   - functions only call previously emitted functions (no recursion);
+//   - loops iterate a fresh counter towards a small constant bound, the
+//     counter is excluded from the assignable set, and loop bodies may break
+//     early but never continue past the increment, so every program halts;
+//   - array sizes are powers of two and every index expression is masked
+//     with `& (size-1)`, so runs stay in bounds;
+//   - division, remainder and shifts are safe by the language semantics
+//     (x/0 == 0, shift counts masked to 63).
+//
+// Randomness is math/rand/v2 PCG only — three fixed streams per (conf, seed)
+// pair (source text, run tape, train tape) — so a program plus both of its
+// input tapes is byte-reproducible from the manifest. See ManifestVersion
+// for the seed-compatibility break against the legacy math/rand generator.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Fixed PCG stream selectors (arbitrary odd constants; changing any of them
+// is a ManifestVersion bump).
+const (
+	streamSource = 0x243f6a8885a308d3
+	streamRun    = 0x13198a2e03707345
+	streamTrain  = 0xa4093822299f31d1
+)
+
+// biasMask is the modulus of biased conditions: `((v + c) & biasMask) < T`.
+const biasMask = 4095
+
+// maxLocalEst bounds the builder's pessimistic estimate of IR locals per
+// function. The code generator has 40 register slots per function, and irgen
+// allocates a fresh compiler local for every call result, pinned call
+// argument, and short-circuit &&/|| materialization — none reused — so the
+// builder accounts for those and stops emitting local-consuming constructs
+// (vars, loops, calls, out, &&/||) once the estimate reaches this bound.
+const maxLocalEst = 32
+
+// Dynamic-cost accounting: the builder tracks a pessimistic static estimate
+// of the instructions one invocation of the current function executes
+// (stmtCost per statement, multiplied through enclosing loop bounds, plus
+// callee costs), and clamps loop trip bounds and call emission so the
+// estimate stays under the budget. This keeps every generated program's
+// simulation cost bounded and roughly conf-independent, so thousand-program
+// corpora stay affordable for the cycle-level pipeline.
+const (
+	stmtCost        = 4       // est. instructions per plain statement
+	helperBudgetEst = 12_000  // est. budget per helper invocation
+	mainBudgetEst   = 300_000 // est. budget for main (input loop × body)
+	mainLoopMult    = 64      // nominal input-tape length for main's est.
+)
+
+// IdiomStats counts the control-flow idioms a build emitted; the population
+// report groups programs by the dominant idiom.
+type IdiomStats struct {
+	Hammocks        int     `json:"hammocks"`       // every if (with or without else)
+	Diamonds        int     `json:"diamonds"`       // ifs with an else arm
+	ShortHammocks   int     `json:"short_hammocks"` // arms forced to 1-2 simple stmts
+	Escapes         int     `json:"escapes"`        // rare break edges inside loop hammocks
+	Loops           int     `json:"loops"`          // while/for loops
+	BreakLoops      int     `json:"break_loops"`    // loops with a data-dependent break
+	Calls           int     `json:"calls"`
+	Funcs           int     `json:"funcs"`
+	MaxHammockDepth int     `json:"max_hammock_depth"`
+	BiasedConds     int     `json:"biased_conds"`
+	BiasSum         float64 `json:"bias_sum"` // sum of bias targets (mean = BiasSum/BiasedConds)
+}
+
+// Dominant classifies the program by its strongest control-flow idiom. The
+// labels are the row keys of the population win/loss report.
+func (s IdiomStats) Dominant() string {
+	switch {
+	case s.Hammocks == 0 && s.Loops == 0:
+		return "straightline"
+	case s.Loops > s.Hammocks && 2*s.BreakLoops >= s.Loops:
+		return "loop-exit"
+	case s.Loops > s.Hammocks:
+		return "loop-bound"
+	case s.MaxHammockDepth >= 3:
+		return "deep-hammock"
+	case 4*s.Escapes >= s.Hammocks && s.Escapes > 0:
+		return "freq-hammock"
+	case 2*s.ShortHammocks >= s.Hammocks:
+		return "short-hammock"
+	case 2*s.Diamonds >= s.Hammocks:
+		return "diamond"
+	default:
+		return "pointed-hammock"
+	}
+}
+
+// Program is one generated workload: source text plus both input tapes, all
+// re-derivable from (Conf, Seed).
+type Program struct {
+	Name       string
+	Preset     string // Conf.Name at build time
+	Seed       uint64
+	Source     string
+	RunInput   []int64
+	TrainInput []int64
+	Idiom      string // Stats.Dominant(), precomputed
+	Stats      IdiomStats
+}
+
+// SourceHash returns the hex sha256 of the program text (the manifest's
+// byte-reproducibility witness).
+func (p *Program) SourceHash() string {
+	sum := sha256.Sum256([]byte(p.Source))
+	return hex.EncodeToString(sum[:])
+}
+
+// Build generates the program for (conf, seed). The same pair always yields
+// the same source and tapes; distinct streams keep the tapes independent of
+// source-grammar decisions.
+func Build(conf ProgramConf, seed uint64) *Program {
+	if err := conf.Validate(); err != nil {
+		panic(err) // presets are valid; CLI/test callers validate first
+	}
+	b := &builder{r: rand.New(rand.NewPCG(seed, streamSource)), conf: conf}
+	src := b.program()
+	p := &Program{
+		Name:       fmt.Sprintf("%s-%06d", conf.Name, seed),
+		Preset:     conf.Name,
+		Seed:       seed,
+		Source:     src,
+		RunInput:   tape(conf, seed, streamRun),
+		TrainInput: tape(conf, seed, streamTrain),
+		Stats:      b.stats,
+	}
+	p.Idiom = p.Stats.Dominant()
+	return p
+}
+
+// BuildCorpus generates n programs round-robin across the confs, seeded
+// baseSeed, baseSeed+1, ... — the corpus layout cmd/dmpgen emits and the
+// population tests consume.
+func BuildCorpus(confs []ProgramConf, n int, baseSeed uint64) []*Program {
+	out := make([]*Program, n)
+	for i := range out {
+		out[i] = Build(confs[i%len(confs)], baseSeed+uint64(i))
+	}
+	return out
+}
+
+func tape(conf ProgramConf, seed uint64, stream uint64) []int64 {
+	r := rand.New(rand.NewPCG(seed, stream))
+	n := conf.InputLen.pick(r)
+	t := make([]int64, n)
+	for i := range t {
+		t[i] = r.Int64N(conf.InputMax)
+	}
+	return t
+}
+
+type genFunc struct {
+	name      string
+	arity     int
+	biasParam bool // p0 is treated as input-derived inside the body
+}
+
+type builder struct {
+	r     *rand.Rand
+	conf  ProgramConf
+	sb    strings.Builder
+	stats IdiomStats
+
+	globals    []string       // scalar globals (readable and assignable)
+	arrays     map[string]int // array name -> power-of-two size
+	arrayNames []string       // deterministic iteration order for arrays
+	funcs      []genFunc      // previously emitted functions (callable)
+
+	// Per-function state.
+	readable   []string // in-scope locals and params
+	assignable []string // readable minus loop counters and bias sources
+	biasVars   []string // input-derived values usable in biased conditions
+	nextLocal  int
+	loopDepth  int
+	hamDepth   int
+	budget     int // remaining statements for the current function
+	locals     int // pessimistic IR local-slot estimate (see maxLocalEst)
+
+	// Cost estimate state (see the stmtCost block above).
+	mult     int            // product of enclosing loop bounds
+	est      int            // est. cost of one invocation so far
+	estMax   int            // budget the estimate must stay under
+	funcCost map[string]int // finished helpers' per-invocation estimates
+}
+
+func (b *builder) printf(format string, args ...any) {
+	fmt.Fprintf(&b.sb, format, args...)
+}
+
+func (b *builder) prob(p float64) bool {
+	return p > 0 && b.r.Float64() < p
+}
+
+func (b *builder) program() string {
+	nScalars := b.conf.Scalars.pick(b.r)
+	for i := 0; i < nScalars; i++ {
+		name := fmt.Sprintf("g%d", i)
+		b.globals = append(b.globals, name)
+		b.printf("var %s = %d;\n", name, b.r.IntN(41)-20)
+	}
+	b.arrays = map[string]int{}
+	nArrays := b.conf.Arrays.pick(b.r)
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("a%d", i)
+		size := 1 << b.conf.ArraySizeLog2.pick(b.r)
+		b.arrays[name] = size
+		b.arrayNames = append(b.arrayNames, name)
+		b.printf("var %s[%d];\n", name, size)
+	}
+	b.printf("\n")
+
+	nFuncs := b.conf.Funcs.pick(b.r)
+	for i := 0; i < nFuncs; i++ {
+		b.emitFunc(fmt.Sprintf("f%d", i), b.conf.FuncArity.pick(b.r))
+	}
+	b.stats.Funcs = nFuncs
+	b.emitMain()
+	return b.sb.String()
+}
+
+func (b *builder) resetFunc(params []string) {
+	b.readable = append([]string(nil), params...)
+	b.assignable = append([]string(nil), params...)
+	b.biasVars = nil
+	b.nextLocal = 0
+	b.loopDepth = 0
+	b.hamDepth = 0
+	b.locals = len(params)
+	b.mult = 1
+	b.est = 0
+	if b.funcCost == nil {
+		b.funcCost = map[string]int{}
+	}
+}
+
+func (b *builder) emitFunc(name string, arity int) {
+	params := make([]string, arity)
+	for i := range params {
+		params[i] = fmt.Sprintf("p%d", i)
+	}
+	b.resetFunc(params)
+	b.estMax = helperBudgetEst
+	f := genFunc{name: name, arity: arity}
+	if arity > 0 {
+		// Callers pass an input-derived value as the first argument when one
+		// is in scope, so biased conditions work inside helpers too. The
+		// parameter leaves the assignable set to keep its distribution honest.
+		f.biasParam = true
+		b.biasVars = append(b.biasVars, params[0])
+		b.assignable = b.assignable[1:]
+	}
+	b.budget = b.conf.FuncBudget.pick(b.r)
+	b.printf("func %s(%s) {\n", name, strings.Join(params, ", "))
+	b.block(1)
+	b.printf("\treturn %s;\n}\n\n", b.expr(b.exprDepth()))
+	b.funcCost[name] = b.est + 2*stmtCost // body + prologue/return
+	b.funcs = append(b.funcs, f)
+}
+
+func (b *builder) emitMain() {
+	b.resetFunc(nil)
+	b.budget = b.conf.MainBudget.pick(b.r)
+	// Main's fixed skeleton costs locals too: the in()/inavail() call
+	// results, the tape variable, and one out() per global in the epilogue.
+	b.locals = 3 + len(b.globals)
+	b.estMax = mainBudgetEst
+	b.printf("func main() {\n")
+	// Consume the input tape so generated programs exercise data-dependent
+	// control flow: the loop-carried in() value is the bias source for
+	// input-driven branch conditions.
+	v := b.newLocal()
+	b.printf("\twhile (inavail()) {\n")
+	b.printf("\t\tvar %s = in();\n", v)
+	b.readable = append(b.readable, v)
+	b.biasVars = append(b.biasVars, v)
+	b.loopDepth++
+	b.mult = mainLoopMult // body cost is paid once per tape value
+	b.block(2)
+	b.mult = 1
+	b.loopDepth--
+	b.printf("\t}\n")
+	b.biasVars = b.biasVars[:len(b.biasVars)-1]
+	b.block(1)
+	for _, name := range b.globals {
+		b.printf("\tout(%s);\n", name)
+	}
+	b.printf("}\n")
+}
+
+func (b *builder) newLocal() string {
+	name := fmt.Sprintf("v%d", b.nextLocal)
+	b.nextLocal++
+	return name
+}
+
+func (b *builder) exprDepth() int { return b.conf.ExprDepth.pick(b.r) }
+
+// block emits statements at the given indentation depth, restoring the
+// enclosing scope afterwards. n <= 0 draws the count from the conf's arm
+// size; otherwise exactly n (budget permitting).
+func (b *builder) block(depth int, stmts ...int) {
+	savedRead, savedAssign := len(b.readable), len(b.assignable)
+	n := 1 + b.r.IntN(3)
+	if len(stmts) > 0 {
+		n = stmts[0]
+	}
+	for i := 0; i < n && b.budget > 0; i++ {
+		b.budget--
+		b.stmt(depth)
+	}
+	b.readable = b.readable[:savedRead]
+	b.assignable = b.assignable[:savedAssign]
+}
+
+func (b *builder) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		b.sb.WriteByte('\t')
+	}
+}
+
+// stmtKind enumerates the weighted statement alternatives.
+type stmtKind int
+
+const (
+	kAssign stmtKind = iota
+	kVar
+	kStore
+	kOut
+	kHammock
+	kLoop
+	kCall
+)
+
+// pickStmt draws a statement kind from the conf weights, excluding kinds the
+// current context cannot hold (nesting caps, no callable functions yet).
+func (b *builder) pickStmt(depth int) stmtKind {
+	type wk struct {
+		k stmtKind
+		w int
+	}
+	cands := []wk{
+		{kAssign, b.conf.AssignWeight},
+		{kStore, b.conf.StoreWeight},
+	}
+	if b.locals < maxLocalEst {
+		cands = append(cands, wk{kVar, b.conf.VarWeight}, wk{kOut, b.conf.OutWeight})
+	}
+	if depth < 6 && b.hamDepth < b.conf.MaxHammockDepth {
+		cands = append(cands, wk{kHammock, b.conf.HammockWeight})
+	}
+	if depth < 5 && b.locals < maxLocalEst {
+		cands = append(cands, wk{kLoop, b.conf.LoopWeight})
+	}
+	if b.anyAffordableCall() && b.locals < maxLocalEst {
+		cands = append(cands, wk{kCall, b.conf.CallWeight})
+	}
+	total := 0
+	for _, c := range cands {
+		total += c.w
+	}
+	if total == 0 {
+		return kAssign
+	}
+	n := b.r.IntN(total)
+	for _, c := range cands {
+		if n < c.w {
+			return c.k
+		}
+		n -= c.w
+	}
+	return kAssign
+}
+
+func (b *builder) stmt(depth int) {
+	b.est += stmtCost * b.mult
+	switch b.pickStmt(depth) {
+	case kVar:
+		name := b.newLocal()
+		b.locals++
+		b.indent(depth)
+		b.printf("var %s = %s;\n", name, b.expr(b.exprDepth()))
+		b.readable = append(b.readable, name)
+		b.assignable = append(b.assignable, name)
+	case kAssign:
+		target := b.pickAssignable()
+		op := [...]string{"=", "+=", "-="}[b.r.IntN(3)]
+		b.indent(depth)
+		b.printf("%s %s %s;\n", target, op, b.expr(b.exprDepth()))
+	case kStore:
+		name, size := b.pickArray()
+		b.indent(depth)
+		b.printf("%s[(%s) & %d] = %s;\n", name, b.expr(1), size-1, b.expr(b.exprDepth()))
+	case kOut:
+		b.locals++ // out() is a call expression: one result local
+		b.indent(depth)
+		b.printf("out(%s);\n", b.expr(b.exprDepth()))
+	case kHammock:
+		b.hammock(depth)
+	case kLoop:
+		b.loop(depth)
+	default:
+		b.indent(depth)
+		b.printf("%s;\n", b.callOrExpr())
+	}
+}
+
+// hammock emits the idiom at the heart of the paper: an if (optionally
+// if-else, a pointed diamond) whose condition is input-biased when possible,
+// whose arms may be forced short, and which — inside a loop — may carry a
+// rare escape edge (the frequently-hammock shape).
+func (b *builder) hammock(depth int) {
+	b.stats.Hammocks++
+	b.hamDepth++
+	if b.hamDepth > b.stats.MaxHammockDepth {
+		b.stats.MaxHammockDepth = b.hamDepth
+	}
+	short := b.prob(b.conf.ShortHammockProb)
+	if short {
+		b.stats.ShortHammocks++
+	}
+	arm := func() {
+		n := b.conf.HammockArmStmts.pick(b.r)
+		if short {
+			n = 1 + b.r.IntN(2)
+		}
+		b.block(depth+1, n)
+	}
+	b.indent(depth)
+	b.printf("if (%s) {\n", b.cond())
+	arm()
+	if b.loopDepth > 0 && b.prob(b.conf.EscapeProb) && len(b.biasVars) > 0 {
+		// Rare escape out of the enclosing loop: control usually
+		// reconverges below the hammock but occasionally leaves through
+		// this edge instead — the frequently-hammock idiom.
+		b.stats.Escapes++
+		b.indent(depth + 1)
+		b.printf("if (%s) { break; }\n", b.biasCond(0.02+b.r.Float64()*0.08))
+	}
+	if b.prob(b.conf.DiamondProb) {
+		b.stats.Diamonds++
+		b.indent(depth)
+		b.printf("} else {\n")
+		arm()
+	}
+	b.indent(depth)
+	b.printf("}\n")
+	b.hamDepth--
+}
+
+// loop emits a bounded counted loop (while or for form) whose trip bound
+// comes from the conf's distribution, optionally with a data-dependent break.
+func (b *builder) loop(depth int) {
+	b.stats.Loops++
+	bound := b.tripBound()
+	i := b.newLocal()
+	b.locals++
+	hasBreak := b.prob(b.conf.BreakProb)
+	if hasBreak {
+		b.stats.BreakLoops++
+	}
+	savedMult := b.mult
+	b.mult *= bound
+	if b.r.IntN(2) == 0 {
+		// while form; the counter is readable but NOT assignable, and the
+		// optional break sits just before the increment so no path skips it.
+		b.readable = append(b.readable, i)
+		b.indent(depth)
+		b.printf("var %s = 0;\n", i)
+		b.indent(depth)
+		b.printf("while (%s < %d) {\n", i, bound)
+		b.loopDepth++
+		b.block(depth + 1)
+		if hasBreak {
+			b.indent(depth + 1)
+			b.printf("if (%s) { break; }\n", b.breakCond())
+		}
+		b.loopDepth--
+		b.indent(depth + 1)
+		b.printf("%s = %s + 1;\n", i, i)
+		b.indent(depth)
+		b.printf("}\n")
+	} else {
+		b.indent(depth)
+		b.printf("for (var %s = 0; %s < %d; %s = %s + 1) {\n", i, i, bound, i, i)
+		b.readable = append(b.readable, i)
+		b.loopDepth++
+		b.block(depth + 1)
+		if hasBreak {
+			b.indent(depth + 1)
+			b.printf("if (%s) { break; }\n", b.breakCond())
+		}
+		b.loopDepth--
+		b.indent(depth)
+		b.printf("}\n")
+		b.readable = b.readable[:len(b.readable)-1]
+	}
+	b.mult = savedMult
+}
+
+// tripBound draws a loop bound: uniform in the conf range, or — with
+// TripGeomProb — min plus a geometric tail, so short trips dominate but the
+// occasional long loop appears. The bound is clamped so the loop body's
+// worst-case cost fits the remaining function budget.
+func (b *builder) tripBound() int {
+	lo, hi := b.conf.LoopTrip.Min, b.conf.LoopTrip.Max
+	if afford := (b.estMax - b.est) / (2 * stmtCost * b.mult); afford < hi {
+		hi = afford
+	}
+	if hi < 1 {
+		return 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	if b.prob(b.conf.TripGeomProb) {
+		n := lo
+		for n < hi && b.r.IntN(2) == 0 {
+			n++
+		}
+		return n
+	}
+	return IntRange{Min: lo, Max: hi}.pick(b.r)
+}
+
+// cond emits a branch condition: input-biased towards a conf target when an
+// input-derived value is in scope, otherwise an arbitrary expression.
+func (b *builder) cond() string {
+	if len(b.biasVars) > 0 && len(b.conf.BiasTargets) > 0 && b.prob(b.conf.BiasCondProb) {
+		t := b.conf.BiasTargets[b.r.IntN(len(b.conf.BiasTargets))]
+		return b.biasCond(t)
+	}
+	return b.expr(b.exprDepth())
+}
+
+// breakCond is the data-dependent loop-exit condition: biased low so loops
+// usually run several trips before escaping.
+func (b *builder) breakCond() string {
+	if len(b.biasVars) > 0 && len(b.conf.BiasTargets) > 0 {
+		return b.biasCond(0.05 + b.r.Float64()*0.25)
+	}
+	return b.expr(1)
+}
+
+// biasCond emits `((v + c) & 4095) < T`: v is uniform over a large range, so
+// the taken probability is T/4096 ≈ target.
+func (b *builder) biasCond(target float64) string {
+	v := b.biasVars[b.r.IntN(len(b.biasVars))]
+	threshold := int(target*float64(biasMask+1) + 0.5)
+	if threshold < 1 {
+		threshold = 1
+	}
+	if threshold > biasMask {
+		threshold = biasMask
+	}
+	b.stats.BiasedConds++
+	b.stats.BiasSum += target
+	return fmt.Sprintf("(((%s + %d) & %d) < %d)", v, b.r.IntN(biasMask+1), biasMask, threshold)
+}
+
+func (b *builder) pickAssignable() string {
+	n := len(b.assignable) + len(b.globals)
+	i := b.r.IntN(n)
+	if i < len(b.assignable) {
+		return b.assignable[i]
+	}
+	return b.globals[i-len(b.assignable)]
+}
+
+func (b *builder) pickArray() (string, int) {
+	name := b.arrayNames[b.r.IntN(len(b.arrayNames))]
+	return name, b.arrays[name]
+}
+
+func (b *builder) callOrExpr() string {
+	if b.anyAffordableCall() && b.locals < maxLocalEst && b.r.IntN(2) == 0 {
+		return b.call()
+	}
+	return b.expr(1)
+}
+
+// affordableCall reports whether calling f here fits the remaining cost
+// budget (its per-invocation estimate is paid once per enclosing iteration).
+func (b *builder) affordableCall(f genFunc) bool {
+	return b.est+b.funcCost[f.name]*b.mult <= b.estMax
+}
+
+func (b *builder) anyAffordableCall() bool {
+	for _, f := range b.funcs {
+		if b.affordableCall(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// call emits a call to a random affordable helper (callers ensure at least
+// one exists).
+func (b *builder) call() string {
+	f := b.funcs[b.r.IntN(len(b.funcs))]
+	for !b.affordableCall(f) {
+		f = b.funcs[b.r.IntN(len(b.funcs))]
+	}
+	b.stats.Calls++
+	b.est += b.funcCost[f.name] * b.mult
+	// One local for the result plus, pessimistically, one pinned local per
+	// argument (irgen pins temp-valued arguments across the call).
+	b.locals += 1 + f.arity
+	args := make([]string, f.arity)
+	for i := range args {
+		args[i] = b.expr(1)
+	}
+	if f.biasParam && len(b.biasVars) > 0 {
+		// Thread an input-derived value through so the helper's biased
+		// conditions see the uniform input distribution.
+		args[0] = b.biasVars[b.r.IntN(len(b.biasVars))]
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}
+
+// binOps lists the binary operators; the final two (&&, ||) materialize
+// through a compiler local and are skipped once the local budget is spent.
+var binOps = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+// expr emits a random expression with bounded depth.
+func (b *builder) expr(depth int) string {
+	if depth <= 0 || b.r.IntN(3) == 0 {
+		return b.atom()
+	}
+	switch b.r.IntN(6) {
+	case 0:
+		return fmt.Sprintf("(-%s)", b.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(!%s)", b.expr(depth-1))
+	case 2:
+		if b.anyAffordableCall() && b.locals < maxLocalEst {
+			return b.call()
+		}
+		fallthrough
+	default:
+		nOps := len(binOps)
+		if b.locals >= maxLocalEst {
+			nOps -= 2 // exclude && and ||
+		}
+		op := binOps[b.r.IntN(nOps)]
+		if op == "&&" || op == "||" {
+			b.locals++
+		}
+		return fmt.Sprintf("(%s %s %s)", b.expr(depth-1), op, b.expr(depth-1))
+	}
+}
+
+func (b *builder) atom() string {
+	pool := 3
+	if len(b.readable) > 0 {
+		pool++
+	}
+	switch b.r.IntN(pool) {
+	case 0:
+		return fmt.Sprintf("%d", b.r.IntN(201)-100)
+	case 1:
+		return b.globals[b.r.IntN(len(b.globals))]
+	case 2:
+		name, size := b.pickArray()
+		idx := fmt.Sprintf("%d", b.r.IntN(size))
+		if len(b.readable) > 0 && b.r.IntN(2) == 0 {
+			idx = fmt.Sprintf("%s & %d", b.readable[b.r.IntN(len(b.readable))], size-1)
+		}
+		return fmt.Sprintf("%s[%s]", name, idx)
+	default:
+		return b.readable[b.r.IntN(len(b.readable))]
+	}
+}

@@ -1,0 +1,104 @@
+package gen_test
+
+// Seed-stability regression: golden sha256 hashes for a pinned set of
+// (preset, seed) pairs. Generator refactors that change the program a seed
+// maps to silently shift the fuzz corpora and invalidate any result keyed by
+// (conf, seed) — this test makes the shift loud. An intentional change is a
+// ManifestVersion bump plus `go test ./internal/gen -update-gen-golden`.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dmp/internal/gen"
+)
+
+var updateGenGolden = flag.Bool("update-gen-golden", false,
+	"rewrite testdata/golden_hashes.json from the current generator")
+
+const goldenPath = "testdata/golden_hashes.json"
+
+var goldenSeeds = []uint64{0, 1, 7, 42, 20260807}
+
+type goldenEntry struct {
+	Source string `json:"source"`
+	Tapes  string `json:"tapes"` // sha256 over both input tapes
+}
+
+func currentGolden() map[string]goldenEntry {
+	out := map[string]goldenEntry{}
+	for _, conf := range gen.Presets() {
+		for _, seed := range goldenSeeds {
+			p := gen.Build(conf, seed)
+			out[fmt.Sprintf("%s/%d", conf.Name, seed)] = goldenEntry{
+				Source: p.SourceHash(),
+				Tapes:  tapesHash(p),
+			}
+		}
+	}
+	return out
+}
+
+func tapesHash(p *gen.Program) string {
+	var text []byte
+	for _, t := range [][]int64{p.RunInput, p.TrainInput} {
+		for _, v := range t {
+			text = append(text, fmt.Sprintf("%d\n", v)...)
+		}
+		text = append(text, '|')
+	}
+	q := gen.Program{Source: string(text)}
+	return q.SourceHash()
+}
+
+func TestGoldenSeedStability(t *testing.T) {
+	got := currentGolden()
+	if *updateGenGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-gen-golden): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: pinned pair no longer generated (preset removed?)", k)
+			continue
+		}
+		if g != want[k] {
+			t.Errorf("%s: generator output drifted (source %s->%s, tapes %s->%s); "+
+				"if intentional, bump gen.ManifestVersion and -update-gen-golden",
+				k, want[k].Source[:12], g.Source[:12], want[k].Tapes[:12], g.Tapes[:12])
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("golden file has %d entries, generator produces %d (presets changed? -update-gen-golden)",
+			len(want), len(got))
+	}
+}

@@ -1,0 +1,139 @@
+package gen
+
+// Corpus manifests: the serialized record that makes a generated corpus
+// re-derivable. A manifest carries the manifest version (seed-compatibility
+// era — see ManifestVersion), the full conf set, the base seed, and one
+// entry per program with its seed and source hash, so `dmpgen` can both
+// regenerate a corpus byte-for-byte and detect generator drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Entry is one program's manifest row.
+type Entry struct {
+	Name          string     `json:"name"`
+	Preset        string     `json:"preset"`
+	Seed          uint64     `json:"seed"`
+	SHA256        string     `json:"sha256"`
+	RunInputLen   int        `json:"run_input_len"`
+	TrainInputLen int        `json:"train_input_len"`
+	Idiom         string     `json:"idiom"`
+	Stats         IdiomStats `json:"stats"`
+}
+
+// Manifest describes a generated corpus.
+type Manifest struct {
+	// Version is the generator's seed-compatibility era (ManifestVersion).
+	// Version 1 seeds (legacy math/rand bench.GenSource) do NOT reproduce
+	// under version 2 (math/rand/v2 PCG).
+	Version  int           `json:"version"`
+	BaseSeed uint64        `json:"base_seed"`
+	Count    int           `json:"count"`
+	Presets  []ProgramConf `json:"presets"`
+	Programs []Entry       `json:"programs"`
+}
+
+// NewManifest builds the manifest for a corpus produced by
+// BuildCorpus(confs, len(progs), baseSeed).
+func NewManifest(confs []ProgramConf, baseSeed uint64, progs []*Program) *Manifest {
+	m := &Manifest{
+		Version:  ManifestVersion,
+		BaseSeed: baseSeed,
+		Count:    len(progs),
+		Presets:  confs,
+		Programs: make([]Entry, len(progs)),
+	}
+	for i, p := range progs {
+		m.Programs[i] = Entry{
+			Name:          p.Name,
+			Preset:        p.Preset,
+			Seed:          p.Seed,
+			SHA256:        p.SourceHash(),
+			RunInputLen:   len(p.RunInput),
+			TrainInputLen: len(p.TrainInput),
+			Idiom:         p.Idiom,
+			Stats:         p.Stats,
+		}
+	}
+	return m
+}
+
+// Write serializes the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses and validates a manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("gen: manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks manifest invariants (version era, conf validity, entry
+// counts and per-entry fields).
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("gen: manifest version %d, this generator is version %d (seed-incompatible eras)",
+			m.Version, ManifestVersion)
+	}
+	if len(m.Presets) == 0 {
+		return fmt.Errorf("gen: manifest has no presets")
+	}
+	names := map[string]bool{}
+	for _, c := range m.Presets {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if names[c.Name] {
+			return fmt.Errorf("gen: manifest preset %q duplicated", c.Name)
+		}
+		names[c.Name] = true
+	}
+	if m.Count != len(m.Programs) {
+		return fmt.Errorf("gen: manifest count %d but %d program entries", m.Count, len(m.Programs))
+	}
+	for i, e := range m.Programs {
+		if e.Name == "" || len(e.SHA256) != 64 {
+			return fmt.Errorf("gen: manifest entry %d (%q): missing name or malformed sha256", i, e.Name)
+		}
+		if !names[e.Preset] {
+			return fmt.Errorf("gen: manifest entry %q references unknown preset %q", e.Name, e.Preset)
+		}
+	}
+	return nil
+}
+
+// Rebuild regenerates every program the manifest describes and verifies each
+// against its recorded hash, returning the corpus or the first divergence.
+func (m *Manifest) Rebuild() ([]*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	byName := map[string]ProgramConf{}
+	for _, c := range m.Presets {
+		byName[c.Name] = c
+	}
+	out := make([]*Program, len(m.Programs))
+	for i, e := range m.Programs {
+		p := Build(byName[e.Preset], e.Seed)
+		if got := p.SourceHash(); got != e.SHA256 {
+			return nil, fmt.Errorf("gen: %s: regenerated source hash %s != manifest %s (generator drift?)",
+				e.Name, got[:12], e.SHA256[:12])
+		}
+		out[i] = p
+	}
+	return out, nil
+}

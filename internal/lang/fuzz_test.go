@@ -2,8 +2,9 @@ package lang_test
 
 // Native fuzz targets for the DML front end. The seed corpus combines the
 // 17 hand-written benchmark sources with deterministic microsmith-style
-// random programs (bench.GenSource) plus a few adversarial shapes; the
-// fuzzer then mutates from there. Run the CI smoke with:
+// random programs — the default generator mix plus the control-flow-heavy
+// biased-branch and deep-hammock presets — and a few adversarial shapes;
+// the fuzzer then mutates from there. Run the CI smoke with:
 //
 //	go test -fuzz=FuzzParse -fuzztime=30s ./internal/lang
 //
@@ -15,6 +16,7 @@ import (
 	"testing"
 
 	"dmp/internal/bench"
+	"dmp/internal/gen"
 	"dmp/internal/lang"
 )
 
@@ -24,6 +26,15 @@ func seedCorpus(f *testing.F) {
 	}
 	for seed := int64(0); seed < 20; seed++ {
 		f.Add(bench.GenSource(seed))
+	}
+	for _, preset := range []string{"biased-branch", "deep-hammock"} {
+		conf, ok := gen.Preset(preset)
+		if !ok {
+			f.Fatalf("preset %s missing", preset)
+		}
+		for seed := uint64(0); seed < 8; seed++ {
+			f.Add(gen.Build(conf, seed).Source)
+		}
 	}
 	for _, src := range []string{
 		"",

@@ -3,29 +3,42 @@ package verify_test
 // FuzzCompileVerify drives randomly generated DML programs through the full
 // toolchain — compile, profile, every selection algorithm — and asserts the
 // static verifier finds nothing: all eight algorithms must only ever emit
-// legal artifacts, on any program the generator can produce. Run the CI
-// smoke with:
+// legal artifacts, on any program the generator can produce. The seed
+// cycles through the generator's preset mixes (default, biased-branch,
+// deep-hammock) so the fuzzer explores hammock-dense and nested control
+// flow, not just the balanced default. Run the CI smoke with:
 //
 //	go test -fuzz=FuzzCompileVerify -fuzztime=30s ./internal/verify
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
-	"dmp/internal/bench"
 	"dmp/internal/codegen"
 	"dmp/internal/core"
+	"dmp/internal/gen"
 	"dmp/internal/isa"
 	"dmp/internal/profile"
 	"dmp/internal/verify"
 )
+
+// fuzzSource maps a fuzz seed onto (preset, seed): consecutive seeds rotate
+// through the generator mixes.
+func fuzzSource(seed int64) string {
+	presets := []string{"mixed", "biased-branch", "deep-hammock"}
+	conf, ok := gen.Preset(presets[uint64(seed)%uint64(len(presets))])
+	if !ok {
+		panic("fuzz preset missing")
+	}
+	return gen.Build(conf, uint64(seed)/3).Source
+}
 
 func FuzzCompileVerify(f *testing.F) {
 	for seed := int64(0); seed < 12; seed++ {
 		f.Add(seed, seed*3+1)
 	}
 	f.Fuzz(func(t *testing.T, seed, tapeSeed int64) {
-		src := bench.GenSource(seed)
+		src := fuzzSource(seed)
 		prog, err := codegen.CompileSource(src)
 		if err != nil {
 			// Compile itself runs the verifier post-codegen; any error is a
@@ -34,10 +47,10 @@ func FuzzCompileVerify(f *testing.F) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 
-		rng := rand.New(rand.NewSource(tapeSeed))
+		rng := rand.New(rand.NewPCG(uint64(tapeSeed), 0))
 		tape := make([]int64, 48)
 		for i := range tape {
-			tape[i] = rng.Int63n(1 << 16)
+			tape[i] = rng.Int64N(1 << 16)
 		}
 		// Generated programs terminate by construction; the bound is a
 		// backstop against pathological seeds, not an expected exit.

@@ -3,8 +3,9 @@
 # vet, optional staticcheck, build, the full test suite under the race
 # detector, the allocation guards, the emulator fast-path differential
 # suite, the dmplint corpus sweep, the benchmark-regression gate (skippable
-# with SKIP_BENCH_COMPARE=1), and short deterministic fuzz smokes over the
-# DML parser and the emulator differential harness.
+# with SKIP_BENCH_COMPARE=1), the generated-corpus smoke (dmpgen -check
+# over 50 programs spanning every preset), and short deterministic fuzz
+# smokes over the DML parser and the emulator differential harness.
 set -eux
 
 go vet ./...
@@ -21,6 +22,7 @@ go test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeli
 go test -run 'TestFastMatchesReference|TestRunMatchesReference|TestRunBlockMatchesReference|TestStepBatchMatchesReference|TestFaultEquivalence|TestStepBatchFaults' ./internal/emu
 sh scripts/bench_compare.sh
 go run ./cmd/dmplint -corpus
+go run ./cmd/dmpgen -preset all -n 50 -seed 1 -check
 go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 rm -f .trace-smoke.jsonl
