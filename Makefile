@@ -9,31 +9,28 @@
 #               (dmpgen -check over 50 programs) + 30s parser and
 #               emulator differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
-#   make lint   vet plus staticcheck/golangci-lint when installed
+#   make lint   pinned staticcheck + golangci-lint via scripts/lint.sh
 #   make fuzz   longer local fuzzing session for the front-end and
 #               compile+verify targets
 #
-# staticcheck is optional: the gate uses it when it is on PATH and degrades
-# to go vet alone otherwise, so CI does not depend on network installs.
+# Lint is required, not best-effort: scripts/lint.sh pins the tool versions,
+# fails on findings or version drift, and only downgrades to a loud skip
+# when a tool is absent and cannot be installed offline (LINT_STRICT=1
+# turns that skip into a failure too).
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke
 
-ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet, gated on tool availability.
+# Static analysis beyond vet: pinned-version staticcheck + golangci-lint,
+# findings fail the gate (see scripts/lint.sh for the offline policy).
 lint:
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
-	elif command -v golangci-lint >/dev/null 2>&1; then \
-		golangci-lint run ./...; \
-	else \
-		echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still ran)"; \
-	fi
+	sh scripts/lint.sh
 
 build:
 	$(GO) build ./...
@@ -81,6 +78,12 @@ emu-diff:
 # the population-scale version lives in the harness test suite.
 gen-smoke:
 	$(GO) run ./cmd/dmpgen -preset all -n 50 -seed 1 -check
+
+# Profile-free smoke: the same 50-program corpus and quality gate, but every
+# selection algorithm consumes the static profile estimate (internal/static)
+# instead of the train tape — zero diagnostics required end to end.
+static-smoke:
+	$(GO) run ./cmd/dmpgen -preset all -n 50 -seed 1 -check -static
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10|population]
+//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10|population|static]
 //	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
 //	         [-gen-preset all|P,Q] [-gen-n N] [-gen-seed S]
 //	         [-metrics-json file] [-pprof addr] [-cpuprofile file] [-memprofile file]
@@ -23,6 +23,15 @@
 // ProgramConf presets (seed-reproducible; see cmd/dmpgen for corpus export)
 // and prints the per-idiom baseline-vs-DMP win/loss table. It is excluded
 // from -exp all, which keeps reproducing the paper tables only.
+//
+// -exp static runs the three-way profile-source comparison on a generated
+// corpus: All-best-heur selection from a static estimate (internal/static, no
+// input tape), from the train-tape profile, and from the oracle run-tape
+// profile, all simulated on the run tape against a shared baseline. The
+// per-idiom table reports the three mean IPC deltas, static win/loss
+// classification, dpred-session audit attribution, and the estimate's
+// accuracy (per-branch bias error, block-frequency rank correlation). When
+// -gen-n is left at its default, -exp static evaluates 500 programs.
 //
 // For performance investigation, -pprof serves net/http/pprof on the given
 // address while the evaluation runs, and -cpuprofile/-memprofile write
@@ -46,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10, population")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10, population, static")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	scale := flag.Int("scale", 1, "input scale factor")
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
@@ -91,9 +100,9 @@ func main() {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
-	// The population experiment evaluates a generated corpus and needs no
-	// paper-benchmark session; it is opt-in rather than part of -exp all.
-	if *exp == "population" {
+	// The population experiments evaluate a generated corpus and need no
+	// paper-benchmark session; they are opt-in rather than part of -exp all.
+	if *exp == "population" || *exp == "static" {
 		var confs []gen.ProgramConf
 		if *genPreset == "all" {
 			confs = gen.Presets()
@@ -106,14 +115,25 @@ func main() {
 				confs = append(confs, c)
 			}
 		}
+		n := *genN
+		if *exp == "static" && !flagSet("gen-n") {
+			// The three-way table is a population claim; default to the
+			// 500-program scale the experiment tables commit to.
+			n = 500
+		}
 		t0 := time.Now()
-		progs := gen.BuildCorpus(confs, *genN, *genSeed)
-		rep, err := harness.RunPopulation(progs, harness.PopulationOptions{
-			Parallelism: *par, MaxInsts: *maxInsts,
-		})
-		check(err)
-		rep.Render(os.Stdout)
-		fmt.Printf("(population in %v)\n", time.Since(t0).Round(time.Millisecond))
+		progs := gen.BuildCorpus(confs, n, *genSeed)
+		popOpts := harness.PopulationOptions{Parallelism: *par, MaxInsts: *maxInsts}
+		if *exp == "static" {
+			rep, err := harness.RunPopulationCompare(progs, popOpts)
+			check(err)
+			rep.Render(os.Stdout)
+		} else {
+			rep, err := harness.RunPopulation(progs, popOpts)
+			check(err)
+			rep.Render(os.Stdout)
+		}
+		fmt.Printf("(%s in %v)\n", *exp, time.Since(t0).Round(time.Millisecond))
 		return
 	}
 
@@ -167,6 +187,17 @@ func main() {
 		}
 		check(m.WriteJSON(out))
 	}
+}
+
+// flagSet reports whether the named flag was passed explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func check(err error) {

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	dmpcc -src prog.dml -in inputs.txt -o prog.dmp [-algo heur|cost-long|cost-edge|every|random50|highbp|immediate|ifelse|none] [-S]
+//	dmpcc -src prog.dml -static -o prog.dmp [-algo ...] [-S]
 //
 // The input file holds one decimal value per line (the profiling tape).
-// With -S the annotated disassembly is printed instead of writing a binary.
+// With -static the selection algorithm consumes a static profile estimate
+// (internal/static) instead of a collected profile, so no input tape is
+// needed — the fully profile-free compilation path. With -S the annotated
+// disassembly is printed instead of writing a binary.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"dmp/internal/core"
 	"dmp/internal/isa"
 	"dmp/internal/profile"
+	"dmp/internal/static"
 )
 
 func main() {
@@ -32,6 +37,7 @@ func main() {
 	algo := flag.String("algo", "heur", "selection algorithm: heur, cost-long, cost-edge, every, random50, highbp, immediate, ifelse, none")
 	asm := flag.Bool("S", false, "print annotated disassembly instead of writing the binary")
 	opt := flag.Bool("O", false, "run the IR optimizer (constant folding, branch simplification, dead-block elimination)")
+	useStatic := flag.Bool("static", false, "select from a static profile estimate instead of a collected profile (no tape needed)")
 	flag.Parse()
 
 	if *src == "" {
@@ -55,8 +61,15 @@ func main() {
 	}
 
 	if *algo != "none" {
-		prof, err := profile.Collect(prog, input, profile.Options{})
-		check(err)
+		var prof *profile.Profile
+		if *useStatic {
+			est, err := static.Analyze(prog, static.Options{Program: *src})
+			check(err)
+			prof = est.Prof
+		} else {
+			prof, err = profile.Collect(prog, input, profile.Options{})
+			check(err)
+		}
 		annots, err := selectAnnots(prog, prof, *algo)
 		check(err)
 		prog.Annots = annots

@@ -17,7 +17,9 @@
 //
 // -check runs every program through the full quality gate (static
 // verification of all 8 selection algorithms' artifacts plus the
-// emu-vs-pipeline differential for baseline and DMP). -report runs the
+// emu-vs-pipeline differential for baseline and DMP); with -static the gate
+// selects from a static profile estimate (internal/static) instead of the
+// train-tape profile, exercising the profile-free path. -report runs the
 // population evaluation — profile on the train tape, All-best-heur
 // selection, baseline and DMP simulation on the run tape, memoized by the
 // simulation cache (DMP_CACHE_DIR) — and renders the per-idiom win/loss
@@ -48,6 +50,7 @@ func main() {
 	manifest := flag.String("manifest", "", "write the corpus manifest to this file (\"-\" = stdout)")
 	rebuild := flag.String("rebuild", "", "regenerate the corpus from an existing manifest (overrides -preset/-conf/-n/-seed)")
 	check := flag.Bool("check", false, "verify + differential-run every generated program")
+	useStatic := flag.Bool("static", false, "with -check: select from static profile estimates instead of the train-tape profile")
 	report := flag.String("report", "", "run the population evaluation and write the per-idiom report (\"-\" = stdout)")
 	par := flag.Int("p", 0, "parallelism for -check/-report (0 = GOMAXPROCS)")
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per -report run (0 = to completion)")
@@ -111,11 +114,15 @@ func main() {
 	}
 
 	if *check {
-		if bad := checkCorpus(progs, *par); bad > 0 {
+		if bad := checkCorpus(progs, *par, *useStatic); bad > 0 {
 			fmt.Fprintf(os.Stderr, "dmpgen: %d/%d programs failed the quality gate\n", bad, len(progs))
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "dmpgen: %d programs verified clean (8 algorithms + emu/pipeline differential)\n", len(progs))
+		src := "train profile"
+		if *useStatic {
+			src = "static estimate"
+		}
+		fmt.Fprintf(os.Stderr, "dmpgen: %d programs verified clean (8 algorithms from %s + emu/pipeline differential)\n", len(progs), src)
 	}
 	if *report != "" {
 		rep, err := harness.RunPopulation(progs, harness.PopulationOptions{
@@ -186,9 +193,13 @@ func tapeText(tape []int64) []byte {
 	return []byte(sb.String())
 }
 
-func checkCorpus(progs []*gen.Program, par int) int {
+func checkCorpus(progs []*gen.Program, par int, useStatic bool) int {
 	if par <= 0 {
 		par = 8
+	}
+	gate := harness.CheckGenerated
+	if useStatic {
+		gate = harness.CheckGeneratedStatic
 	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
@@ -200,7 +211,7 @@ func checkCorpus(progs []*gen.Program, par int) int {
 		go func(p *gen.Program) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if issues := harness.CheckGenerated(p); len(issues) > 0 {
+			if issues := gate(p); len(issues) > 0 {
 				mu.Lock()
 				bad++
 				fmt.Fprintf(os.Stderr, "dmpgen: %s (seed %d):\n  %s\n", p.Name, p.Seed, strings.Join(issues, "\n  "))

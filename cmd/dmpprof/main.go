@@ -4,6 +4,13 @@
 // Usage:
 //
 //	dmpprof -bin prog.dmp [-in inputs.txt] [-o prog.prof] [-top N]
+//	dmpprof -bin prog.dmp -static [-in inputs.txt] [-o prog.est] [-top N]
+//
+// With -static the profile is synthesized by the static estimator
+// (internal/static) instead of being collected by emulation — no tape is
+// consumed. If -in is also given, a reference profile is collected from the
+// tape and the estimate's accuracy against it (per-branch bias error,
+// block-frequency rank correlation) is printed.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"dmp/internal/isa"
 	"dmp/internal/profile"
+	"dmp/internal/static"
 )
 
 func main() {
@@ -24,6 +32,7 @@ func main() {
 	in := flag.String("in", "", "input tape (one integer per line)")
 	out := flag.String("o", "", "write the binary profile to this path")
 	top := flag.Int("top", 10, "print the N most mispredicted branches")
+	useStatic := flag.Bool("static", false, "synthesize a static estimate instead of collecting (with -in: also report estimate accuracy)")
 	flag.Parse()
 
 	if *bin == "" {
@@ -42,8 +51,24 @@ func main() {
 		check(err)
 	}
 
-	prof, err := profile.Collect(prog, input, profile.Options{})
-	check(err)
+	var prof *profile.Profile
+	if *useStatic {
+		est, err := static.Analyze(prog, static.Options{Program: *bin})
+		check(err)
+		prof = est.Prof
+		if *in != "" {
+			ref, err := profile.Collect(prog, input, profile.Options{})
+			check(err)
+			acc := static.CompareProfiles(prog, prof, ref)
+			fmt.Printf("estimate accuracy vs collected profile (%d branches, %d blocks):\n", acc.Branches, acc.Blocks)
+			fmt.Printf("  mean branch bias      %.3f\n", acc.MeanBias)
+			fmt.Printf("  weighted branch bias  %.3f\n", acc.WeightedBias)
+			fmt.Printf("  freq rank correlation %.3f\n", acc.RankCorr)
+		}
+	} else {
+		prof, err = profile.Collect(prog, input, profile.Options{})
+		check(err)
+	}
 
 	fmt.Printf("retired  %d\n", prof.TotalRetired)
 	fmt.Printf("MPKI     %.2f\n", prof.MPKI())

@@ -1,0 +1,172 @@
+package core
+
+// Boundary tests for the Section 4 cost model: uselessInsts and
+// hammockOverhead at the takenProb extremes, an empty CFM candidate list,
+// and merge-probability clamping at both edges.
+
+import (
+	"math"
+	"testing"
+
+	"dmp/internal/cfg"
+	"dmp/internal/isa"
+)
+
+// hammockSides builds the canonical input-driven hammock, profiles it, and
+// returns the CFG, both path sets wrapped as sides, the merge block id, and
+// the parameters used. Arm lengths are asymmetric (taken arm 3 ALUs,
+// not-taken arm 5) so the two sides are distinguishable in the accounting.
+func hammockSides(t *testing.T, p Params) (*cfg.Graph, side, side, int) {
+	t.Helper()
+	prog, brPC, _ := asymmetricHammock(t)
+	prof := collect(t, prog, randBits(7, 400))
+	g, err := cfg.Build(prog, prog.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdom := cfg.PostDominators(g)
+	ipos := cfg.IPosDom(g, pdom, brPC)
+	if ipos < 0 {
+		t.Fatalf("hammock branch %d has no post-dominator merge block", brPC)
+	}
+	cw := p.CallWeight
+	if cw == 0 {
+		cw = cfg.DefaultCallWeight
+	}
+	limits := cfg.PathLimits{
+		MaxInsts:    p.MaxInstr,
+		MaxCondBrs:  p.MaxCbr,
+		MinExecProb: p.MinExecProb,
+		CallWeight:  cw,
+	}
+	tkSet, ntSet := cfg.BranchPaths(g, brPC, ipos, prof.EdgeProb, limits)
+	tk, nt := side{tkSet, cw}, side{ntSet, cw}
+	if len(tkSet.Paths) == 0 || len(ntSet.Paths) == 0 {
+		t.Fatalf("path enumeration found no paths: taken=%d notTaken=%d", len(tkSet.Paths), len(ntSet.Paths))
+	}
+	return g, tk, nt, ipos
+}
+
+func asymmetricHammock(t *testing.T) (prog *isa.Program, brPC, mergePC int) {
+	t.Helper()
+	p := mustLink(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.InAvail(1)
+		b.Beqz(1, "done")
+		b.In(2)
+		brPC = b.Beqz(2, "else")
+		for i := 0; i < 3; i++ {
+			b.ALUI(isa.OpAdd, 3, 3, 1)
+		}
+		b.Jmp("merge")
+		b.Label("else")
+		for i := 0; i < 5; i++ {
+			b.ALUI(isa.OpSub, 3, 3, 1)
+		}
+		b.Label("merge")
+		mergePC = b.PC()
+		b.ALUI(isa.OpAdd, 4, 4, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Out(3)
+		b.Halt()
+	})
+	return p, brPC, mergePC
+}
+
+func TestUselessInstsTakenProbExtremes(t *testing.T) {
+	for _, method := range []OverheadMethod{LongestPath, EdgeWeighted} {
+		p := CostParams(method)
+		g, tk, nt, merge := hammockSides(t, p)
+		nT := sideInsts(g, tk, merge, p)
+		nNT := sideInsts(g, nt, merge, p)
+		if nT <= 0 || nNT <= 0 {
+			t.Fatalf("method %v: degenerate side sizes nT=%v nNT=%v", method, nT, nNT)
+		}
+		if nT == nNT {
+			t.Fatalf("method %v: arms should be asymmetric, both %v", method, nT)
+		}
+		// takenProb 1: every fetched not-taken instruction is useless,
+		// every taken one useful — and symmetrically for takenProb 0.
+		if got := uselessInsts(g, tk, nt, merge, 1, p); math.Abs(got-nNT) > 1e-9 {
+			t.Errorf("method %v: uselessInsts(takenProb=1) = %v, want nNT %v", method, got, nNT)
+		}
+		if got := uselessInsts(g, tk, nt, merge, 0, p); math.Abs(got-nT) > 1e-9 {
+			t.Errorf("method %v: uselessInsts(takenProb=0) = %v, want nT %v", method, got, nT)
+		}
+		// Interior probabilities stay between the extremes and non-negative.
+		mid := uselessInsts(g, tk, nt, merge, 0.5, p)
+		if mid < 0 || mid > nT+nNT {
+			t.Errorf("method %v: uselessInsts(0.5) = %v out of [0, %v]", method, mid, nT+nNT)
+		}
+	}
+}
+
+func TestHammockOverheadEmptyCandidates(t *testing.T) {
+	p := CostParams(EdgeWeighted)
+	g, tk, nt, _ := hammockSides(t, p)
+	// No CFM candidates and no return CFM: nothing ever merges, so the
+	// overhead degenerates to the non-merging penalty of half the branch
+	// resolution time (Eq. 16 with pm = 0).
+	got := hammockOverhead(g, tk, nt, nil, func(int) float64 {
+		t.Fatal("mergeP must not be consulted for an empty candidate list")
+		return 0
+	}, 0, 0.5, p)
+	want := p.MispPenalty / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("hammockOverhead(no cands) = %v, want resolution-half %v", got, want)
+	}
+}
+
+func TestHammockOverheadMergeProbClamping(t *testing.T) {
+	p := CostParams(EdgeWeighted)
+	g, tk, nt, merge := hammockSides(t, p)
+
+	// Certain merge (pm = 1): the (1-pm) resolution penalty vanishes and
+	// the overhead is exactly the useless instructions over fetch width.
+	useless := uselessInsts(g, tk, nt, merge, 0.5, p)
+	got := hammockOverhead(g, tk, nt, []int{merge}, func(int) float64 { return 1 }, 0, 0.5, p)
+	if want := useless / p.FetchWidth; math.Abs(got-want) > 1e-9 {
+		t.Errorf("overhead(pm=1) = %v, want %v", got, want)
+	}
+
+	// Aggregate merge probability above 1 (two candidates at 0.7 each, plus
+	// a return CFM) must clamp to 1 rather than produce a negative
+	// resolution term.
+	overP := hammockOverhead(g, tk, nt, []int{merge, merge}, func(int) float64 { return 0.7 }, 0.5, 0.5, p)
+	sum := useless*0.7*2 + uselessInsts(g, tk, nt, -1, 0.5, p)*0.5
+	if want := sum / p.FetchWidth; math.Abs(overP-want) > 1e-9 {
+		t.Errorf("overhead(pm>1) = %v, want clamped %v", overP, want)
+	}
+
+	// Zero merge probability: only the resolution penalty remains.
+	got0 := hammockOverhead(g, tk, nt, []int{merge}, func(int) float64 { return 0 }, 0, 0.5, p)
+	if want := p.MispPenalty / 2; math.Abs(got0-want) > 1e-9 {
+		t.Errorf("overhead(pm=0) = %v, want %v", got0, want)
+	}
+}
+
+func TestClamp01Edges(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {-1e-15, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1 + 1e-15, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := clamp01(c.in); got != c.want {
+			t.Errorf("clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDpredCostSign(t *testing.T) {
+	p := CostParams(EdgeWeighted)
+	// Zero overhead with any confidence accuracy is pure win: the cost is
+	// the full negative misprediction-penalty expectation.
+	if got, want := dpredCost(0, p), -p.MispPenalty*p.AccConf; math.Abs(got-want) > 1e-9 {
+		t.Errorf("dpredCost(0) = %v, want %v", got, want)
+	}
+	// Overhead equal to the penalty can never be profitable.
+	if got := dpredCost(p.MispPenalty, p); got < 0 {
+		t.Errorf("dpredCost(penalty) = %v, want >= 0", got)
+	}
+}

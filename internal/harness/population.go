@@ -24,6 +24,7 @@ import (
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
 	"dmp/internal/simcache"
+	"dmp/internal/static"
 	"dmp/internal/trace"
 	"dmp/internal/verify"
 )
@@ -196,20 +197,7 @@ func groupByIdiom(results []ProgramResult) []IdiomGroup {
 			g.WorstPct, g.Worst = r.DeltaPct, r.Name
 		}
 		g.Retired += r.Retired
-		g.Audit.Branches += r.Audit.Branches
-		g.Audit.Flushes += r.Audit.Flushes
-		g.Audit.Entered += r.Audit.Entered
-		g.Audit.LoopEntered += r.Audit.LoopEntered
-		g.Audit.Merged += r.Audit.Merged
-		g.Audit.Fallback += r.Audit.Fallback
-		g.Audit.FlushCancelled += r.Audit.FlushCancelled
-		g.Audit.LoopEarlyExit += r.Audit.LoopEarlyExit
-		g.Audit.LoopLateExit += r.Audit.LoopLateExit
-		g.Audit.LoopNoExit += r.Audit.LoopNoExit
-		g.Audit.LoopEnded += r.Audit.LoopEnded
-		g.Audit.Throttled += r.Audit.Throttled
-		g.Audit.SavedFlushes += r.Audit.SavedFlushes
-		g.Audit.WastedCycles += r.Audit.WastedCycles
+		g.Audit.Merge(r.Audit)
 	}
 	out := make([]IdiomGroup, 0, len(byIdiom))
 	for idiom, g := range byIdiom {
@@ -364,6 +352,20 @@ func popSelect(prog *isa.Program, prof *profile.Profile, algo string) (map[int]*
 // (empty = clean). cmd/dmpgen -check and the population differential test
 // share this path.
 func CheckGenerated(p *gen.Program) []string {
+	return checkGenerated(p, false)
+}
+
+// CheckGeneratedStatic is CheckGenerated with the profile source replaced by
+// a static estimate (static.Analyze): every selection algorithm runs
+// completely profile-free, its artifacts are verified, and the DMP binary
+// selected from the estimate goes through the same emu-vs-pipeline
+// differential. cmd/dmpgen -check -static and the static population
+// differential test share this path.
+func CheckGeneratedStatic(p *gen.Program) []string {
+	return checkGenerated(p, true)
+}
+
+func checkGenerated(p *gen.Program, useStatic bool) []string {
 	var issues []string
 	prog, err := codegen.CompileSource(p.Source)
 	if err != nil {
@@ -372,9 +374,18 @@ func CheckGenerated(p *gen.Program) []string {
 	for _, d := range verify.Run(prog.WithAnnots(nil), verify.Options{Program: p.Name + "/bare"}) {
 		issues = append(issues, d.String())
 	}
-	prof, err := profile.Collect(prog, p.TrainInput, profile.Options{MaxInsts: popEmuBudget})
-	if err != nil {
-		return append(issues, fmt.Sprintf("profile: %v", err))
+	var prof *profile.Profile
+	if useStatic {
+		est, err := static.Analyze(prog, static.Options{Program: p.Name + "/static"})
+		if err != nil {
+			return append(issues, fmt.Sprintf("static estimate: %v", err))
+		}
+		prof = est.Prof
+	} else {
+		prof, err = profile.Collect(prog, p.TrainInput, profile.Options{MaxInsts: popEmuBudget})
+		if err != nil {
+			return append(issues, fmt.Sprintf("profile: %v", err))
+		}
 	}
 	var heurAnnots map[int]*isa.DivergeInfo
 	for _, algo := range popAlgoNames {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -79,7 +80,10 @@ func (p *Program) WriteTo(w io.Writer) (int64, error) {
 		for _, c := range d.CFMs {
 			buf.WriteByte(byte(c.Kind))
 			writeUvarint(&buf, uint64(c.Addr))
-			writeUvarint(&buf, uint64(c.MergeProb*1e6))
+			// Round, don't truncate: k/1e6 can fall an ulp below k*1e-6, so
+			// truncation would make decode-then-encode drift by one unit,
+			// breaking the container's codec fixed-point property.
+			writeUvarint(&buf, uint64(math.Round(c.MergeProb*1e6)))
 		}
 	}
 	n, err := w.Write(buf.Bytes())

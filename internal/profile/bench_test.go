@@ -1,9 +1,10 @@
-package profile
+package profile_test
 
 import (
 	"testing"
 
 	"dmp/internal/bench"
+	"dmp/internal/profile"
 )
 
 // BenchmarkProfileCollect measures the profiler fast path: block-batched
@@ -20,7 +21,7 @@ func BenchmarkProfileCollect(b *testing.B) {
 	b.ResetTimer()
 	var retired uint64
 	for i := 0; i < b.N; i++ {
-		p, err := Collect(prog, input, Options{MaxInsts: 1_000_000})
+		p, err := profile.Collect(prog, input, profile.Options{MaxInsts: 1_000_000})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,97 +1,14 @@
 package profile
 
+// In-package wire-format rejection tests (they hand-assemble byte streams
+// with the unexported header constants). The fixture round-trip tests live
+// in wire_fixture_test.go in the external test package.
+
 import (
 	"bytes"
 	"encoding/binary"
-	"os"
 	"testing"
-
-	"dmp/internal/bench"
 )
-
-// collectCompress reproduces the exact profiling run the committed fixture
-// was generated from: compress on the run input at scale 1, default options.
-func collectCompress(t *testing.T) *Profile {
-	t.Helper()
-	w := bench.ByName("compress")
-	prog, err := w.Compile()
-	if err != nil {
-		t.Fatalf("compile: %v", err)
-	}
-	prof, err := Collect(prog, w.Input(bench.RunInput, 1), Options{})
-	if err != nil {
-		t.Fatalf("collect: %v", err)
-	}
-	return prof
-}
-
-// TestWireFormatMatchesOldEncoder pins the dense-slice encoder to the bytes
-// the original sorted-map encoder produced: testdata/compress_run_v0.prof
-// was written before the counter representation changed, so a byte-for-byte
-// match proves the wire format survived the migration.
-func TestWireFormatMatchesOldEncoder(t *testing.T) {
-	want, err := os.ReadFile("testdata/compress_run_v0.prof")
-	if err != nil {
-		t.Fatalf("fixture: %v", err)
-	}
-	prof := collectCompress(t)
-	var buf bytes.Buffer
-	if _, err := prof.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("encoder output diverged from the v0 fixture: got %d bytes, want %d", buf.Len(), len(want))
-	}
-}
-
-// TestReadOldEncoderFixture decodes the pre-migration fixture into the dense
-// representation and checks it against a fresh profiling run.
-func TestReadOldEncoderFixture(t *testing.T) {
-	f, err := os.Open("testdata/compress_run_v0.prof")
-	if err != nil {
-		t.Fatalf("fixture: %v", err)
-	}
-	defer f.Close()
-	got, err := Read(f)
-	if err != nil {
-		t.Fatalf("read: %v", err)
-	}
-	want := collectCompress(t)
-	if got.TotalRetired != want.TotalRetired {
-		t.Errorf("TotalRetired = %d, want %d", got.TotalRetired, want.TotalRetired)
-	}
-	for _, s := range []struct {
-		name      string
-		got, want []uint64
-	}{
-		{"ExecCount", got.ExecCount, want.ExecCount},
-		{"Taken", got.Taken, want.Taken},
-		{"NotTaken", got.NotTaken, want.NotTaken},
-		{"Mispred", got.Mispred, want.Mispred},
-	} {
-		if len(s.got) != len(s.want) {
-			t.Fatalf("%s length = %d, want %d", s.name, len(s.got), len(s.want))
-		}
-		for pc := range s.want {
-			if s.got[pc] != s.want[pc] {
-				t.Errorf("%s[%d] = %d, want %d", s.name, pc, s.got[pc], s.want[pc])
-			}
-		}
-	}
-	// The fixture must re-encode to its own bytes (stability under
-	// decode/encode cycles).
-	fixture, err := os.ReadFile("testdata/compress_run_v0.prof")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if _, err := got.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(buf.Bytes(), fixture) {
-		t.Fatal("decode/encode cycle changed the fixture bytes")
-	}
-}
 
 // TestReadRejectsOutOfRangePC corrupts a counter entry's pc to point past
 // the code segment; Read must refuse rather than write out of bounds.

@@ -1,0 +1,275 @@
+package static_test
+
+import (
+	"testing"
+
+	"dmp/internal/codegen"
+	"dmp/internal/core"
+	"dmp/internal/gen"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+	"dmp/internal/static"
+	"dmp/internal/verify"
+)
+
+// link finishes a builder program, failing the test on any assembly error.
+func link(t *testing.T, b *isa.Builder) *isa.Program {
+	t.Helper()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func analyze(t *testing.T, p *isa.Program) *static.Estimate {
+	t.Helper()
+	est, err := static.Analyze(p, static.Options{Program: t.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestConstantConditionDecided: a branch whose condition register is loaded
+// with a constant in the same block is statically decided (up to the clamp).
+func TestConstantConditionDecided(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 0)
+	taken := b.Beqz(1, "end") // r1 == 0: always taken
+	b.MovI(2, 7)
+	b.Label("end")
+	b.Halt()
+	est := analyze(t, link(t, b))
+	if p := est.TakenProb[taken]; p < 0.9 {
+		t.Errorf("beqz on constant 0: taken prob %v, want ~0.98", p)
+	}
+
+	b = isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 5)
+	taken = b.Beqz(1, "end") // r1 != 0: never taken
+	b.MovI(2, 7)
+	b.Label("end")
+	b.Halt()
+	est = analyze(t, link(t, b))
+	if p := est.TakenProb[taken]; p > 0.1 {
+		t.Errorf("beqz on constant 5: taken prob %v, want ~0.02", p)
+	}
+}
+
+// TestZeroRegisterDecided: branches on the hardwired zero register are
+// decided without any local definition.
+func TestZeroRegisterDecided(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 1)
+	pc := b.Bnez(isa.RegZero, "end") // r0 is always 0: never taken
+	b.MovI(2, 7)
+	b.Label("end")
+	b.Halt()
+	est := analyze(t, link(t, b))
+	if p := est.TakenProb[pc]; p > 0.1 {
+		t.Errorf("bnez r0: taken prob %v, want ~0.02", p)
+	}
+}
+
+// TestLoopBackEdgeFavoured: the latch branch of a counted loop is predicted
+// taken (loop-branch heuristic), and the propagated frequencies make the
+// body several times hotter than the code after the loop.
+func TestLoopBackEdgeFavoured(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 10)
+	b.Label("loop")
+	b.ALUI(isa.OpAdd, 2, 2, 3)
+	b.ALUI(isa.OpSub, 1, 1, 1)
+	latch := b.Bnez(1, "loop")
+	after := b.Out(2)
+	b.Halt()
+	prog := link(t, b)
+	est := analyze(t, prog)
+	if p := est.TakenProb[latch]; p < 0.8 {
+		t.Errorf("loop latch taken prob %v, want >= 0.88 (loop-branch heuristic)", p)
+	}
+	body, tail := est.Prof.ExecCount[latch], est.Prof.ExecCount[after]
+	if tail == 0 || body < 4*tail {
+		t.Errorf("loop body count %d vs after-loop %d, want body >= 4x", body, tail)
+	}
+}
+
+// TestCompareOpcodeHeuristic: a bnez on an equality compare is predicted
+// not-taken (equalities rarely hold), and on an inequality compare taken.
+func TestCompareOpcodeHeuristic(t *testing.T) {
+	build := func(op isa.Op) (*isa.Program, int) {
+		b := isa.NewBuilder()
+		b.Func("main")
+		b.MovI(1, 3)
+		b.MovI(2, 4)
+		b.ALU(op, 3, 1, 2)
+		pc := b.Bnez(3, "end")
+		b.MovI(4, 9)
+		b.Label("end")
+		b.Halt()
+		return link(t, b), pc
+	}
+	prog, pc := build(isa.OpCmpEQ)
+	if p := analyze(t, prog).TakenProb[pc]; p >= 0.5 {
+		t.Errorf("bnez on cmpeq: taken prob %v, want < 0.5", p)
+	}
+	prog, pc = build(isa.OpCmpNE)
+	if p := analyze(t, prog).TakenProb[pc]; p <= 0.5 {
+		t.Errorf("bnez on cmpne: taken prob %v, want > 0.5", p)
+	}
+}
+
+// TestCallGraphFrequencies: a helper called from inside a loop is invoked
+// more often than main; an uncalled function gets frequency 0 and no
+// synthesized counts.
+func TestCallGraphFrequencies(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("helper")
+	b.ALUI(isa.OpAdd, 1, 1, 1)
+	b.Ret()
+	b.Func("dead")
+	deadPC := b.MovI(2, 1)
+	b.Ret()
+	b.Func("main")
+	b.MovI(1, 8)
+	b.Label("loop")
+	b.Call("helper")
+	b.ALUI(isa.OpSub, 1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	est := analyze(t, link(t, b))
+	if est.FnFreq["main"] != 1 {
+		t.Errorf("main frequency %v, want 1", est.FnFreq["main"])
+	}
+	if est.FnFreq["helper"] <= 1 {
+		t.Errorf("helper frequency %v, want > 1 (called from a loop)", est.FnFreq["helper"])
+	}
+	if est.FnFreq["dead"] != 0 {
+		t.Errorf("dead frequency %v, want 0", est.FnFreq["dead"])
+	}
+	if c := est.Prof.ExecCount[deadPC]; c != 0 {
+		t.Errorf("uncalled function has execution count %d", c)
+	}
+}
+
+// TestProbabilitiesClamped: no estimate may leave [0.02, 0.98] — downstream
+// cost models divide by p and 1-p.
+func TestProbabilitiesClamped(t *testing.T) {
+	conf, _ := gen.Preset("mixed")
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := gen.Build(conf, seed)
+		prog, err := codegen.CompileSource(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := analyze(t, prog)
+		for pc, pr := range est.TakenProb {
+			if pr < 0.02 || pr > 0.98 {
+				t.Errorf("%s pc %d: taken prob %v outside [0.02, 0.98]", p.Name, pc, pr)
+			}
+		}
+	}
+}
+
+// TestSelectionFromEstimate: every selection algorithm runs end-to-end from
+// the synthesized estimate alone — no input tape anywhere — and its
+// annotations pass the verifier.
+func TestSelectionFromEstimate(t *testing.T) {
+	for _, preset := range []string{"mixed", "biased-branch", "deep-hammock"} {
+		conf, ok := gen.Preset(preset)
+		if !ok {
+			t.Fatalf("missing preset %s", preset)
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			p := gen.Build(conf, seed)
+			prog, err := codegen.CompileSource(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := analyze(t, prog)
+			for _, algo := range []core.Params{core.HeuristicParams(), core.CostParams(core.LongestPath), core.CostParams(core.EdgeWeighted)} {
+				r, err := core.Select(prog, est.Prof, algo)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+				if err := verify.CheckAnnots(prog.WithAnnots(r.Annots), p.Name); err != nil {
+					t.Errorf("%s: %v", p.Name, err)
+				}
+			}
+			for _, bl := range []core.Baseline{core.EveryBranch, core.Random50, core.HighBP5, core.Immediate, core.IfElse} {
+				r, err := core.SelectBaseline(prog, est.Prof, bl, int64(seed))
+				if err != nil {
+					t.Fatalf("%s %s: %v", p.Name, bl, err)
+				}
+				if err := verify.CheckAnnots(prog.WithAnnots(r.Annots), p.Name); err != nil {
+					t.Errorf("%s %s: %v", p.Name, bl, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareProfilesSelf: a profile measured against itself has zero bias
+// and perfect rank correlation.
+func TestCompareProfilesSelf(t *testing.T) {
+	conf, _ := gen.Preset("mixed")
+	p := gen.Build(conf, 7)
+	prog, err := codegen.CompileSource(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := profile.Collect(prog, p.RunInput, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := static.CompareProfiles(prog, ref, ref)
+	if acc.MeanBias != 0 || acc.WeightedBias != 0 {
+		t.Errorf("self-comparison bias %v/%v, want 0", acc.MeanBias, acc.WeightedBias)
+	}
+	if acc.RankCorr < 0.999 {
+		t.Errorf("self-comparison rank correlation %v, want 1", acc.RankCorr)
+	}
+	if acc.Branches == 0 || acc.Blocks == 0 {
+		t.Errorf("self-comparison compared %d branches / %d blocks, want > 0", acc.Branches, acc.Blocks)
+	}
+}
+
+// TestEstimateBeatsColdGuess: on a population of generated programs the
+// estimate's block-frequency ordering must correlate positively with the
+// measured one on average — the whole point of the analysis.
+func TestEstimateBeatsColdGuess(t *testing.T) {
+	var sum float64
+	n := 0
+	for _, preset := range []string{"mixed", "biased-branch", "deep-hammock", "loop-heavy"} {
+		conf, ok := gen.Preset(preset)
+		if !ok {
+			continue
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			p := gen.Build(conf, seed)
+			prog, err := codegen.CompileSource(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := analyze(t, prog)
+			ref, err := profile.Collect(prog, p.RunInput, profile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := static.CompareProfiles(prog, est.Prof, ref)
+			sum += acc.RankCorr
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no programs compared")
+	}
+	if mean := sum / float64(n); mean < 0.2 {
+		t.Errorf("mean frequency rank correlation %v over %d programs, want >= 0.2", mean, n)
+	}
+}

@@ -51,6 +51,57 @@ func GeoMeanSkip(xs []float64) (geomean float64, skipped int) {
 	return math.Exp(s / float64(n)), skipped
 }
 
+// Spearman returns the Spearman rank-correlation coefficient of the paired
+// series x and y: the Pearson correlation of their tie-averaged ranks. It
+// returns 0 when fewer than two pairs exist or either series is constant
+// (rank correlation is undefined there).
+func Spearman(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 2 {
+		return 0
+	}
+	rx, ry := ranks(x[:n]), ranks(y[:n])
+	mx, my := Mean(rx), Mean(ry)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks assigns 1-based ranks with ties receiving the average of the rank
+// positions they span.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
 // Table is a column-per-benchmark result table: each row is a named series
 // of per-column values, rendered with an arithmetic-mean summary column.
 type Table struct {

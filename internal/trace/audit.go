@@ -166,6 +166,24 @@ func (t *AuditTotals) Add(audits []BranchAudit) {
 	}
 }
 
+// Merge folds another totals record into t (field-wise sum).
+func (t *AuditTotals) Merge(o AuditTotals) {
+	t.Branches += o.Branches
+	t.Flushes += o.Flushes
+	t.Entered += o.Entered
+	t.LoopEntered += o.LoopEntered
+	t.Merged += o.Merged
+	t.Fallback += o.Fallback
+	t.FlushCancelled += o.FlushCancelled
+	t.LoopEarlyExit += o.LoopEarlyExit
+	t.LoopLateExit += o.LoopLateExit
+	t.LoopNoExit += o.LoopNoExit
+	t.LoopEnded += o.LoopEnded
+	t.Throttled += o.Throttled
+	t.SavedFlushes += o.SavedFlushes
+	t.WastedCycles += o.WastedCycles
+}
+
 // Totals sums one audit table.
 func Totals(audits []BranchAudit) AuditTotals {
 	var t AuditTotals

@@ -6,7 +6,10 @@ package verify_test
 // legal artifacts, on any program the generator can produce. The seed
 // cycles through the generator's preset mixes (default, biased-branch,
 // deep-hammock) so the fuzzer explores hammock-dense and nested control
-// flow, not just the balanced default. Run the CI smoke with:
+// flow, not just the balanced default, and the tape seed's parity alternates
+// the profile source between a collected train-tape profile and a static
+// estimate (static.Analyze), so every algorithm is fuzzed from both. Run the
+// CI smoke with:
 //
 //	go test -fuzz=FuzzCompileVerify -fuzztime=30s ./internal/verify
 
@@ -19,6 +22,7 @@ import (
 	"dmp/internal/gen"
 	"dmp/internal/isa"
 	"dmp/internal/profile"
+	"dmp/internal/static"
 	"dmp/internal/verify"
 )
 
@@ -34,8 +38,11 @@ func fuzzSource(seed int64) string {
 }
 
 func FuzzCompileVerify(f *testing.F) {
+	// Seed both tape-seed parities for every preset so the corpus exercises
+	// the collected-profile and static-estimate sources from the start.
 	for seed := int64(0); seed < 12; seed++ {
 		f.Add(seed, seed*3+1)
+		f.Add(seed, seed*3+2)
 	}
 	f.Fuzz(func(t *testing.T, seed, tapeSeed int64) {
 		src := fuzzSource(seed)
@@ -47,16 +54,29 @@ func FuzzCompileVerify(f *testing.F) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 
-		rng := rand.New(rand.NewPCG(uint64(tapeSeed), 0))
-		tape := make([]int64, 48)
-		for i := range tape {
-			tape[i] = rng.Int64N(1 << 16)
-		}
-		// Generated programs terminate by construction; the bound is a
-		// backstop against pathological seeds, not an expected exit.
-		prof, err := profile.Collect(prog, tape, profile.Options{MaxInsts: 200_000_000})
-		if err != nil {
-			t.Fatalf("seed %d: profile: %v", seed, err)
+		// The tape seed's parity picks the profile source: odd seeds collect
+		// a real profile on a random tape, even seeds synthesize a static
+		// estimate (no tape at all).
+		var prof *profile.Profile
+		if tapeSeed%2 == 0 {
+			est, err := static.Analyze(prog, static.Options{Program: "static"})
+			if err != nil {
+				t.Fatalf("seed %d: static estimate: %v", seed, err)
+			}
+			prof = est.Prof
+		} else {
+			rng := rand.New(rand.NewPCG(uint64(tapeSeed), 0))
+			tape := make([]int64, 48)
+			for i := range tape {
+				tape[i] = rng.Int64N(1 << 16)
+			}
+			// Generated programs terminate by construction; the bound is a
+			// backstop against pathological seeds, not an expected exit.
+			var err error
+			prof, err = profile.Collect(prog, tape, profile.Options{MaxInsts: 200_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: profile: %v", seed, err)
+			}
 		}
 
 		check := func(name string, annots map[int]*isa.DivergeInfo, err error) {

@@ -1,0 +1,216 @@
+package verify_test
+
+// Mutation tests for the profile pass: a measured profile must check clean,
+// and each class of corruption — wrong counter shapes, branch counters on
+// non-branches, outcome sums that disagree with execution counts, mass on
+// unreachable blocks, flow that cannot have travelled the CFG's edges — must
+// be flagged with a PassProfile diagnostic.
+
+import (
+	"strings"
+	"testing"
+
+	"dmp/internal/codegen"
+	"dmp/internal/gen"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+	"dmp/internal/verify"
+)
+
+// collectFixture compiles a generated program and profiles it on its run
+// tape.
+func collectFixture(t *testing.T, seed uint64) (*isa.Program, *profile.Profile) {
+	t.Helper()
+	conf, ok := gen.Preset("mixed")
+	if !ok {
+		t.Fatal("mixed preset missing")
+	}
+	p := gen.Build(conf, seed)
+	prog, err := codegen.CompileSource(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Collect(prog, p.RunInput, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prof
+}
+
+func cloneProfile(p *profile.Profile) *profile.Profile {
+	return &profile.Profile{
+		ExecCount:    append([]uint64(nil), p.ExecCount...),
+		Taken:        append([]uint64(nil), p.Taken...),
+		NotTaken:     append([]uint64(nil), p.NotTaken...),
+		Mispred:      append([]uint64(nil), p.Mispred...),
+		TotalRetired: p.TotalRetired,
+	}
+}
+
+func TestCheckProfileCleanOnCollected(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		prog, prof := collectFixture(t, seed)
+		if diags := verify.ProfileDiagnostics(prog, prof, "collected"); len(diags) > 0 {
+			for _, d := range diags {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+	}
+}
+
+// firstHotBranch returns a conditional-branch PC with a decisive execution
+// count, for mutations that need room to corrupt.
+func firstHotBranch(prog *isa.Program, prof *profile.Profile) int {
+	best, bestN := -1, uint64(0)
+	for pc, in := range prog.Code {
+		if in.IsCondBranch() {
+			if n := prof.BranchExec(pc); n > bestN {
+				best, bestN = pc, n
+			}
+		}
+	}
+	return best
+}
+
+func TestCheckProfileMutations(t *testing.T) {
+	prog, clean := collectFixture(t, 3)
+	br := firstHotBranch(prog, clean)
+	if br < 0 {
+		t.Fatal("fixture has no executed branch")
+	}
+	nonBranch := -1
+	for pc, in := range prog.Code {
+		if !in.IsCondBranch() {
+			nonBranch = pc
+			break
+		}
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(p *profile.Profile)
+		want   string
+	}{
+		{
+			name:   "truncated counter slice",
+			mutate: func(p *profile.Profile) { p.ExecCount = p.ExecCount[:len(p.ExecCount)-1] },
+			want:   "entries",
+		},
+		{
+			name:   "branch counter on non-branch",
+			mutate: func(p *profile.Profile) { p.Taken[nonBranch] = 5 },
+			want:   "non-branch",
+		},
+		{
+			name:   "mispredictions exceed outcomes",
+			mutate: func(p *profile.Profile) { p.Mispred[br] = p.Taken[br] + p.NotTaken[br] + 1 },
+			want:   "mispredictions",
+		},
+		{
+			name:   "total retired mismatch",
+			mutate: func(p *profile.Profile) { p.TotalRetired += 1000 },
+			want:   "TotalRetired",
+		},
+		{
+			name: "branch outcomes disagree with executions",
+			mutate: func(p *profile.Profile) {
+				p.Taken[br] += p.ExecCount[br] + 64
+			},
+			want: "outcomes",
+		},
+		{
+			name: "non-uniform straight-line counts",
+			mutate: func(p *profile.Profile) {
+				// A branch never starts a multi-instruction block, so its
+				// predecessor pc is in the same block.
+				p.ExecCount[br-1] = p.ExecCount[br] + 977
+			},
+			want: "straight-line",
+		},
+		{
+			name: "flow conservation violated",
+			mutate: func(p *profile.Profile) {
+				// Swap a hot branch's outcome counts: per-branch sums stay
+				// consistent, but the successor blocks' inflow no longer
+				// matches their execution counts.
+				p.Taken[br], p.NotTaken[br] = p.NotTaken[br], p.Taken[br]
+			},
+			want: "edges deliver",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := cloneProfile(clean)
+			tc.mutate(mutated)
+			diags := verify.ProfileDiagnostics(prog, mutated, "mutated")
+			if len(diags) == 0 {
+				t.Fatalf("mutation %q not detected", tc.name)
+			}
+			found := false
+			for _, d := range diags {
+				if d.Pass != verify.PassProfile {
+					t.Errorf("diagnostic from pass %q, want %q: %s", d.Pass, verify.PassProfile, d)
+				}
+				if strings.Contains(d.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic mentions %q; got %v", tc.want, diags)
+			}
+		})
+	}
+}
+
+// TestCheckProfileFlowSwapNeedsBias documents the conservation check's
+// sensitivity: swapping outcomes of a balanced branch moves little mass and
+// may legitimately stay under the slack, so the mutation test above uses the
+// hottest branch. This test asserts the clean fixture is not flagged after a
+// no-op "mutation" (clone only), guarding the clone helper itself.
+func TestCheckProfileCloneIsClean(t *testing.T) {
+	prog, clean := collectFixture(t, 3)
+	if err := verify.CheckProfile(prog, cloneProfile(clean), "clone"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckProfileUnreachableBlock hand-builds a program with a block no CFG
+// edge reaches and plants execution mass on it.
+func TestCheckProfileUnreachableBlock(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("main")
+	b.MovI(1, 1)
+	b.Jmp("end")
+	dead := b.MovI(2, 2) // unreachable: jumped over, no branch targets it
+	b.Label("end")
+	b.Halt()
+	prog, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(prog.Code)
+	prof := &profile.Profile{
+		ExecCount: make([]uint64, n),
+		Taken:     make([]uint64, n),
+		NotTaken:  make([]uint64, n),
+		Mispred:   make([]uint64, n),
+	}
+	for pc := 0; pc < n; pc++ {
+		prof.ExecCount[pc] = 1
+	}
+	prof.ExecCount[dead] = 0
+	var total uint64
+	for _, c := range prof.ExecCount {
+		total += c
+	}
+	prof.TotalRetired = total
+	if err := verify.CheckProfile(prog, prof, "reachable-only"); err != nil {
+		t.Fatalf("clean profile rejected: %v", err)
+	}
+	prof.ExecCount[dead] = 3
+	prof.TotalRetired += 3
+	err = verify.CheckProfile(prog, prof, "unreachable-mass")
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable-block mass not flagged: %v", err)
+	}
+}

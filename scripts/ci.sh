@@ -1,21 +1,17 @@
 #!/bin/sh
 # Tier-1 CI gate. Mirrors `make ci` for environments without make:
-# vet, optional staticcheck, build, the full test suite under the race
-# detector, the allocation guards, the emulator fast-path differential
-# suite, the dmplint corpus sweep, the benchmark-regression gate (skippable
-# with SKIP_BENCH_COMPARE=1), the generated-corpus smoke (dmpgen -check
-# over 50 programs spanning every preset), and short deterministic fuzz
-# smokes over the DML parser and the emulator differential harness.
+# vet, the required pinned-version lint gate (scripts/lint.sh), build, the
+# full test suite under the race detector, the allocation guards, the
+# emulator fast-path differential suite, the dmplint corpus sweep, the
+# benchmark-regression gate (skippable with SKIP_BENCH_COMPARE=1), the
+# generated-corpus smoke (dmpgen -check over 50 programs spanning every
+# preset), the profile-free static-estimate smoke (the same corpus with
+# -check -static), and short deterministic fuzz smokes over the DML parser
+# and the emulator differential harness.
 set -eux
 
 go vet ./...
-if command -v staticcheck >/dev/null 2>&1; then
-	staticcheck ./...
-elif command -v golangci-lint >/dev/null 2>&1; then
-	golangci-lint run ./...
-else
-	echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still ran)"
-fi
+sh scripts/lint.sh
 go build ./...
 go test -race ./...
 go test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
@@ -23,6 +19,7 @@ go test -run 'TestFastMatchesReference|TestRunMatchesReference|TestRunBlockMatch
 sh scripts/bench_compare.sh
 go run ./cmd/dmplint -corpus
 go run ./cmd/dmpgen -preset all -n 50 -seed 1 -check
+go run ./cmd/dmpgen -preset all -n 50 -seed 1 -check -static
 go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 rm -f .trace-smoke.jsonl
