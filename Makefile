@@ -6,8 +6,9 @@
 #               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
 #               + the emulator fast-path differential suite + the
 #               benchmark-regression gate + a generated-corpus smoke
-#               (dmpgen -check over 50 programs) + 30s parser and
-#               emulator differential fuzz smokes
+#               (dmpgen -check over 50 programs) + the dmpserve daemon
+#               smoke (HTTP jobs, cache-hit probe, SIGTERM drain) + 30s
+#               parser and emulator differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   pinned staticcheck + golangci-lint via scripts/lint.sh
 #   make fuzz   longer local fuzzing session for the front-end and
@@ -20,9 +21,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke serve-smoke serve-load
 
-ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke serve-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +85,18 @@ gen-smoke:
 # instead of the train tape — zero diagnostics required end to end.
 static-smoke:
 	$(GO) run ./cmd/dmpgen -preset all -n 50 -seed 1 -check -static
+
+# Daemon smoke: boot dmpserve on a random loopback port, drive HTTP jobs
+# (including a duplicate spec that must be served from the shared simulation
+# cache), scrape /metrics, and verify the SIGTERM graceful drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Daemon load test: 200 concurrent jobs over real HTTP against an in-process
+# daemon; prints the JSON load report (throughput, latency percentiles,
+# cache hit rate).
+serve-load:
+	sh scripts/serve_load.sh
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

@@ -5,7 +5,7 @@
 package harness
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,6 +39,11 @@ type Options struct {
 	// memoization for the session's runs (see simcache.Cache.Run), so it
 	// is meant for debugging sweeps, not full evaluations.
 	Tracer trace.Tracer
+	// Ctx, when non-nil, cancels the session's pooled runs: workers stop at
+	// the next task boundary and in-flight simulations abort at block-batch
+	// granularity (see pipeline.RunCtx). Per-call contexts on BaselineCtx /
+	// RunDMPCtx compose with it through the simulation cache.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -64,9 +69,13 @@ type Workload struct {
 	ProfRun   *profile.Profile
 	ProfTrain *profile.Profile
 
-	opts     Options
-	sess     *Session
-	baseOnce sync.Once
+	opts Options
+	sess *Session
+	// baseMu pins the baseline result once computed. A plain mutex instead
+	// of sync.Once: a run aborted by context cancellation must not be
+	// pinned, or the workload would stay poisoned for every later caller.
+	baseMu   sync.Mutex
+	baseDone bool
 	base     pipeline.Stats
 	baseErr  error
 }
@@ -171,28 +180,23 @@ func (s *Session) Names() []string {
 	return out
 }
 
-// forEachIdx runs fn(0..n-1) with bounded parallelism. All worker errors are
-// aggregated (errors.Join) in index order, not just the first to arrive, so
-// a multi-benchmark failure reports every broken workload deterministically.
+// forEachIdx runs fn(0..n-1) on the shared worker pool (workpool.go) with
+// the session's parallelism bound and context. All worker errors — including
+// panics recovered into *PanicError — are aggregated (errors.Join) in index
+// order, not just the first to arrive, so a multi-benchmark failure reports
+// every broken workload deterministically.
 func (s *Session) forEachIdx(n int, fn func(int) error) error {
-	sem := make(chan struct{}, s.Opts.Parallelism)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
 	wallDone := s.pool.enter()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			done := s.pool.busy()
-			errs[i] = fn(i)
-			done()
-		}(i)
+	defer wallDone()
+	name := func(i int) string {
+		if i < len(s.Workloads) {
+			if w := s.Workloads[i]; w != nil {
+				return w.Bench.Name
+			}
+		}
+		return ""
 	}
-	wg.Wait()
-	wallDone()
-	return errors.Join(errs...)
+	return runIndexed(s.Opts.Ctx, n, s.Opts.Parallelism, name, s.pool.busy, fn)
 }
 
 // simConfig returns the Table 1 machine for this session.
@@ -205,18 +209,40 @@ func (w *Workload) simConfig(dmp bool) pipeline.Config {
 }
 
 // Baseline simulates the un-annotated binary on the run input. The result is
-// pinned per-workload (sync.Once) and additionally memoized by the session's
+// pinned per-workload and additionally memoized by the session's
 // content-addressed simulation cache, so cross-experiment and cross-process
 // reuse both apply.
 func (w *Workload) Baseline() (pipeline.Stats, error) {
-	w.baseOnce.Do(func() {
-		w.base, w.baseErr = w.opts.Cache.Run(w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
-		if w.baseErr != nil {
-			w.baseErr = fmt.Errorf("%s: baseline: %w", w.Bench.Name, w.baseErr)
-		} else if w.sess != nil {
-			w.sess.noteRun(w.Bench.Name, w.base, false)
+	return w.BaselineCtx(w.ctx())
+}
+
+// ctx returns the workload's ambient context (the session's, or Background).
+func (w *Workload) ctx() context.Context {
+	if w.opts.Ctx != nil {
+		return w.opts.Ctx
+	}
+	return context.Background()
+}
+
+// BaselineCtx is Baseline under a cancellation context. A cancelled run is
+// returned but not pinned, so a later caller with a live context computes
+// the baseline normally.
+func (w *Workload) BaselineCtx(ctx context.Context) (pipeline.Stats, error) {
+	w.baseMu.Lock()
+	defer w.baseMu.Unlock()
+	if w.baseDone {
+		return w.base, w.baseErr
+	}
+	st, err := w.opts.Cache.RunCtx(ctx, w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
+	if err != nil {
+		err = fmt.Errorf("%s: baseline: %w", w.Bench.Name, err)
+		if isCtxErr(err) {
+			return st, err
 		}
-	})
+	} else if w.sess != nil {
+		w.sess.noteRun(w.Bench.Name, st, false)
+	}
+	w.base, w.baseErr, w.baseDone = st, err, true
 	return w.base, w.baseErr
 }
 
@@ -225,6 +251,13 @@ func (w *Workload) Baseline() (pipeline.Stats, error) {
 // identical annotation sidecars (as many of the Figure 5-9 sweeps do) hit
 // the cache instead of re-simulating.
 func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, error) {
+	return w.RunDMPCtx(w.ctx(), annots)
+}
+
+// RunDMPCtx is RunDMP under a cancellation context: the simulation aborts at
+// block-batch granularity when ctx ends, and the aborted run is never
+// memoized.
+func (w *Workload) RunDMPCtx(ctx context.Context, annots map[int]*isa.DivergeInfo) (pipeline.Stats, error) {
 	annotated := w.Prog.WithAnnots(annots)
 	// Fail fast on an illegal annotation set before burning simulator (or
 	// cache) time on it: a diagnostic here means a selection or experiment
@@ -232,7 +265,7 @@ func (w *Workload) RunDMP(annots map[int]*isa.DivergeInfo) (pipeline.Stats, erro
 	if err := verify.CheckAnnots(annotated, w.Bench.Name); err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}
-	st, err := w.opts.Cache.Run(annotated, w.RunInput, w.simConfig(true))
+	st, err := w.opts.Cache.RunCtx(ctx, annotated, w.RunInput, w.simConfig(true))
 	if err != nil {
 		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}

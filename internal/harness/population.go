@@ -9,12 +9,12 @@ package harness
 // instead of the 17 hand-written samples.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"dmp/internal/codegen"
 	"dmp/internal/core"
@@ -111,11 +111,20 @@ func popConfig(dmp bool, maxInsts uint64) pipeline.Config {
 // the train-tape profile, baseline and DMP simulation on the run tape, one
 // ProgramResult per program and one IdiomGroup per dominant idiom.
 func RunPopulation(progs []*gen.Program, opts PopulationOptions) (*PopulationReport, error) {
+	return RunPopulationCtx(context.Background(), progs, opts)
+}
+
+// RunPopulationCtx is RunPopulation under a cancellation context: workers
+// stop at the next program boundary and in-flight simulations abort at
+// block-batch granularity, so a cancelled population run returns promptly
+// without leaking goroutines or memoizing partial results.
+func RunPopulationCtx(ctx context.Context, progs []*gen.Program, opts PopulationOptions) (*PopulationReport, error) {
 	opts = opts.withDefaults()
 	rep := &PopulationReport{Count: len(progs), Algo: "All-best-heur"}
 	rep.Results = make([]ProgramResult, len(progs))
-	err := forEachBounded(len(progs), opts.Parallelism, func(i int) error {
-		r, err := runOne(progs[i], opts)
+	name := func(i int) string { return progs[i].Name }
+	err := forEachBounded(ctx, len(progs), opts.Parallelism, name, func(i int) error {
+		r, err := EvalGenerated(ctx, progs[i], "heur", EvalOptions{Cache: opts.Cache, MaxInsts: opts.MaxInsts})
 		if err != nil {
 			return fmt.Errorf("%s: %w", progs[i].Name, err)
 		}
@@ -129,37 +138,90 @@ func RunPopulation(progs []*gen.Program, opts PopulationOptions) (*PopulationRep
 	return rep, nil
 }
 
-func runOne(p *gen.Program, opts PopulationOptions) (ProgramResult, error) {
+// EvalOptions configures one single-program evaluation (EvalSource /
+// EvalGenerated) — the unit of work a serve daemon job executes.
+type EvalOptions struct {
+	// Cache memoizes the two simulations (nil = run uncached).
+	Cache *simcache.Cache
+	// MaxInsts caps simulated instructions per run (0 = to completion).
+	MaxInsts uint64
+	// Tracer, when non-nil, receives the DMP and baseline runs' pipeline
+	// events; traced runs bypass memoization (see simcache.Cache.RunCtx).
+	Tracer trace.Tracer
+	// Progress, when non-nil, is called at each phase transition with one
+	// of "compile", "profile", "select", "baseline", "dmp".
+	Progress func(phase string)
+}
+
+func (o EvalOptions) note(phase string) {
+	if o.Progress != nil {
+		o.Progress(phase)
+	}
+}
+
+// EvalGenerated evaluates one generated program end-to-end with the given
+// selection algorithm (see popAlgoNames): compile, profile on the train
+// tape, select, verify, simulate baseline and DMP on the run tape.
+func EvalGenerated(ctx context.Context, p *gen.Program, algo string, opts EvalOptions) (ProgramResult, error) {
+	r, err := EvalSource(ctx, p.Name, p.Source, p.RunInput, p.TrainInput, algo, opts)
+	r.Preset, r.Idiom = p.Preset, p.Idiom
+	return r, err
+}
+
+// EvalSource evaluates one DML source end-to-end: compile, profile on the
+// train tape, select with the named algorithm, verify the annotations, and
+// simulate baseline and DMP on the run tape (memoized when opts.Cache is
+// set). Cancelling ctx aborts between phases and mid-simulation.
+func EvalSource(ctx context.Context, name, source string, runInput, trainInput []int64, algo string, opts EvalOptions) (ProgramResult, error) {
 	var r ProgramResult
-	prog, err := codegen.CompileSource(p.Source)
+	if algo == "" {
+		algo = "heur"
+	}
+	if trainInput == nil {
+		trainInput = runInput
+	}
+	opts.note("compile")
+	prog, err := codegen.CompileSource(source)
 	if err != nil {
 		return r, fmt.Errorf("compile: %w", err)
 	}
-	prof, err := profile.Collect(prog, p.TrainInput, profile.Options{})
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+	opts.note("profile")
+	prof, err := profile.Collect(prog, trainInput, profile.Options{})
 	if err != nil {
 		return r, fmt.Errorf("profile: %w", err)
 	}
-	res, err := core.Select(prog, prof, core.HeuristicParams())
-	if err != nil {
-		return r, fmt.Errorf("select: %w", err)
-	}
-	annotated := prog.WithAnnots(res.Annots)
-	if err := verify.CheckAnnots(annotated, p.Name); err != nil {
+	if err := ctx.Err(); err != nil {
 		return r, err
 	}
-	base, err := opts.Cache.Run(prog.WithAnnots(nil), p.RunInput, popConfig(false, opts.MaxInsts))
+	opts.note("select")
+	annots, err := popSelect(prog, prof, algo)
+	if err != nil {
+		return r, fmt.Errorf("select %s: %w", algo, err)
+	}
+	annotated := prog.WithAnnots(annots)
+	if err := verify.CheckAnnots(annotated, name); err != nil {
+		return r, err
+	}
+	baseCfg := popConfig(false, opts.MaxInsts)
+	dmpCfg := popConfig(true, opts.MaxInsts)
+	baseCfg.Tracer = opts.Tracer
+	dmpCfg.Tracer = opts.Tracer
+	opts.note("baseline")
+	base, err := opts.Cache.RunCtx(ctx, prog.WithAnnots(nil), runInput, baseCfg)
 	if err != nil {
 		return r, fmt.Errorf("baseline: %w", err)
 	}
-	dmp, err := opts.Cache.Run(annotated, p.RunInput, popConfig(true, opts.MaxInsts))
+	opts.note("dmp")
+	dmp, err := opts.Cache.RunCtx(ctx, annotated, runInput, dmpCfg)
 	if err != nil {
 		return r, fmt.Errorf("dmp: %w", err)
 	}
 	return ProgramResult{
-		Name:     p.Name,
-		Preset:   p.Preset,
-		Idiom:    p.Idiom,
-		Annots:   len(res.Annots),
+		Name:     name,
+		Annots:   len(annots),
 		BaseIPC:  base.IPC(),
 		DMPIPC:   dmp.IPC(),
 		DeltaPct: Improvement(base, dmp),
@@ -264,32 +326,13 @@ func (rep *PopulationReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-16s%6d%6d%6d%6d%+9.2f\n", "total", rep.Count, wins, losses, flat, mean)
 }
 
-// forEachBounded runs fn(0..n-1) across at most par workers (0 =
-// GOMAXPROCS), returning the first error in index order (same contract as
-// the session's forEachIdx, without needing a Session).
-func forEachBounded(n, par int, fn func(int) error) error {
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, par)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// forEachBounded runs fn(0..n-1) across at most par workers (0 = GOMAXPROCS)
+// on the shared pool, aggregating every worker error — including recovered
+// panics — with errors.Join in index order: the same contract as the
+// session's forEachIdx, without needing a Session. name, when non-nil,
+// labels panic errors with the program at that index.
+func forEachBounded(ctx context.Context, n, par int, name func(int) string, fn func(int) error) error {
+	return runIndexed(ctx, n, par, name, nil, fn)
 }
 
 // popEmuBudget backstops the reference interpreter on generated programs
@@ -300,6 +343,20 @@ const popEmuBudget = 200_000_000
 var popAlgoNames = []string{
 	"heur", "cost-long", "cost-edge",
 	"every", "random50", "highbp", "immediate", "ifelse",
+}
+
+// Algos returns the selection-algorithm names accepted by EvalSource,
+// EvalGenerated and popSelect.
+func Algos() []string { return append([]string(nil), popAlgoNames...) }
+
+// KnownAlgo reports whether name is a valid selection-algorithm name.
+func KnownAlgo(name string) bool {
+	for _, a := range popAlgoNames {
+		if a == name {
+			return true
+		}
+	}
+	return false
 }
 
 func popSelect(prog *isa.Program, prof *profile.Profile, algo string) (map[int]*isa.DivergeInfo, error) {

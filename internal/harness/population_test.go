@@ -9,6 +9,7 @@ package harness
 // plain `go test` run inside `make ci` uses the full one.
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -36,7 +37,7 @@ func TestGeneratedPopulationDifferential(t *testing.T) {
 	progs := gen.BuildCorpus(presets, populationCorpusSize(), 1)
 	var mu sync.Mutex
 	failures := 0
-	err := forEachBounded(len(progs), 0, func(i int) error {
+	err := forEachBounded(context.Background(), len(progs), 0, func(i int) string { return progs[i].Name }, func(i int) error {
 		if issues := CheckGenerated(progs[i]); len(issues) > 0 {
 			mu.Lock()
 			failures++

@@ -11,6 +11,7 @@ package harness
 // block-frequency rank correlation vs the oracle profile).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -91,10 +92,17 @@ type CompareReport struct {
 // simulation is shared; the three DMP simulations are deduplicated by the
 // simulation cache whenever two sources select identical annotations.
 func RunPopulationCompare(progs []*gen.Program, opts PopulationOptions) (*CompareReport, error) {
+	return RunPopulationCompareCtx(context.Background(), progs, opts)
+}
+
+// RunPopulationCompareCtx is RunPopulationCompare under a cancellation
+// context (same semantics as RunPopulationCtx).
+func RunPopulationCompareCtx(ctx context.Context, progs []*gen.Program, opts PopulationOptions) (*CompareReport, error) {
 	opts = opts.withDefaults()
 	rep := &CompareReport{Count: len(progs), Algo: "All-best-heur"}
 	rep.Results = make([]CompareResult, len(progs))
-	err := forEachBounded(len(progs), opts.Parallelism, func(i int) error {
+	name := func(i int) string { return progs[i].Name }
+	err := forEachBounded(ctx, len(progs), opts.Parallelism, name, func(i int) error {
 		r, err := runOneCompare(progs[i], opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", progs[i].Name, err)

@@ -8,6 +8,7 @@ package harness
 // consistency test of the three-way comparison report.
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -22,7 +23,7 @@ func TestStaticGeneratedPopulationDifferential(t *testing.T) {
 	progs := gen.BuildCorpus(presets, populationCorpusSize(), 11)
 	var mu sync.Mutex
 	failures := 0
-	err := forEachBounded(len(progs), 0, func(i int) error {
+	err := forEachBounded(context.Background(), len(progs), 0, func(i int) string { return progs[i].Name }, func(i int) error {
 		if issues := CheckGeneratedStatic(progs[i]); len(issues) > 0 {
 			mu.Lock()
 			failures++

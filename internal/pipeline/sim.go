@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"dmp/internal/bpred"
@@ -13,7 +14,12 @@ import (
 
 // Sim is one simulation instance. Create with New, run with Run.
 type Sim struct {
-	cfg  Config
+	cfg Config
+	// ctx, when non-nil, cancels the simulation: the run loop polls it at
+	// block-batch boundaries (the trace reader refilling its 256-entry
+	// batch) and every cancelCheckMask+1 cycles during drain phases, so a
+	// cancelled run returns within a bounded amount of simulated work.
+	ctx  context.Context
 	prog *isa.Program
 	code []isa.Inst
 	// recs is the predecoded view of code (shared with the emulator):
@@ -113,12 +119,37 @@ func Run(prog *isa.Program, input []int64, cfg Config) (Stats, error) {
 	return New(prog, input, cfg).Run()
 }
 
+// RunCtx is Run with cancellation: the simulation polls ctx at block-batch
+// boundaries and returns an error wrapping ctx.Err() (so errors.Is matches
+// context.Canceled / context.DeadlineExceeded) as soon as the context ends.
+// A cancelled run's statistics are partial and must not be memoized.
+func RunCtx(ctx context.Context, prog *isa.Program, input []int64, cfg Config) (Stats, error) {
+	return New(prog, input, cfg).RunCtx(ctx)
+}
+
+// cancelCheckMask throttles context polling during drain phases (no trace
+// refills): one Err() call every 4096 cycles is invisible next to the work
+// those cycles represent, yet bounds cancellation latency to microseconds.
+const cancelCheckMask = 1<<12 - 1
+
+// RunCtx executes the simulation loop under a cancellation context.
+func (s *Sim) RunCtx(ctx context.Context) (Stats, error) {
+	s.ctx = ctx
+	s.tr.ctx = ctx
+	return s.Run()
+}
+
 // Run executes the simulation loop.
 func (s *Sim) Run() (Stats, error) {
 	s.lastRetireCycle = 0
 	for {
 		if err := s.tr.Err(); err != nil {
 			return s.stats, fmt.Errorf("pipeline: functional execution: %w", err)
+		}
+		if s.ctx != nil && s.cycle&cancelCheckMask == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return s.stats, fmt.Errorf("pipeline: cancelled at cycle %d: %w", s.cycle, err)
+			}
 		}
 		if s.tr.Done() && s.fqLen() == 0 && s.robLen() == 0 {
 			break

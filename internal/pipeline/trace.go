@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 
 	"dmp/internal/emu"
@@ -33,6 +34,9 @@ type traceReader struct {
 	count    uint64
 	fetched  uint64
 	maxInsts uint64
+	// ctx, when non-nil, cancels the run at batch-refill boundaries; the
+	// resulting err wraps the context error (set via Sim.RunCtx).
+	ctx context.Context
 }
 
 func newTraceReader(m *emu.Machine, maxInsts uint64) *traceReader {
@@ -46,6 +50,14 @@ func (t *traceReader) fill() {
 	if t.pending != nil {
 		t.err = t.pending
 		return
+	}
+	// Block-batch boundary: the natural cancellation point — each refill
+	// represents up to traceBatchSize instructions of functional execution.
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+			return
+		}
 	}
 	lim := uint64(len(t.buf))
 	if t.maxInsts > 0 {

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"dmp/internal/trace"
+)
+
+// eventBuffer accumulates a job's pipeline events as JSON lines (the
+// internal/trace wire format) and lets any number of HTTP followers stream
+// them concurrently with the simulation. It implements trace.Tracer; the
+// pipeline calls Event from the job's worker goroutine.
+type eventBuffer struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	// wake is closed and replaced whenever buf grows or the stream closes,
+	// so followers can select on it against their request context.
+	wake chan struct{}
+}
+
+func newEventBuffer() *eventBuffer {
+	return &eventBuffer{wake: make(chan struct{})}
+}
+
+// Event implements trace.Tracer.
+func (b *eventBuffer) Event(e trace.Event) {
+	line, err := e.MarshalJSON()
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	if !b.closed {
+		b.buf = append(b.buf, line...)
+		b.buf = append(b.buf, '\n')
+		close(b.wake)
+		b.wake = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// CloseBuffer ends the stream; followers drain the remaining bytes and stop.
+func (b *eventBuffer) CloseBuffer() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.wake)
+		b.wake = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// next returns the bytes past off, blocking until more arrive, the stream
+// closes (done=true once the follower has consumed everything), or ctx ends.
+func (b *eventBuffer) next(ctx context.Context, off int) (chunk []byte, done bool) {
+	for {
+		b.mu.Lock()
+		if off < len(b.buf) {
+			chunk = append([]byte(nil), b.buf[off:]...)
+			b.mu.Unlock()
+			return chunk, false
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return nil, true
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, true
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmp/internal/gen"
+)
+
+// LoadOptions configures a LoadTest run against a live daemon.
+type LoadOptions struct {
+	// Jobs is the total number of jobs to drive (default 200).
+	Jobs int
+	// Concurrency is the number of client goroutines submitting and polling
+	// concurrently (default 32).
+	Concurrency int
+	// UniqueSeeds bounds the distinct (preset, seed) specs; with fewer
+	// unique specs than jobs, the surplus are exact duplicates and must hit
+	// the daemon's shared simcache (default Jobs/2).
+	UniqueSeeds int
+	// Presets cycles the generator presets used (default gen.PresetNames).
+	Presets []string
+	// PollInterval is the status-poll period (default 20ms).
+	PollInterval time.Duration
+}
+
+// LoadReport summarises a LoadTest: client-side counts plus the daemon's
+// own /metrics snapshot scraped after the last job finished.
+type LoadReport struct {
+	Jobs        int     `json:"jobs"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	Canceled    int     `json:"canceled"`
+	Retries429  int     `json:"retries_429"`
+	WallSec     float64 `json:"wall_sec"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Server      Metrics `json:"server"`
+	FirstError  string  `json:"first_error,omitempty"`
+	UniqueSpecs int     `json:"unique_specs"`
+}
+
+// OK reports whether the run met the service bar: every job completed and
+// the duplicate specs produced real cache hits.
+func (r LoadReport) OK() bool {
+	return r.Done == r.Jobs && r.Failed == 0 && r.Canceled == 0 &&
+		r.Server.PanicsRecovered == 0 && r.Server.CacheHitRate > 0
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 200
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 32
+	}
+	if o.UniqueSeeds <= 0 {
+		o.UniqueSeeds = o.Jobs / 2
+		if o.UniqueSeeds == 0 {
+			o.UniqueSeeds = 1
+		}
+	}
+	if len(o.Presets) == 0 {
+		o.Presets = gen.PresetNames()
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 20 * time.Millisecond
+	}
+	return o
+}
+
+// LoadTest drives a live daemon at baseURL with opts.Jobs preset jobs over
+// real HTTP: submissions retry on 429 backpressure, every job is polled to a
+// terminal state, and the daemon's /metrics is scraped at the end. Duplicate
+// (preset, seed) specs are submitted on purpose so a healthy run reports a
+// non-zero cache hit rate.
+func LoadTest(ctx context.Context, baseURL string, opts LoadOptions) (LoadReport, error) {
+	opts = opts.withDefaults()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		done, failed, canceled, retries atomic.Int64
+		firstErr                        atomic.Value
+	)
+	record := func(err error) {
+		if err != nil && firstErr.Load() == nil {
+			firstErr.Store(err.Error())
+		}
+	}
+
+	start := time.Now()
+	next := make(chan int, opts.Jobs)
+	for i := 0; i < opts.Jobs; i++ {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Derive the spec from i mod UniqueSeeds so jobs past the
+				// unique count are exact duplicates of earlier ones — the
+				// cache-hit probe. Priority is not part of the cache key.
+				u := i % opts.UniqueSeeds
+				spec := JobSpec{
+					Preset:   opts.Presets[u%len(opts.Presets)],
+					Seed:     uint64(u),
+					Priority: i % 3,
+				}
+				st, nRetries, err := submitWithRetry(ctx, client, baseURL, spec)
+				retries.Add(int64(nRetries))
+				if err != nil {
+					failed.Add(1)
+					record(err)
+					continue
+				}
+				st, err = pollJob(ctx, client, baseURL, st.ID, opts.PollInterval)
+				if err != nil {
+					failed.Add(1)
+					record(err)
+					continue
+				}
+				switch st.State {
+				case StateDone:
+					done.Add(1)
+				case StateCanceled:
+					canceled.Add(1)
+				default:
+					failed.Add(1)
+					record(fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := LoadReport{
+		Jobs:        opts.Jobs,
+		Done:        int(done.Load()),
+		Failed:      int(failed.Load()),
+		Canceled:    int(canceled.Load()),
+		Retries429:  int(retries.Load()),
+		WallSec:     wall.Seconds(),
+		UniqueSpecs: opts.UniqueSeeds,
+	}
+	if rep.WallSec > 0 {
+		rep.JobsPerSec = float64(rep.Done) / rep.WallSec
+	}
+	if s, ok := firstErr.Load().(string); ok {
+		rep.FirstError = s
+	}
+	if err := getJSON(ctx, client, baseURL+"/metrics", &rep.Server); err != nil {
+		return rep, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	return rep, nil
+}
+
+// submitWithRetry POSTs the spec, backing off and retrying while the daemon
+// answers 429 (queue full).
+func submitWithRetry(ctx context.Context, client *http.Client, baseURL string, spec JobSpec) (JobStatus, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	backoff := 10 * time.Millisecond
+	for retriesDone := 0; ; retriesDone++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return JobStatus{}, retriesDone, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return JobStatus{}, retriesDone, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return JobStatus{}, retriesDone, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return JobStatus{}, retriesDone, err
+			}
+			return st, retriesDone, nil
+		case http.StatusTooManyRequests:
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return JobStatus{}, retriesDone, ctx.Err()
+			}
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return JobStatus{}, retriesDone, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+	}
+}
+
+// pollJob polls a job's status until it reaches a terminal state.
+func pollJob(ctx context.Context, client *http.Client, baseURL, id string, every time.Duration) (JobStatus, error) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		var st JobStatus
+		if err := getJSON(ctx, client, baseURL+"/jobs/"+id, &st); err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dmp/internal/simcache"
+)
+
+// latWindow bounds the latency sample memory: percentiles are computed over
+// the most recent latWindow completed jobs.
+const latWindow = 8192
+
+// latencyRecorder keeps a sliding window of job latencies for percentile
+// reporting.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples [latWindow]float64 // milliseconds
+	n       int                // total recorded (ring position = n % latWindow)
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	l.samples[l.n%latWindow] = ms
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentiles returns the p50/p90/p99 of the current window (zeros when no
+// sample has been recorded yet).
+func (l *latencyRecorder) percentiles() (p50, p90, p99 float64) {
+	l.mu.Lock()
+	n := l.n
+	if n > latWindow {
+		n = latWindow
+	}
+	window := append([]float64(nil), l.samples[:n]...)
+	l.mu.Unlock()
+	if len(window) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(window)-1))
+		return window[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// Metrics is the /metrics snapshot: service-level indicators for the job
+// daemon plus the process-wide simulation-cache counters.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Workers   int     `json:"workers"`
+	QueueCap  int     `json:"queue_cap"`
+	Draining  bool    `json:"draining"`
+
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	// PanicsRecovered counts worker panics converted into single-job
+	// failures; the process survives every one of them.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+
+	// JobsPerSec is completed jobs over uptime.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Latency percentiles (submit -> finish) over the recent window.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	// Cache is the process-wide simulation cache snapshot; CacheHitRate
+	// repeats its hit rate for scrapers.
+	Cache        simcache.Snapshot `json:"cache"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+}

@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dmp/internal/harness"
+	"dmp/internal/simcache"
+)
+
+// newTestServer boots a started Server plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = simcache.New("")
+	}
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, base string, spec JobSpec) (JobStatus, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func waitJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := pollJob(ctx, http.DefaultClient, base, id, time.Millisecond)
+	if err != nil {
+		t.Fatalf("job %s never finished: %v", id, err)
+	}
+	return st
+}
+
+func scrapeMetrics(t *testing.T, base string) Metrics {
+	t.Helper()
+	var m Metrics
+	if err := getJSON(context.Background(), http.DefaultClient, base+"/metrics", &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSubmitAndComplete: a preset job round-trips to done with a result.
+func TestSubmitAndComplete(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	st, resp := postJob(t, ts.URL, JobSpec{Preset: "deep-hammock", Seed: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("fresh job state = %q, want queued", st.State)
+	}
+	final := waitJob(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %q (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.BaseIPC <= 0 || final.Result.DMPIPC <= 0 {
+		t.Fatalf("done job has no usable result: %+v", final.Result)
+	}
+	if final.LatencyMS <= 0 {
+		t.Error("done job reports zero latency")
+	}
+}
+
+// TestDuplicateSpecHitsCache: an identical spec re-submitted must be served
+// from the shared simcache.
+func TestDuplicateSpecHitsCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := JobSpec{Preset: "deep-hammock", Seed: 7}
+	first, _ := postJob(t, ts.URL, spec)
+	if st := waitJob(t, ts.URL, first.ID); st.State != StateDone {
+		t.Fatalf("first job: %s (%s)", st.State, st.Error)
+	}
+	base := scrapeMetrics(t, ts.URL).Cache
+	second, _ := postJob(t, ts.URL, spec)
+	if st := waitJob(t, ts.URL, second.ID); st.State != StateDone {
+		t.Fatalf("second job: %s (%s)", st.State, st.Error)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if gained := m.Cache.Hits - base.Hits; gained == 0 {
+		t.Errorf("duplicate spec produced no cache hits (before %d, after %d)", base.Hits, m.Cache.Hits)
+	}
+	if m.CacheHitRate <= 0 {
+		t.Errorf("CacheHitRate = %v, want > 0", m.CacheHitRate)
+	}
+}
+
+// blockingExec returns an exec hook whose jobs block until release is
+// closed (or their context ends).
+func blockingExec(started chan<- string) (exec func(context.Context, JobSpec, harness.EvalOptions) (harness.ProgramResult, error), release func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	return func(ctx context.Context, spec JobSpec, _ harness.EvalOptions) (harness.ProgramResult, error) {
+			if started != nil {
+				started <- spec.Name
+			}
+			select {
+			case <-ch:
+				return harness.ProgramResult{Name: spec.Name, BaseIPC: 1, DMPIPC: 1}, nil
+			case <-ctx.Done():
+				return harness.ProgramResult{}, ctx.Err()
+			}
+		}, func() {
+			once.Do(func() { close(ch) })
+		}
+}
+
+// TestQueueFullBackpressure: with one worker and a one-slot queue, the third
+// concurrent submission is rejected with 429 and counted.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan string, 8)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	exec, release := blockingExec(started)
+	defer release()
+	s.exec = exec
+
+	running, _ := postJob(t, ts.URL, JobSpec{Source: "func main() {}", Name: "running"})
+	<-started // worker picked it up; queue is empty again
+	queued, _ := postJob(t, ts.URL, JobSpec{Source: "func main() {}", Name: "queued"})
+	_, resp := postJob(t, ts.URL, JobSpec{Source: "func main() {}", Name: "rejected"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Rejected != 1 || m.QueueDepth != 1 {
+		t.Errorf("metrics after backpressure: rejected=%d depth=%d, want 1/1", m.Rejected, m.QueueDepth)
+	}
+	release()
+	for _, id := range []string{running.ID, queued.ID} {
+		if st := waitJob(t, ts.URL, id); st.State != StateDone {
+			t.Errorf("job %s ended %s, want done", id, st.State)
+		}
+	}
+}
+
+// TestPriorityOrdersQueue: queued jobs run highest-priority first, FIFO
+// within a class.
+func TestPriorityOrdersQueue(t *testing.T) {
+	started := make(chan string, 8)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 16})
+	exec, release := blockingExec(started)
+	defer release()
+	s.exec = exec
+
+	postJob(t, ts.URL, JobSpec{Source: "x", Name: "gate"})
+	<-started // occupy the only worker so the rest queue up
+	postJob(t, ts.URL, JobSpec{Source: "x", Name: "low-a", Priority: 0})
+	postJob(t, ts.URL, JobSpec{Source: "x", Name: "high", Priority: 5})
+	postJob(t, ts.URL, JobSpec{Source: "x", Name: "low-b", Priority: 0})
+	release()
+	var order []string
+	for i := 0; i < 3; i++ {
+		order = append(order, <-started)
+	}
+	if want := []string{"high", "low-a", "low-b"}; !equalStrings(order, want) {
+		t.Errorf("execution order = %v, want %v", order, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPanicIsolation: a panicking job body fails exactly that job; the
+// worker survives and keeps serving, and the panic is counted.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.exec = func(ctx context.Context, spec JobSpec, opts harness.EvalOptions) (harness.ProgramResult, error) {
+		if spec.Name == "bomb" {
+			panic("deliberate workload panic")
+		}
+		return s.defaultExec(ctx, spec, opts)
+	}
+
+	bomb, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "bomb"})
+	if st := waitJob(t, ts.URL, bomb.ID); st.State != StateFailed ||
+		!strings.Contains(st.Error, "deliberate workload panic") {
+		t.Fatalf("bomb job = %q (%q), want failed with panic message", st.State, st.Error)
+	}
+	// The same (sole) worker must still serve real jobs.
+	ok, _ := postJob(t, ts.URL, JobSpec{Preset: "deep-hammock", Seed: 3})
+	if st := waitJob(t, ts.URL, ok.ID); st.State != StateDone {
+		t.Fatalf("job after panic ended %s (%s), want done", st.State, st.Error)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.PanicsRecovered != 1 || m.Failed != 1 || m.Completed != 1 {
+		t.Errorf("metrics = panics:%d failed:%d completed:%d, want 1/1/1",
+			m.PanicsRecovered, m.Failed, m.Completed)
+	}
+}
+
+// TestCancelQueuedAndRunning: DELETE cancels a queued job without running
+// it, and aborts a running job via its context.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan string, 8)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 8})
+	exec, release := blockingExec(started)
+	defer release()
+	s.exec = exec
+
+	running, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "running"})
+	<-started
+	queued, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "queued"})
+
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %s: HTTP %d", id, resp.StatusCode)
+		}
+	}
+	if st := waitJob(t, ts.URL, queued.ID); st.State != StateCanceled {
+		t.Errorf("queued job ended %s, want canceled", st.State)
+	}
+	if st := waitJob(t, ts.URL, running.ID); st.State != StateCanceled {
+		t.Errorf("running job ended %s, want canceled", st.State)
+	}
+	select {
+	case name := <-started:
+		t.Errorf("canceled queued job %q still ran", name)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Canceled != 2 {
+		t.Errorf("Canceled = %d, want 2", m.Canceled)
+	}
+}
+
+// TestShutdownDrains: draining completes queued work, rejects new
+// submissions with 503, and Shutdown returns once the pool is idle.
+func TestShutdownDrains(t *testing.T) {
+	started := make(chan string, 8)
+	cache := simcache.New("")
+	s := New(Config{Workers: 1, QueueCap: 8, Cache: cache})
+	exec, release := blockingExec(started)
+	s.exec = exec
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "a"})
+	<-started
+	b, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "b"})
+
+	shutdownDone := make(chan int, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Draining: new work must be turned away immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, resp := postJob(t, ts.URL, JobSpec{Source: "x", Name: "late"})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: HTTP %d, want 503", resp.StatusCode)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	release()
+	select {
+	case n := <-shutdownDone:
+		if n != 2 {
+			t.Errorf("Shutdown drained %d jobs, want 2", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown never returned")
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		if st := waitJob(t, ts.URL, id); st.State != StateDone {
+			t.Errorf("drained job %s ended %s, want done", id, st.State)
+		}
+	}
+}
+
+// TestEventsStream: a traced job streams its pipeline events as JSON lines
+// on /jobs/{id}/events, ending when the job finishes.
+func TestEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, _ := postJob(t, ts.URL, JobSpec{Preset: "deep-hammock", Seed: 9, Trace: true})
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("event line %d is not valid JSON: %q", lines, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("traced job streamed zero events")
+	}
+	if final := waitJob(t, ts.URL, st.ID); final.State != StateDone {
+		t.Fatalf("traced job ended %s (%s), want done", final.State, final.Error)
+	}
+}
+
+// TestValidateRejectsBadSpecs: malformed specs answer 400 before touching
+// the queue.
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	bad := []JobSpec{
+		{},                                    // neither preset nor source
+		{Preset: "deep-hammock", Source: "x"}, // both
+		{Preset: "no-such-preset"},            // unknown preset
+		{Preset: "deep-hammock", Algo: "no-algo"}, // unknown algorithm
+	}
+	for i, spec := range bad {
+		_, resp := postJob(t, ts.URL, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad spec %d: HTTP %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Submitted != 0 {
+		t.Errorf("bad specs were enqueued: submitted = %d", m.Submitted)
+	}
+}
+
+// TestSourceJob: a DML source job compiles, profiles on its train tape and
+// reports a result under the requested algorithm.
+func TestSourceJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	src := `
+var acc = 0;
+func main() {
+	while (inavail()) {
+		var v = in();
+		if (v & 1) { acc = acc + v; } else { acc = acc - 1; }
+	}
+	out(acc);
+}
+`
+	input := make([]int64, 2000)
+	for i := range input {
+		input[i] = int64(i * 7 % 13)
+	}
+	st, resp := postJob(t, ts.URL, JobSpec{Name: "acc", Source: src, Input: input, Algo: "cost-edge"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := waitJob(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("source job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Result.Name != "acc" || final.Result.BaseIPC <= 0 {
+		t.Fatalf("source job result: %+v", final.Result)
+	}
+}
+
+// TestListJobs: GET /jobs reflects every submission.
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		st, _ := postJob(t, ts.URL, JobSpec{Preset: "deep-hammock", Seed: uint64(i)})
+		ids[st.ID] = true
+	}
+	var list []JobStatus
+	if err := getJSON(context.Background(), http.DefaultClient, ts.URL+"/jobs", &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(list))
+	}
+	for _, st := range list {
+		if !ids[st.ID] {
+			t.Errorf("unexpected job in list: %s", st.ID)
+		}
+	}
+	for id := range ids {
+		waitJob(t, ts.URL, id)
+	}
+}
+
+func TestLoadTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test in -short mode")
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCap: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := LoadTest(ctx, ts.URL, LoadOptions{Jobs: 24, Concurrency: 8, UniqueSeeds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("load report not OK: %s", mustJSON(rep))
+	}
+	if rep.Server.LatencyP99MS <= 0 {
+		t.Errorf("p99 latency not reported: %s", mustJSON(rep))
+	}
+}
+
+func mustJSON(v any) string {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	return string(b)
+}

@@ -12,6 +12,7 @@ type Metrics struct {
 	diskHits  atomic.Uint64
 	misses    atomic.Uint64
 	bypasses  atomic.Uint64
+	cancels   atomic.Uint64
 	simWallNS atomic.Int64
 	simCycles atomic.Int64
 	simInsts  atomic.Uint64
@@ -24,6 +25,7 @@ func (m *Metrics) snapshot() Snapshot {
 		DiskHits:  m.diskHits.Load(),
 		Misses:    m.misses.Load(),
 		Bypasses:  m.bypasses.Load(),
+		Cancels:   m.cancels.Load(),
 		SimWall:   time.Duration(m.simWallNS.Load()),
 		SimCycles: m.simCycles.Load(),
 		SimInsts:  m.simInsts.Load(),
@@ -45,6 +47,9 @@ type Snapshot struct {
 	// Bypasses counts traced simulations that skipped memoization (a
 	// cached answer would emit no events); they execute every time.
 	Bypasses uint64 `json:"bypasses"`
+	// Cancels counts runs aborted by context cancellation; they are
+	// evicted, never memoized, and excluded from every other counter.
+	Cancels uint64 `json:"cancels,omitempty"`
 	// SimWall is the aggregate wall time spent inside pipeline.Run.
 	SimWall time.Duration `json:"sim_wall_ns"`
 	// SimCycles is the total simulated cycles across executed runs.
@@ -93,6 +98,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		DiskHits:  s.DiskHits - prev.DiskHits,
 		Misses:    s.Misses - prev.Misses,
 		Bypasses:  s.Bypasses - prev.Bypasses,
+		Cancels:   s.Cancels - prev.Cancels,
 		SimWall:   s.SimWall - prev.SimWall,
 		SimCycles: s.SimCycles - prev.SimCycles,
 		SimInsts:  s.SimInsts - prev.SimInsts,

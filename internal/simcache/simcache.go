@@ -18,9 +18,11 @@
 package simcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -138,13 +140,27 @@ func (c *Cache) KeyOf(prog *isa.Program, input []int64, cfg pipeline.Config) Key
 // bypass memoization entirely: a cached answer would silently emit no
 // events, and the tracer is deliberately not part of the cache key.
 func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
+	return c.RunCtx(context.Background(), prog, input, cfg)
+}
+
+// isCtxErr reports whether err stems from a cancelled or expired context.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunCtx is Run under a cancellation context. Cancellation never poisons the
+// cache: a run aborted by its context is evicted before its waiters wake, so
+// the next request for the same key computes the result afresh, and a waiter
+// deduplicating against a run that was cancelled by the *runner's* context
+// retries with its own (live) context instead of inheriting the error.
+func (c *Cache) RunCtx(ctx context.Context, prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
 	if c == nil {
-		return pipeline.Run(prog, input, cfg)
+		return pipeline.RunCtx(ctx, prog, input, cfg)
 	}
 	if cfg.Tracer != nil {
 		c.metrics.bypasses.Add(1)
 		start := time.Now()
-		st, err := pipeline.Run(prog, input, cfg)
+		st, err := pipeline.RunCtx(ctx, prog, input, cfg)
 		c.metrics.simWallNS.Add(int64(time.Since(start)))
 		if err == nil {
 			c.metrics.simCycles.Add(st.Cycles)
@@ -154,22 +170,43 @@ func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipe
 	}
 	key := c.KeyOf(prog, input, cfg)
 
-	c.mu.Lock()
-	if r, ok := c.mem[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-r.ready:
-			c.metrics.hits.Add(1)
-		default:
-			// Another goroutine is running this exact simulation; wait for it.
-			c.metrics.dedups.Add(1)
-			<-r.ready
+	for {
+		c.mu.Lock()
+		if r, ok := c.mem[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-r.ready:
+				c.metrics.hits.Add(1)
+			default:
+				// Another goroutine is running this exact simulation; wait
+				// for it — or for our own context, whichever ends first.
+				c.metrics.dedups.Add(1)
+				select {
+				case <-r.ready:
+				case <-ctx.Done():
+					return pipeline.Stats{}, ctx.Err()
+				}
+			}
+			if r.err != nil && isCtxErr(r.err) {
+				// The runner was cancelled (and evicted the entry before
+				// closing ready). Our context may still be live: retry.
+				if err := ctx.Err(); err != nil {
+					return pipeline.Stats{}, err
+				}
+				continue
+			}
+			return r.stats, r.err
 		}
-		return r.stats, r.err
+		r := &result{ready: make(chan struct{})}
+		c.mem[key] = r
+		c.mu.Unlock()
+		return c.compute(ctx, key, r, prog, input, cfg)
 	}
-	r := &result{ready: make(chan struct{})}
-	c.mem[key] = r
-	c.mu.Unlock()
+}
+
+// compute executes (or disk-loads) the simulation for a freshly inserted
+// in-flight entry, publishing the result to waiters when it returns.
+func (c *Cache) compute(ctx context.Context, key Key, r *result, prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
 	defer close(r.ready)
 
 	if st, ok := c.loadDisk(key); ok {
@@ -179,9 +216,18 @@ func (c *Cache) Run(prog *isa.Program, input []int64, cfg pipeline.Config) (pipe
 	}
 
 	start := time.Now()
-	r.stats, r.err = pipeline.Run(prog, input, cfg)
-	c.metrics.misses.Add(1)
+	r.stats, r.err = pipeline.RunCtx(ctx, prog, input, cfg)
 	c.metrics.simWallNS.Add(int64(time.Since(start)))
+	if r.err != nil && isCtxErr(r.err) {
+		// Evict before the deferred close wakes any waiters: a cancelled
+		// run is not a result, and must not be memoized.
+		c.metrics.cancels.Add(1)
+		c.mu.Lock()
+		delete(c.mem, key)
+		c.mu.Unlock()
+		return r.stats, r.err
+	}
+	c.metrics.misses.Add(1)
 	if r.err == nil {
 		c.metrics.simCycles.Add(r.stats.Cycles)
 		c.metrics.simInsts.Add(r.stats.Retired)

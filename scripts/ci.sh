@@ -6,8 +6,10 @@
 # benchmark-regression gate (skippable with SKIP_BENCH_COMPARE=1), the
 # generated-corpus smoke (dmpgen -check over 50 programs spanning every
 # preset), the profile-free static-estimate smoke (the same corpus with
-# -check -static), and short deterministic fuzz smokes over the DML parser
-# and the emulator differential harness.
+# -check -static), the dmpserve daemon smoke (real HTTP jobs including a
+# duplicate spec that must hit the shared simulation cache, a /metrics
+# scrape, and a SIGTERM graceful-drain check), and short deterministic fuzz
+# smokes over the DML parser and the emulator differential harness.
 set -eux
 
 go vet ./...
@@ -23,5 +25,6 @@ go run ./cmd/dmpgen -preset all -n 50 -seed 1 -check -static
 go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >/dev/null
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 rm -f .trace-smoke.jsonl
+sh scripts/serve_smoke.sh
 go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
 go test -run '^$' -fuzz=FuzzEmuDiff -fuzztime=30s ./internal/emu

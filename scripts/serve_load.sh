@@ -1,0 +1,14 @@
+#!/bin/sh
+# serve-load: run the dmpserve built-in load test (an in-process daemon on a
+# loopback port driven over real HTTP) and print the JSON load report.
+#
+#   sh scripts/serve_load.sh [jobs] [concurrency]
+#
+# Defaults drive 200 concurrent jobs from 32 client goroutines, with
+# deliberate duplicate specs so a healthy run reports a non-zero cache hit
+# rate. Exits non-zero if any job fails or the cache never hit.
+set -eu
+
+JOBS=${1:-200}
+CONC=${2:-32}
+exec go run ./cmd/dmpserve -selftest -selftest-jobs "$JOBS" -selftest-conc "$CONC"

@@ -1,0 +1,100 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the dmpserve daemon over real HTTP.
+# Boots the daemon on a random loopback port, submits preset jobs — one an
+# exact duplicate, which must be served from the shared simulation cache —
+# polls them to completion, asserts the /metrics counters (all jobs done, no
+# panics, non-zero cache hits, latency percentiles reported), then sends
+# SIGTERM and verifies the graceful drain: the process exits cleanly and
+# logs the drain.
+set -eu
+
+BIN=.serve-smoke-bin
+LOG=.serve-smoke.log
+PID=
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -9 "$PID" 2>/dev/null || true
+	fi
+	rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/dmpserve
+"./$BIN" -addr 127.0.0.1:0 -workers 2 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^dmpserve: listening on //p' "$LOG")
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "serve-smoke: daemon never listened" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+BASE="http://$ADDR"
+
+curl -fsS "$BASE/healthz" | jq -e '.ok == true and .draining == false' >/dev/null
+
+submit() {
+	curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' -d "$1" | jq -r .id
+}
+J1=$(submit '{"preset":"deep-hammock","seed":42}')
+J2=$(submit '{"preset":"loopy","seed":7,"algo":"cost-edge","priority":2}')
+J3=$(submit '{"preset":"deep-hammock","seed":42}') # duplicate spec: must hit the cache
+
+wait_done() {
+	i=0
+	while [ $i -lt 300 ]; do
+		STATE=$(curl -fsS "$BASE/jobs/$1" | jq -r .state)
+		case "$STATE" in
+		done) return 0 ;;
+		failed | canceled)
+			echo "serve-smoke: job $1 ended $STATE" >&2
+			curl -fsS "$BASE/jobs/$1" >&2
+			exit 1
+			;;
+		esac
+		sleep 0.1
+		i=$((i + 1))
+	done
+	echo "serve-smoke: job $1 never finished" >&2
+	exit 1
+}
+wait_done "$J1"
+wait_done "$J2"
+wait_done "$J3"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | jq -e '.completed == 3 and .failed == 0 and .canceled == 0 and .panics_recovered == 0' >/dev/null
+echo "$METRICS" | jq -e '.cache.hits > 0' >/dev/null
+echo "$METRICS" | jq -e '.latency_p99_ms > 0' >/dev/null
+echo "$METRICS" | jq -e '.jobs_per_sec > 0' >/dev/null
+
+# Graceful shutdown: SIGTERM drains in-flight work and the process exits 0.
+# Submit one more job right before the signal so the drain has real work.
+J4=$(submit '{"preset":"mixed","seed":99}')
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+	echo "serve-smoke: daemon exited $STATUS after SIGTERM" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+PID=
+if ! grep -q "drained" "$LOG"; then
+	echo "serve-smoke: no drain log after SIGTERM" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+if ! grep -q "$J4 done" "$LOG"; then
+	echo "serve-smoke: in-flight job $J4 was not drained to completion" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+echo "serve-smoke: OK ($(echo "$METRICS" | jq -r '"\(.completed) jobs, \(.cache.hits) cache hits, p99 \(.latency_p99_ms)ms"'))"
