@@ -50,6 +50,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "queued-job cap; beyond it submissions get 429")
 	maxInsts := flag.Uint64("max-insts", serve.DefaultMaxInsts, "per-run simulated-instruction cap")
+	retain := flag.Int("retain", serve.DefaultRetainJobs, "terminal jobs retained for status queries; older ones are evicted")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
 	selftest := flag.Bool("selftest", false, "run the built-in load test against an in-process daemon and exit")
 	selftestN := flag.Int("selftest-jobs", 200, "selftest: total jobs to drive")
@@ -65,10 +66,11 @@ func main() {
 	harness.SetHelperBudget(0)
 
 	cfg := serve.Config{
-		Workers:  *workers,
-		QueueCap: *queue,
-		MaxInsts: *maxInsts,
-		Logf:     log.Printf,
+		Workers:    *workers,
+		QueueCap:   *queue,
+		MaxInsts:   *maxInsts,
+		RetainJobs: *retain,
+		Logf:       log.Printf,
 	}
 	if *selftest {
 		os.Exit(runSelftest(cfg, *selftestN, *selftestConc))

@@ -171,7 +171,10 @@ func EvalGenerated(ctx context.Context, p *gen.Program, algo string, opts EvalOp
 // EvalSource evaluates one DML source end-to-end: compile, profile on the
 // train tape, select with the named algorithm, verify the annotations, and
 // simulate baseline and DMP on the run tape (memoized when opts.Cache is
-// set). Cancelling ctx aborts between phases and mid-simulation.
+// set). Cancelling ctx aborts between phases, mid-profile and
+// mid-simulation. The profiling run is bounded by opts.MaxInsts — or by
+// popEmuBudget when unset — so a source program that never halts on its
+// train tape truncates instead of hanging the caller.
 func EvalSource(ctx context.Context, name, source string, runInput, trainInput []int64, algo string, opts EvalOptions) (ProgramResult, error) {
 	var r ProgramResult
 	if algo == "" {
@@ -189,7 +192,11 @@ func EvalSource(ctx context.Context, name, source string, runInput, trainInput [
 		return r, err
 	}
 	opts.note("profile")
-	prof, err := profile.Collect(prog, trainInput, profile.Options{})
+	profBudget := opts.MaxInsts
+	if profBudget == 0 {
+		profBudget = popEmuBudget
+	}
+	prof, err := profile.CollectCtx(ctx, prog, trainInput, profile.Options{MaxInsts: profBudget})
 	if err != nil {
 		return r, fmt.Errorf("profile: %w", err)
 	}

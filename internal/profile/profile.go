@@ -7,6 +7,7 @@ package profile
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -44,7 +45,14 @@ type Options struct {
 
 // Collect profiles the program on the given input tape.
 func Collect(p *isa.Program, input []int64, opt Options) (*Profile, error) {
-	return collectWithHook(p, input, opt, nil)
+	return collectWithHook(context.Background(), p, input, opt, nil)
+}
+
+// CollectCtx is Collect under a cancellation context: the block-batched
+// profiling loop rechecks ctx periodically, so cancelling it aborts even an
+// unbounded (MaxInsts = 0) run on a non-terminating program promptly.
+func CollectCtx(ctx context.Context, p *isa.Program, input []int64, opt Options) (*Profile, error) {
+	return collectWithHook(ctx, p, input, opt, nil)
 }
 
 // predictTrainer is implemented by predictors that can fold the
@@ -55,6 +63,11 @@ type predictTrainer interface {
 	PredictAndTrain(pc int, h bpred.History, taken bool) bool
 }
 
+// ctxCheckStride is how many blocks the profiling loop retires between ctx
+// recheck points: blocks can be a couple of instructions, so polling every
+// block would put a lock acquisition in the hot loop.
+const ctxCheckStride = 1024
+
 // collectWithHook runs the profiler, invoking hook (if non-nil) for every
 // retired conditional branch with its misprediction outcome. The 2D profiler
 // builds its time-sliced view through this hook.
@@ -63,7 +76,7 @@ type predictTrainer interface {
 // one call and reports the conditional branch ending it. Because every
 // conditional branch ends a block, the per-branch predictor/hook sequence is
 // identical to a step-by-step loop.
-func collectWithHook(p *isa.Program, input []int64, opt Options, hook func(pc int, misp bool)) (*Profile, error) {
+func collectWithHook(ctx context.Context, p *isa.Program, input []int64, opt Options, hook func(pc int, misp bool)) (*Profile, error) {
 	pred := opt.Predictor
 	if pred == nil {
 		pred = bpred.NewPerceptron(bpred.PerceptronDefaultTables, bpred.PerceptronDefaultHist)
@@ -78,7 +91,12 @@ func collectWithHook(p *isa.Program, input []int64, opt Options, hook func(pc in
 		Mispred:   make([]uint64, n),
 	}
 	var hist bpred.History
-	for !m.Halted() {
+	for blocks := 0; !m.Halted(); blocks++ {
+		if blocks%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("profile: %w", err)
+			}
+		}
 		var budget uint64
 		if opt.MaxInsts > 0 {
 			if prof.TotalRetired >= opt.MaxInsts {

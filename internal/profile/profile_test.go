@@ -2,9 +2,12 @@ package profile
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dmp/internal/cfg"
 	"dmp/internal/isa"
@@ -86,6 +89,50 @@ func sum(a []uint64) uint64 {
 		s += v
 	}
 	return s
+}
+
+// spinProg never halts: an infinite loop with no conditional branch and no
+// input dependence, the shape that could previously hang an unbounded
+// profiling run forever.
+func spinProg(t *testing.T) *isa.Program {
+	return link(t, func(b *isa.Builder) {
+		b.Func("main")
+		b.Label("loop")
+		b.ALUI(isa.OpAdd, 1, 1, 1)
+		b.Jmp("loop")
+		b.Halt() // unreachable
+	})
+}
+
+func TestCollectCtxCancelInterruptsSpin(t *testing.T) {
+	p := spinProg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := CollectCtx(ctx, p, nil, Options{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the profiler enter the loop
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CollectCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CollectCtx did not return after cancellation")
+	}
+}
+
+func TestCollectMaxInstsBoundsSpin(t *testing.T) {
+	p := spinProg(t)
+	prof, err := Collect(p, nil, Options{MaxInsts: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalRetired != 10_000 {
+		t.Errorf("TotalRetired = %d, want exactly MaxInsts=10000", prof.TotalRetired)
+	}
 }
 
 func TestMispRateRandomVsBiased(t *testing.T) {

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"math"
 
 	"dmp/internal/isa"
@@ -63,7 +64,7 @@ func Collect2D(p *isa.Program, input []int64, opt TwoDOptions) (*Profile, *Slice
 			slice++
 		}
 	}
-	prof, err := collectWithHook(p, input, opt.Options, hook)
+	prof, err := collectWithHook(context.Background(), p, input, opt.Options, hook)
 	if err != nil {
 		return nil, nil, err
 	}

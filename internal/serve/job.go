@@ -110,12 +110,17 @@ func (j *job) setPhase(p string) {
 	j.mu.Unlock()
 }
 
+// terminalState reports whether state is one a job never leaves.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
 // setState transitions the job; it reports false when the job already
 // reached a terminal state (e.g. canceled while queued).
 func (j *job) setState(state string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+	if terminalState(j.state) {
 		return false
 	}
 	j.state = state
@@ -126,6 +131,33 @@ func (j *job) setState(state string) bool {
 		j.finished = time.Now()
 	}
 	return true
+}
+
+// finish moves the job to a terminal state, attaching the result or error in
+// the same critical section, so a completion that loses the race with Cancel
+// can never produce a canceled job carrying a result. It reports whether the
+// transition happened and the job's submit-to-finish latency.
+func (j *job) finish(state string, res *harness.ProgramResult, errMsg string) (bool, time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalState(j.state) {
+		return false, 0
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.err = errMsg
+	if state == StateDone {
+		j.phase = ""
+	}
+	return true, j.finished.Sub(j.submitted)
+}
+
+// terminal reports whether the job has reached a terminal state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalState(j.state)
 }
 
 func (j *job) status() JobStatus {

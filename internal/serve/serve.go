@@ -22,15 +22,20 @@
 // EvalGenerated): compile → profile → select → verify → simulate baseline
 // and DMP, memoized by the shared simcache so duplicate specs across
 // requests cost one simulation. Every job runs under its own context —
-// cancellation aborts mid-simulation at block-batch granularity — and every
-// worker recovers panics into single-job failures: one broken workload can
-// never take the daemon down.
+// cancellation aborts mid-profile and mid-simulation at block-batch
+// granularity — and every worker recovers panics into single-job failures:
+// one broken workload can never take the daemon down. The daemon's memory
+// is bounded: request bodies are capped (Config.MaxBodyBytes), every run
+// phase including profiling honours the per-job instruction cap, and only
+// the most recent Config.RetainJobs terminal jobs are retained — older ones
+// are evicted and their IDs answer 404.
 package serve
 
 import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -48,6 +53,14 @@ import (
 // hostile or runaway source jobs).
 const DefaultMaxInsts = 50_000_000
 
+// DefaultRetainJobs is the default Config.RetainJobs: terminal jobs kept
+// for status queries before the oldest are evicted.
+const DefaultRetainJobs = 1024
+
+// DefaultMaxBodyBytes is the default Config.MaxBodyBytes cap on a POST
+// /jobs request body.
+const DefaultMaxBodyBytes = 8 << 20
+
 // Config configures a Server.
 type Config struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
@@ -60,6 +73,14 @@ type Config struct {
 	// MaxInsts is the per-run instruction cap applied to jobs that do not
 	// set a smaller one (default DefaultMaxInsts).
 	MaxInsts uint64
+	// RetainJobs bounds the terminal (done/failed/canceled) jobs kept for
+	// status queries: beyond it the oldest terminal jobs — specs, results
+	// and event buffers — are evicted and their IDs answer 404 (default
+	// DefaultRetainJobs). Queued and running jobs are never evicted.
+	RetainJobs int
+	// MaxBodyBytes caps a POST /jobs request body; larger submissions are
+	// rejected with 413 before decoding (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
 	// Logf receives operational log lines (default: none).
 	Logf func(format string, args ...any)
 }
@@ -76,6 +97,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInsts == 0 {
 		c.MaxInsts = DefaultMaxInsts
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = DefaultRetainJobs
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -228,6 +255,7 @@ func (s *Server) Cancel(id string) bool {
 		if j.ev != nil {
 			j.ev.CloseBuffer()
 		}
+		s.evictTerminal()
 	}
 	return true
 }
@@ -265,15 +293,15 @@ func (s *Server) pop() *job {
 }
 
 // runJob executes one job with panic isolation: a panic anywhere in the job
-// body fails that job alone and the worker keeps serving.
+// body fails that job alone and the worker keeps serving. Terminal
+// transitions go through job.finish so the result is attached atomically
+// with the state — a concurrent Cancel either wins (canceled, no result) or
+// loses (done, result), never a mix.
 func (s *Server) runJob(j *job) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			j.mu.Lock()
-			j.err = fmt.Sprintf("worker panic: %v", r)
-			j.mu.Unlock()
-			if j.setState(StateFailed) {
+			if ok, _ := j.finish(StateFailed, nil, fmt.Sprintf("worker panic: %v", r)); ok {
 				s.failed.Add(1)
 			}
 			s.cfg.Logf("serve: %s: recovered worker panic: %v", j.id, r)
@@ -285,6 +313,7 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		s.running--
 		s.mu.Unlock()
+		s.evictTerminal()
 	}()
 
 	opts := harness.EvalOptions{
@@ -298,33 +327,61 @@ func (s *Server) runJob(j *job) {
 	res, err := s.exec(j.ctx, j.spec, opts)
 	switch {
 	case err != nil && j.ctx.Err() != nil:
-		j.mu.Lock()
-		j.err = err.Error()
-		j.mu.Unlock()
-		if j.setState(StateCanceled) {
+		if ok, _ := j.finish(StateCanceled, nil, err.Error()); ok {
 			s.canceled.Add(1)
 		}
 	case err != nil:
-		j.mu.Lock()
-		j.err = err.Error()
-		j.mu.Unlock()
-		if j.setState(StateFailed) {
+		if ok, _ := j.finish(StateFailed, nil, err.Error()); ok {
 			s.failed.Add(1)
 		}
 	default:
-		j.mu.Lock()
-		j.result = &res
-		j.phase = ""
-		j.mu.Unlock()
-		if !j.setState(StateDone) {
+		ok, lat := j.finish(StateDone, &res, "")
+		if !ok {
 			return // canceled concurrently; Cancel already counted it
 		}
 		s.completed.Add(1)
-		j.mu.Lock()
-		s.lat.record(j.finished.Sub(j.submitted))
-		j.mu.Unlock()
+		s.lat.record(lat)
 		s.cfg.Logf("serve: %s done: %s %+.2f%% (base %.3f, dmp %.3f IPC)",
 			j.id, res.Name, res.DeltaPct, res.BaseIPC, res.DMPIPC)
+	}
+}
+
+// evictTerminal drops the oldest terminal jobs beyond cfg.RetainJobs, so a
+// long-running daemon's job table — specs, results and event buffers — stays
+// bounded by retained + queued + running instead of growing with every job
+// ever submitted. Runs after each terminal transition.
+func (s *Server) evictTerminal() {
+	s.mu.Lock()
+	terminal := 0
+	for _, j := range s.order {
+		if j.terminal() {
+			terminal++
+		}
+	}
+	var evicted []*job
+	if drop := terminal - s.cfg.RetainJobs; drop > 0 {
+		kept := s.order[:0]
+		for _, j := range s.order {
+			if drop > 0 && j.terminal() {
+				delete(s.jobs, j.id)
+				evicted = append(evicted, j)
+				drop--
+				continue
+			}
+			kept = append(kept, j)
+		}
+		for i := len(kept); i < len(s.order); i++ {
+			s.order[i] = nil
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
+	// Close outside s.mu: followers of an evicted traced job drain what they
+	// have and stop, releasing the buffer.
+	for _, j := range evicted {
+		if j.ev != nil {
+			j.ev.CloseBuffer()
+		}
 	}
 }
 
@@ -420,8 +477,15 @@ func writeErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeErr(w, &httpError{http.StatusBadRequest, "bad job spec: " + err.Error()})
 		return
 	}
@@ -461,14 +525,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.Cancel(id) {
-		writeErr(w, &httpError{http.StatusNotFound, "no such job"})
+	j := s.lookup(w, r)
+	if j == nil {
 		return
 	}
-	s.mu.Lock()
-	j := s.jobs[id]
-	s.mu.Unlock()
+	s.Cancel(j.id)
 	writeJSON(w, http.StatusOK, j.status())
 }
 

@@ -430,6 +430,183 @@ func TestListJobs(t *testing.T) {
 	}
 }
 
+// spinSource is DML that never halts: x stays 0, so the loop condition
+// never fails. Regression shape for the profile-phase DoS: before the
+// profiling run was bounded and context-aware, one such job hung a daemon
+// worker permanently.
+const spinSource = `
+var x = 0;
+func main() {
+	while (x < 1) {
+		x = x * 1;
+	}
+}
+`
+
+// TestSpinSourceJobBounded: a source job whose program never halts on its
+// train tape is truncated by the server's instruction cap in every phase —
+// including profiling — and still completes.
+func TestSpinSourceJobBounded(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: 200_000})
+	st, resp := postJob(t, ts.URL, JobSpec{Name: "spin", Source: spinSource})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := waitJob(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("spin job ended %s (%s), want done (truncated)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Retired == 0 {
+		t.Fatalf("truncated spin job has no result: %+v", final.Result)
+	}
+}
+
+// TestCancelDuringProfile: DELETE interrupts a job stuck in the profiling
+// phase. The huge instruction cap makes the spin job's profile run
+// effectively endless, so only context cancellation can end it.
+func TestCancelDuringProfile(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: 1 << 60})
+	st, _ := postJob(t, ts.URL, JobSpec{Name: "spin", Source: spinSource})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur JobStatus
+		if err := getJSON(context.Background(), http.DefaultClient, ts.URL+"/jobs/"+st.ID, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.Phase == "profile" {
+			break
+		}
+		if terminalState(cur.State) {
+			t.Fatalf("spin job reached %s before profiling", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spin job never reached the profile phase")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	start := time.Now()
+	final := waitJob(t, ts.URL, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("spin job ended %s, want canceled", final.State)
+	}
+	if wait := time.Since(start); wait > 10*time.Second {
+		t.Errorf("cancellation during profile took %v", wait)
+	}
+}
+
+// TestCancelWinsOverLateResult: a job body that completes after the job was
+// canceled must not flip the state back to done or attach its result — the
+// terminal transition is atomic with the result.
+func TestCancelWinsOverLateResult(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.exec = func(ctx context.Context, spec JobSpec, _ harness.EvalOptions) (harness.ProgramResult, error) {
+		started <- spec.Name
+		<-release // ignore ctx: a body that completes despite cancellation
+		return harness.ProgramResult{Name: spec.Name, BaseIPC: 1, DMPIPC: 1}, nil
+	}
+
+	st, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "late"})
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final := waitJob(t, ts.URL, st.ID); final.State != StateCanceled {
+		t.Fatalf("job ended %s, want canceled", final.State)
+	}
+
+	close(release) // the body now returns a success the job must ignore
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := scrapeMetrics(t, ts.URL); m.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never finished the canceled job body")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	again := waitJob(t, ts.URL, st.ID)
+	if again.State != StateCanceled || again.Result != nil {
+		t.Errorf("after late completion: state %s result %+v, want canceled with no result",
+			again.State, again.Result)
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Canceled != 1 || m.Completed != 0 {
+		t.Errorf("metrics = canceled:%d completed:%d, want 1/0", m.Canceled, m.Completed)
+	}
+}
+
+// TestTerminalJobEviction: finished jobs beyond RetainJobs are evicted from
+// the job table — the list stays bounded and evicted IDs answer 404.
+func TestTerminalJobEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RetainJobs: 2})
+	s.exec = func(_ context.Context, spec JobSpec, _ harness.EvalOptions) (harness.ProgramResult, error) {
+		return harness.ProgramResult{Name: spec.Name, BaseIPC: 1, DMPIPC: 1}, nil
+	}
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, _ := postJob(t, ts.URL, JobSpec{Source: "x", Name: "evict"})
+		waitJob(t, ts.URL, st.ID)
+		ids = append(ids, st.ID)
+	}
+
+	// Eviction runs on the worker after the terminal transition; poll
+	// briefly for the table to settle at the retention cap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var list []JobStatus
+		if err := getJSON(context.Background(), http.DefaultClient, ts.URL+"/jobs", &list); err != nil {
+			t.Fatal(err)
+		}
+		if len(list) == 2 {
+			if list[0].ID != ids[3] || list[1].ID != ids[4] {
+				t.Fatalf("retained jobs = %s,%s, want the two newest %s,%s",
+					list[0].ID, list[1].ID, ids[3], ids[4])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job table never settled at RetainJobs=2 (still %d jobs)", len(list))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job answers HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubmitBodyLimit: an oversized POST /jobs body is rejected with 413
+// before it is decoded or buffered whole.
+func TestSubmitBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 1024})
+	big := JobSpec{Name: "big", Source: "x", Input: make([]int64, 4096)}
+	_, resp := postJob(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: HTTP %d, want 413", resp.StatusCode)
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Submitted != 0 {
+		t.Errorf("oversized body was enqueued: submitted = %d", m.Submitted)
+	}
+}
+
 func TestLoadTestSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test in -short mode")
