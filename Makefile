@@ -6,9 +6,10 @@
 #               + dmplint over the corpus + dmpsim/dmptrace tracing smoke
 #               + the emulator fast-path differential suite + the
 #               benchmark-regression gate + a generated-corpus smoke
-#               (dmpgen -check over 50 programs) + the dmpserve daemon
-#               smoke (HTTP jobs, cache-hit probe, SIGTERM drain) + 30s
-#               parser and emulator differential fuzz smokes
+#               (dmpgen -check over 50 programs) + the sampled-simulation
+#               differential smoke (sample-error gate) + the dmpserve
+#               daemon smoke (HTTP jobs, cache-hit probe, SIGTERM drain)
+#               + 30s parser and emulator differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   pinned staticcheck + golangci-lint via scripts/lint.sh
 #   make fuzz   longer local fuzzing session for the front-end and
@@ -21,9 +22,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke serve-smoke serve-load
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke sample-smoke serve-smoke serve-load
 
-ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke serve-smoke fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke sample-smoke serve-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -61,7 +62,7 @@ alloc-guard:
 	$(GO) test -run 'TestNilTracerEventNoAlloc|TestSteadyStateAllocs' ./internal/pipeline
 
 # Benchmark-regression gate: re-measures the corpus benchmarks, refreshes
-# BENCH_PR5.json, and fails on a >15% throughput drop (or allocs/op growth)
+# BENCH_PR9.json, and fails on a >15% throughput drop (or allocs/op growth)
 # against the snapshot committed at HEAD. SKIP_BENCH_COMPARE=1 skips it;
 # BENCH_UPDATE=1 refreshes the snapshot without gating.
 bench-compare:
@@ -85,6 +86,15 @@ gen-smoke:
 # instead of the train tape — zero diagnostics required end to end.
 static-smoke:
 	$(GO) run ./cmd/dmpgen -preset all -n 50 -seed 1 -check -static
+
+# Sampled-simulation smoke: the sample-error differential gate on a corpus
+# subset plus a small generated population — every full-fidelity IPC must
+# land inside the sampled run's stated confidence interval, baseline and
+# DMP alike (a non-zero miss count makes dmpbench exit non-zero). The
+# population-scale version lives in the harness test suite
+# (TestSampleErrorGate).
+sample-smoke:
+	$(GO) run ./cmd/dmpbench -exp sample-error -bench gzip,mcf,twolf -gen-n 12
 
 # Daemon smoke: boot dmpserve on a random loopback port, drive HTTP jobs
 # (including a duplicate spec that must be served from the shared simulation

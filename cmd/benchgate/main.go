@@ -13,8 +13,8 @@
 // Typical use (see scripts/bench_compare.sh):
 //
 //	go test -run '^$' -bench ... -benchmem -count 3 ./... > bench.txt
-//	git show HEAD:BENCH_PR5.json > baseline.json
-//	benchgate -in bench.txt -baseline baseline.json -out BENCH_PR5.json
+//	git show HEAD:BENCH_PR9.json > baseline.json
+//	benchgate -in bench.txt -baseline baseline.json -out BENCH_PR9.json
 package main
 
 import (

@@ -2,8 +2,10 @@
 //
 // Usage:
 //
-//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10|population|static]
+//	dmpbench [-exp all|table1|table2|fig5left|fig5right|fig6|fig7|fig8|fig9|fig10|population|static|sample-error]
 //	         [-bench gzip,vpr,...] [-scale N] [-max N] [-p N]
+//	         [-sample] [-sample-period N] [-sample-interval N] [-sample-warmup N]
+//	         [-sample-seed S] [-sample-shards N]
 //	         [-gen-preset all|P,Q] [-gen-n N] [-gen-seed S]
 //	         [-metrics-json file] [-pprof addr] [-cpuprofile file] [-memprofile file]
 //
@@ -33,12 +35,24 @@
 // accuracy (per-branch bias error, block-frequency rank correlation). When
 // -gen-n is left at its default, -exp static evaluates 500 programs.
 //
+// -sample routes every simulation through the SMARTS sampled executor
+// (internal/sample): functional fast-forward between short detailed
+// measurement intervals, reporting each run's IPC estimate with a
+// confidence interval instead of simulating every instruction. The run
+// metrics footer gains a sampling line (detailed-instruction share, error
+// bars); the -sample-* flags override the default configuration. -exp
+// sample-error runs the differential gate instead: every benchmark at full
+// fidelity and sampled, baseline and DMP, plus a generated population of
+// -gen-n programs, reporting per-row CI coverage and the aggregate
+// wall-clock speedup.
+//
 // For performance investigation, -pprof serves net/http/pprof on the given
 // address while the evaluation runs, and -cpuprofile/-memprofile write
 // runtime/pprof profiles to files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -51,15 +65,22 @@ import (
 
 	"dmp/internal/gen"
 	"dmp/internal/harness"
+	"dmp/internal/sample"
 	"dmp/internal/stats"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10, population, static")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig5left, fig5right, fig6, fig7, fig8, fig9, fig10, population, static, sample-error")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	scale := flag.Int("scale", 1, "input scale factor")
 	maxInsts := flag.Uint64("max", 0, "cap simulated instructions per run (0 = full)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	sampled := flag.Bool("sample", false, "run simulations through the SMARTS sampled executor")
+	sampPeriod := flag.Uint64("sample-period", 0, "sampling period in instructions (0 = default)")
+	sampInterval := flag.Uint64("sample-interval", 0, "detailed measurement interval length (0 = default)")
+	sampWarmup := flag.Uint64("sample-warmup", 0, "detailed warmup length before each interval (0 = default)")
+	sampSeed := flag.Uint64("sample-seed", 0, "stratified placement seed (0 = default)")
+	sampShards := flag.Int("sample-shards", 0, "parallel interval shards per sampled run (0/1 = streaming)")
 	genPreset := flag.String("gen-preset", "all", "-exp population: preset name, comma-separated list, or \"all\"")
 	genN := flag.Int("gen-n", 200, "-exp population: corpus size")
 	genSeed := flag.Uint64("gen-seed", 1, "-exp population: base seed")
@@ -95,9 +116,53 @@ func main() {
 		}()
 	}
 
+	sc := sample.DefaultConf()
+	if *sampPeriod != 0 {
+		sc.Period = *sampPeriod
+	}
+	if *sampInterval != 0 {
+		sc.Interval = *sampInterval
+	}
+	if *sampWarmup != 0 {
+		sc.Warmup = *sampWarmup
+	}
+	if *sampSeed != 0 {
+		sc.Seed = *sampSeed
+	}
+	if *sampShards > 1 {
+		sc.Shards = *sampShards
+	}
+	check(sc.Validate())
+
 	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallelism: *par}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *sampled {
+		opts.Sample = sc
+	}
+
+	// The sample-error differential simulates each workload both ways itself,
+	// so the session it builds stays in full-fidelity mode.
+	if *exp == "sample-error" {
+		t0 := time.Now()
+		fmt.Fprintln(os.Stderr, "dmpbench: preparing workloads (compile + profile)...")
+		s, err := harness.NewSession(opts)
+		check(err)
+		tbl, rep, err := harness.SampleError(s, sc)
+		check(err)
+		tbl.Render(os.Stdout)
+		rep.Render(os.Stdout)
+		progs := gen.BuildCorpus(gen.Presets(), *genN, *genSeed)
+		prep, err := harness.SampleErrorPopulation(context.Background(), progs, sc, *par)
+		check(err)
+		fmt.Printf("population (%d generated programs):\n", len(progs))
+		prep.Render(os.Stdout)
+		fmt.Printf("(sample-error in %v)\n", time.Since(t0).Round(time.Millisecond))
+		if len(rep.Misses)+len(prep.Misses) > 0 {
+			check(fmt.Errorf("%d rows outside their confidence intervals", len(rep.Misses)+len(prep.Misses)))
+		}
+		return
 	}
 
 	// The population experiments evaluate a generated corpus and need no

@@ -6,10 +6,19 @@
 //	dmpsim -bin prog.dmp [-in inputs.txt] [-dmp] [-max N] [-metrics-json file]
 //	dmpsim -bench vpr [-dmp] [-scale N] [-max N]
 //	dmpsim -bench vpr -dmp -trace-json trace.jsonl
+//	dmpsim -bench gzip -sample
 //
 // -bench runs a benchmark from the built-in corpus instead of a compiled
 // binary; with -dmp it profiles the run input and applies the paper's
 // selection algorithm (All-best-heur) before simulating.
+//
+// -sample estimates the statistics with the SMARTS sampled executor
+// (internal/sample, DESIGN.md Section 16) at its default configuration
+// instead of simulating every instruction in detail: the printed IPC is an
+// estimate and an extra "sampling" line reports its confidence interval,
+// interval count and detailed-simulation share. Sampled results are
+// memoized under their own cache namespace, disjoint from full-fidelity
+// entries.
 //
 // -trace streams human-readable pipeline events (fetch breaks, flushes,
 // dpred-session lifecycle) to stderr; -trace-json streams the same events as
@@ -40,6 +49,7 @@ import (
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
+	"dmp/internal/sample"
 	"dmp/internal/simcache"
 	"dmp/internal/stats"
 	"dmp/internal/trace"
@@ -51,6 +61,7 @@ func main() {
 	benchName := flag.String("bench", "", "run a corpus benchmark instead of -bin (see dmpbench)")
 	scale := flag.Int("scale", 1, "input scale factor for -bench")
 	dmp := flag.Bool("dmp", false, "enable dynamic predication")
+	sampled := flag.Bool("sample", false, "estimate via SMARTS sampled simulation (prints the confidence interval)")
 	maxInsts := flag.Uint64("max", 0, "simulate at most N instructions (0 = all)")
 	traceText := flag.Bool("trace", false, "stream pipeline events as text to stderr")
 	traceJSON := flag.String("trace-json", "", "stream pipeline events as JSON lines to this file (\"-\" = stdout)")
@@ -130,13 +141,24 @@ func main() {
 
 	cache := simcache.FromEnv()
 	start := time.Now()
-	st, err := cache.Run(prog, input, cfg)
-	check(err)
+	var st pipeline.Stats
+	var sr sample.Result
+	if *sampled {
+		sr, err = cache.RunSampled(prog, input, cfg, sample.DefaultConf())
+		check(err)
+		st = sr.AsStats()
+	} else {
+		st, err = cache.Run(prog, input, cfg)
+		check(err)
+	}
 	wall := time.Since(start)
 
 	mode := "baseline"
 	if *dmp {
 		mode = "DMP"
+	}
+	if *sampled {
+		mode += " (sampled)"
 	}
 	fmt.Fprintf(out, "mode             %s\n", mode)
 	fmt.Fprintf(out, "cycles           %d\n", st.Cycles)
@@ -145,10 +167,24 @@ func main() {
 		fmt.Fprintf(out, "WARNING          zero instructions retired; per-KI metrics report 0\n")
 	}
 	fmt.Fprintf(out, "IPC              %.4f\n", st.IPC())
+	if *sampled {
+		switch {
+		case sr.Exact:
+			fmt.Fprintf(out, "sampling         exact fallback (program below the sampling floor)\n")
+		case sr.Unbounded:
+			fmt.Fprintf(out, "sampling         %d intervals — too few for an error bar (unbounded CI)\n", sr.Intervals)
+		default:
+			fmt.Fprintf(out, "sampling         IPC %.4f ± %.4f (%.0f%% CI, ±%.2f%%), %d intervals, %.2f%% detailed\n",
+				sr.IPC(), sr.IPCErr, sr.Conf.Confidence*100, sr.RelErr()*100,
+				sr.Intervals, 100*float64(sr.DetailedInsts)/float64(sr.TotalInsts))
+		}
+	}
 	fmt.Fprintf(out, "MPKI             %.2f\n", st.MPKI())
 	fmt.Fprintf(out, "flushes          %d (%.2f per KI)\n", st.Flushes, st.FlushesPerKI())
 	fmt.Fprintf(out, "wrong-path fetch %d\n", st.WrongPathFetched)
-	if *dmp {
+	// The sampled projection scales only the headline counters (cycles,
+	// mispredictions, flushes); the dpred session detail is not estimated.
+	if *dmp && !*sampled {
 		fmt.Fprintf(out, "dpred entries    %d (%d loop)\n", st.DpredEntries, st.DpredLoopEntries)
 		fmt.Fprintf(out, "merged/no-merge  %d / %d\n", st.DpredMerged, st.DpredNoMerge)
 		fmt.Fprintf(out, "saved flushes    %d\n", st.DpredSavedFlushes)
@@ -159,7 +195,7 @@ func main() {
 	}
 	fmt.Fprintf(out, "I$/D$/L2 miss%%   %.2f / %.2f / %.2f\n",
 		st.ICache.MissRate()*100, st.DCache.MissRate()*100, st.L2.MissRate()*100)
-	if *dmp {
+	if *dmp && !*sampled {
 		fmt.Fprintln(out)
 		stats.RenderAudits(out, st.Audit, *auditTop)
 	}

@@ -1,0 +1,111 @@
+package emu
+
+import (
+	"fmt"
+
+	"dmp/internal/isa"
+)
+
+// Snapshot is a deep copy of a Machine's architectural state: registers,
+// data memory, control state and I/O cursors. It deliberately excludes the
+// program and its predecoded form — those are immutable and shared — so a
+// snapshot is exactly the state a checkpoint/restore boundary must carry.
+// The sampling executor (internal/sample) uses snapshots to start detailed
+// simulation shards mid-run; the round-trip property (restore → identical
+// state and identical continuation trace) is pinned by TestSnapshotRoundTrip.
+type Snapshot struct {
+	Regs    [64]int64
+	Mem     []int64
+	PC      int
+	Output  []int64
+	InPos   int
+	Halted  bool
+	Retired uint64
+}
+
+// Snapshot captures the machine's architectural state into a fresh Snapshot.
+func (m *Machine) Snapshot() *Snapshot {
+	var s Snapshot
+	m.SnapshotInto(&s)
+	return &s
+}
+
+// SnapshotInto captures the machine's architectural state into s, reusing
+// s's backing arrays when they are large enough.
+func (m *Machine) SnapshotInto(s *Snapshot) {
+	s.Regs = m.Regs
+	if cap(s.Mem) < len(m.Mem) {
+		s.Mem = make([]int64, len(m.Mem))
+	}
+	s.Mem = s.Mem[:len(m.Mem)]
+	copy(s.Mem, m.Mem)
+	s.Output = append(s.Output[:0], m.Output...)
+	s.PC = m.PC
+	s.InPos = m.inPos
+	s.Halted = m.halted
+	s.Retired = m.Retired
+}
+
+// Clone returns an independent machine at the same architectural state,
+// sharing the immutable program, predecode and input tape with the original.
+// It is the cheap fork the sampling executor uses to start parallel shards:
+// one memory-image copy, no zeroing pass, no recompilation — where
+// New+Restore would clear and then overwrite the full data memory and
+// predecode the program again.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		prog:    m.prog,
+		pre:     m.pre,
+		Regs:    m.Regs,
+		PC:      m.PC,
+		input:   m.input,
+		inPos:   m.inPos,
+		halted:  m.halted,
+		Retired: m.Retired,
+	}
+	c.Mem = make([]int64, len(m.Mem))
+	copy(c.Mem, m.Mem)
+	c.Output = append([]int64(nil), m.Output...)
+	return c
+}
+
+// Reset returns the machine to its initial state — the state New would
+// produce for the same program, memory size and input tape — reusing the
+// existing memory image and predecode instead of allocating and recompiling.
+// The sampling executor uses it to re-stream a program it has just run:
+// clearing 8MB in place is the same memory traffic as zeroing a fresh
+// allocation, but skips the allocation itself, the garbage it strands, and
+// the predecode pass.
+func (m *Machine) Reset() {
+	clear(m.Mem)
+	m.Regs = [isa.NumRegs]int64{}
+	m.Regs[isa.RegSP] = int64(len(m.Mem))
+	m.PC = m.prog.Entry
+	m.Output = m.Output[:0]
+	m.inPos = 0
+	m.halted = false
+	m.Retired = 0
+}
+
+// Restore overwrites the machine's architectural state with the snapshot.
+// The machine must run the same program (and input tape) the snapshot was
+// taken from; the snapshot's memory image must match the machine's memory
+// size, since data-memory capacity is an architectural parameter fixed by
+// New. The snapshot is copied, not aliased: it stays valid for further
+// restores.
+func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.Mem) != len(m.Mem) {
+		return fmt.Errorf("emu: restore: snapshot memory %d words, machine has %d", len(s.Mem), len(m.Mem))
+	}
+	if s.InPos < 0 || s.InPos > len(m.input) {
+		return fmt.Errorf("emu: restore: input cursor %d outside tape of %d values", s.InPos, len(m.input))
+	}
+	m.Regs = s.Regs
+	copy(m.Mem, s.Mem)
+	m.Output = append(m.Output[:0], s.Output...)
+	m.PC = s.PC
+	m.inPos = s.InPos
+	m.halted = s.Halted
+	m.Retired = s.Retired
+	return nil
+}

@@ -1,0 +1,126 @@
+package emu_test
+
+import (
+	"errors"
+	"testing"
+
+	"dmp/internal/bench"
+	"dmp/internal/emu"
+)
+
+// TestSnapshotRoundTrip is the snapshot/restore property test: a machine
+// snapshotted mid-run and restored onto a fresh machine must (a) be in an
+// identical architectural state, and (b) produce the identical continuation
+// trace — entry for entry, fault for fault — as the uninterrupted run.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, name := range []string{"compress", "gcc", "mcf", "vortex"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b := bench.ByName(name)
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			input := b.Input(bench.RunInput, 1)
+			for _, cut := range []uint64{0, 1, 1000, 40_000} {
+				// Fast-forward cut instructions (Run reports reaching the
+				// budget as an error; only real faults matter here).
+				orig := emu.New(prog, input, 0)
+				if n, err := orig.Run(cut); err != nil && n < cut && !errors.Is(err, emu.ErrHalted) {
+					t.Fatalf("cut %d: fast-forward: %v", cut, err)
+				}
+				snap := orig.Snapshot()
+
+				restored := emu.New(prog, input, 0)
+				if err := restored.Restore(snap); err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				diffState(t, "restored state", orig, restored)
+
+				// Continuation: both machines must step identically to halt.
+				steps := 0
+				for {
+					ot, oerr := orig.Step()
+					rt, rerr := restored.Step()
+					if !errsEqual(oerr, rerr) {
+						t.Fatalf("cut %d: continuation step %d: orig err %v, restored err %v", cut, steps, oerr, rerr)
+					}
+					if oerr != nil {
+						break
+					}
+					if ot != rt {
+						t.Fatalf("cut %d: continuation step %d: orig %+v, restored %+v", cut, steps, ot, rt)
+					}
+					steps++
+				}
+				diffState(t, "final state", orig, restored)
+
+				// The snapshot must stay valid for a second restore: restoring
+				// again rewinds the machine to the cut point.
+				if err := restored.Restore(snap); err != nil {
+					t.Fatalf("cut %d: second restore: %v", cut, err)
+				}
+				if restored.Retired != snap.Retired || restored.PC != snap.PC {
+					t.Fatalf("cut %d: second restore did not rewind: retired=%d pc=%d want retired=%d pc=%d",
+						cut, restored.Retired, restored.PC, snap.Retired, snap.PC)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotMatchesUninterrupted pins that a run interrupted by
+// snapshot/restore cycles retires the same trace as one that never stops:
+// the restored machine's final output and state match a straight run.
+func TestSnapshotMatchesUninterrupted(t *testing.T) {
+	b := bench.ByName("compress")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := b.Input(bench.RunInput, 1)
+
+	straight := emu.New(prog, input, 0)
+	for !straight.Halted() {
+		if _, err := straight.RunBlock(0); err != nil && !errors.Is(err, emu.ErrHalted) {
+			t.Fatalf("straight run: %v", err)
+		}
+	}
+
+	chopped := emu.New(prog, input, 0)
+	var snap emu.Snapshot
+	for !chopped.Halted() {
+		if n, err := chopped.Run(10_000); err != nil && n < 10_000 && !errors.Is(err, emu.ErrHalted) {
+			t.Fatalf("chopped run: %v", err)
+		}
+		// Bounce the state through a snapshot at every chunk boundary.
+		chopped.SnapshotInto(&snap)
+		if err := chopped.Restore(&snap); err != nil {
+			t.Fatalf("bounce restore: %v", err)
+		}
+	}
+	diffState(t, "chopped vs straight", chopped, straight)
+}
+
+// TestSnapshotRestoreRejectsMismatch pins the defensive checks: restoring a
+// snapshot onto a machine with a different memory size must fail loudly, not
+// corrupt state.
+func TestSnapshotRestoreRejectsMismatch(t *testing.T) {
+	b := bench.ByName("compress")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := b.Input(bench.RunInput, 1)
+	m := emu.New(prog, input, 0)
+	snap := m.Snapshot()
+	snap.Mem = snap.Mem[:len(snap.Mem)-1]
+	if err := m.Restore(snap); err == nil {
+		t.Fatalf("restore with truncated memory image: want error, got nil")
+	}
+	bad := m.Snapshot()
+	bad.InPos = len(input) + 1
+	if err := m.Restore(bad); err == nil {
+		t.Fatalf("restore with out-of-range input cursor: want error, got nil")
+	}
+}

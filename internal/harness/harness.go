@@ -15,6 +15,7 @@ import (
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
+	"dmp/internal/sample"
 	"dmp/internal/simcache"
 	"dmp/internal/trace"
 	"dmp/internal/verify"
@@ -44,6 +45,13 @@ type Options struct {
 	// granularity (see pipeline.RunCtx). Per-call contexts on BaselineCtx /
 	// RunDMPCtx compose with it through the simulation cache.
 	Ctx context.Context
+	// Sample, when Enabled, routes every simulation through the SMARTS
+	// sampled executor (internal/sample) instead of full fidelity: each
+	// Stats the session reports is the sampled estimate projected through
+	// Result.AsStats, and the per-run error bars are aggregated into the
+	// metrics report's sampling block. Sampled runs are memoized under
+	// conf-extended cache keys, disjoint from full-fidelity entries.
+	Sample sample.SampleConf
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +104,7 @@ type Session struct {
 	sessTotals trace.AuditTotals
 	degenRuns  uint64
 	degenNames map[string]bool
+	sampAgg    sampleAgg
 
 	// startMallocs is the process-wide heap-allocation count at session
 	// creation; Metrics reports the delta as the session's allocation cost
@@ -233,7 +242,7 @@ func (w *Workload) BaselineCtx(ctx context.Context) (pipeline.Stats, error) {
 	if w.baseDone {
 		return w.base, w.baseErr
 	}
-	st, err := w.opts.Cache.RunCtx(ctx, w.Prog.WithAnnots(nil), w.RunInput, w.simConfig(false))
+	st, err := w.runSim(ctx, w.Prog.WithAnnots(nil), w.simConfig(false))
 	if err != nil {
 		err = fmt.Errorf("%s: baseline: %w", w.Bench.Name, err)
 		if isCtxErr(err) {
@@ -265,7 +274,7 @@ func (w *Workload) RunDMPCtx(ctx context.Context, annots map[int]*isa.DivergeInf
 	if err := verify.CheckAnnots(annotated, w.Bench.Name); err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}
-	st, err := w.opts.Cache.RunCtx(ctx, annotated, w.RunInput, w.simConfig(true))
+	st, err := w.runSim(ctx, annotated, w.simConfig(true))
 	if err != nil {
 		return st, fmt.Errorf("%s: dmp: %w", w.Bench.Name, err)
 	}

@@ -88,6 +88,10 @@ type RunMetrics struct {
 	// benchmarks.
 	DegenerateRuns       uint64   `json:"degenerate_runs,omitempty"`
 	DegenerateBenchmarks []string `json:"degenerate_benchmarks,omitempty"`
+	// Sampling, present when the session ran in sampled mode, aggregates
+	// the per-run SMARTS accounting: detailed-versus-fast-forwarded
+	// instruction shares and the error-bar distribution.
+	Sampling *SampleMetrics `json:"sampling,omitempty"`
 	// ProcAllocs is the process-wide heap-allocation delta since the session
 	// opened. It covers the harness as well as the simulator, which makes it
 	// an honest (upper-bound) numerator for AllocsPerKI: the simulator's own
@@ -129,6 +133,7 @@ func (s *Session) Metrics() RunMetrics {
 		Sessions:             s.sessTotals,
 		DegenerateRuns:       s.degenRuns,
 		DegenerateBenchmarks: degen,
+		Sampling:             s.sampleMetrics(),
 	}
 	s.runMu.Unlock()
 	m.Pool = PoolMetrics{
@@ -161,6 +166,11 @@ func (m RunMetrics) Footer(w io.Writer) {
 		m.ProcAllocs, m.AllocsPerKI())
 	fmt.Fprintf(w, "worker pool   %d workers, %.1f%% occupancy\n",
 		m.Pool.Parallelism, 100*m.Pool.Occupancy())
+	if sm := m.Sampling; sm != nil {
+		fmt.Fprintf(w, "sampling      %d sampled runs (%d exact, %d unbounded); %.2f%% of %d MI detailed; CI ±%.2f%% mean, ±%.2f%% max\n",
+			sm.Runs, sm.Exact, sm.Unbounded, sm.DetailedPct(), sm.TotalInsts/1_000_000,
+			100*sm.MeanRelErr, 100*sm.MaxRelErr)
+	}
 	if len(m.Experiments) > 0 {
 		fmt.Fprintf(w, "experiments  ")
 		var total time.Duration

@@ -23,6 +23,7 @@ import (
 	"dmp/internal/isa"
 	"dmp/internal/pipeline"
 	"dmp/internal/profile"
+	"dmp/internal/sample"
 	"dmp/internal/simcache"
 	"dmp/internal/static"
 	"dmp/internal/trace"
@@ -151,6 +152,23 @@ type EvalOptions struct {
 	// Progress, when non-nil, is called at each phase transition with one
 	// of "compile", "profile", "select", "baseline", "dmp".
 	Progress func(phase string)
+	// Sample, when Enabled, routes the baseline and DMP simulations through
+	// the SMARTS sampled executor; the reported IPCs are the estimates
+	// projected through sample.Result.AsStats. Sampled runs are memoized
+	// under conf-extended keys, disjoint from full-fidelity entries.
+	Sample sample.SampleConf
+}
+
+// runEval executes one evaluation simulation honouring the sampling option.
+func (o EvalOptions) runEval(ctx context.Context, prog *isa.Program, input []int64, cfg pipeline.Config) (pipeline.Stats, error) {
+	if !o.Sample.Enabled {
+		return o.Cache.RunCtx(ctx, prog, input, cfg)
+	}
+	r, err := o.Cache.RunSampledCtx(ctx, prog, input, cfg, o.Sample)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return r.AsStats(), nil
 }
 
 func (o EvalOptions) note(phase string) {
@@ -217,12 +235,12 @@ func EvalSource(ctx context.Context, name, source string, runInput, trainInput [
 	baseCfg.Tracer = opts.Tracer
 	dmpCfg.Tracer = opts.Tracer
 	opts.note("baseline")
-	base, err := opts.Cache.RunCtx(ctx, prog.WithAnnots(nil), runInput, baseCfg)
+	base, err := opts.runEval(ctx, prog.WithAnnots(nil), runInput, baseCfg)
 	if err != nil {
 		return r, fmt.Errorf("baseline: %w", err)
 	}
 	opts.note("dmp")
-	dmp, err := opts.Cache.RunCtx(ctx, annotated, runInput, dmpCfg)
+	dmp, err := opts.runEval(ctx, annotated, runInput, dmpCfg)
 	if err != nil {
 		return r, fmt.Errorf("dmp: %w", err)
 	}

@@ -46,6 +46,11 @@ var (
 	statsSchemaHex  string
 )
 
+// SchemaOf returns the wire-shape fingerprint of v's type, using the same
+// walk as StatsSchema. The sampling layer folds the fingerprint of its own
+// result type into simulation-cache keys the same way Stats is.
+func SchemaOf(v any) string { return schemaOf(reflect.TypeOf(v)) }
+
 // schemaOf fingerprints a type's wire shape: struct field names, JSON tags
 // and element types, walked recursively. Type names are deliberately left
 // out — JSON carries none, so two structurally identical types have the same

@@ -69,6 +69,17 @@ type Sim struct {
 	lastRetireCycle int64
 	fetchDone       bool
 
+	// win is the sampling measurement window (sample.go). It is armed only
+	// inside RunInterval, so the full-fidelity retire path pays exactly one
+	// predictable branch for it.
+	win sampleWindow
+	// wh / whPred are the lazily built functional-warming hook sets Skip
+	// hands to the emulator's block-batched warm executor (sample.go):
+	// wh warms caches/BTB/history only, whPred additionally trains the
+	// branch predictor and confidence estimator.
+	wh     *emu.WarmHooks
+	whPred *emu.WarmHooks
+
 	// audit accumulates the per-branch session audit (always on: its cost
 	// is per dpred session / flush, not per instruction).
 	audit trace.AuditBuilder
@@ -141,28 +152,8 @@ func (s *Sim) RunCtx(ctx context.Context) (Stats, error) {
 
 // Run executes the simulation loop.
 func (s *Sim) Run() (Stats, error) {
-	s.lastRetireCycle = 0
-	for {
-		if err := s.tr.Err(); err != nil {
-			return s.stats, fmt.Errorf("pipeline: functional execution: %w", err)
-		}
-		if s.ctx != nil && s.cycle&cancelCheckMask == 0 {
-			if err := s.ctx.Err(); err != nil {
-				return s.stats, fmt.Errorf("pipeline: cancelled at cycle %d: %w", s.cycle, err)
-			}
-		}
-		if s.tr.Done() && s.fqLen() == 0 && s.robLen() == 0 {
-			break
-		}
-		s.checkFlush()
-		s.retire()
-		s.dispatch()
-		s.fetch()
-		s.cycle++
-		if s.cycle-s.lastRetireCycle > s.cfg.WatchdogCycles {
-			return s.stats, fmt.Errorf("pipeline: watchdog: no retirement for %d cycles at cycle %d (rob=%d fq=%d)",
-				s.cfg.WatchdogCycles, s.cycle, s.robLen(), s.fqLen())
-		}
+	if err := s.runLoop(); err != nil {
+		return s.stats, err
 	}
 	s.stats.Cycles = s.cycle
 	s.stats.Audit = s.audit.Build()
@@ -172,6 +163,36 @@ func (s *Sim) Run() (Stats, error) {
 	s.stats.DCache = s.hier.D.Stats()
 	s.stats.L2 = s.hier.L2.Stats()
 	return s.stats, nil
+}
+
+// runLoop cycles the machine until the trace is exhausted and the pipeline
+// has drained. It is shared between Run (one trace, run to completion) and
+// RunInterval (sampled mode: bounded trace budgets, resumed repeatedly); only
+// Run finalises the Stats afterwards.
+func (s *Sim) runLoop() error {
+	s.lastRetireCycle = s.cycle
+	for {
+		if err := s.tr.Err(); err != nil {
+			return fmt.Errorf("pipeline: functional execution: %w", err)
+		}
+		if s.ctx != nil && s.cycle&cancelCheckMask == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("pipeline: cancelled at cycle %d: %w", s.cycle, err)
+			}
+		}
+		if s.tr.Done() && s.fqLen() == 0 && s.robLen() == 0 {
+			return nil
+		}
+		s.checkFlush()
+		s.retire()
+		s.dispatch()
+		s.fetch()
+		s.cycle++
+		if s.cycle-s.lastRetireCycle > s.cfg.WatchdogCycles {
+			return fmt.Errorf("pipeline: watchdog: no retirement for %d cycles at cycle %d (rob=%d fq=%d)",
+				s.cfg.WatchdogCycles, s.cycle, s.robLen(), s.fqLen())
+		}
+	}
 }
 
 func (s *Sim) fqLen() int  { return len(s.fq) - s.fqHead }
@@ -541,6 +562,9 @@ func (s *Sim) retireEntry(e *entry) {
 			}
 			s.pred.Update(e.pc, e.fetchHist, e.taken)
 			s.conf.Update(e.pc, e.fetchHist, e.misp)
+		}
+		if s.win.armed {
+			s.winMark()
 		}
 	default:
 		// Wrong-path non-predicated entries are normally squashed before the

@@ -24,8 +24,11 @@ type traceReader struct {
 	buf []emu.Trace
 	pos int // next unconsumed index in buf[:n]
 	n   int
-	// done is set at halt or when maxInsts entries have been produced.
-	done bool
+	// done is set at halt or when maxInsts entries have been produced;
+	// halted distinguishes the two so extendBudget can reopen a reader that
+	// only ran out of budget.
+	done   bool
+	halted bool
 	// pending holds a fault discovered mid-batch; it surfaces as err only
 	// after the entries before it have been consumed, exactly when a
 	// step-by-step reader would have hit it.
@@ -77,12 +80,132 @@ func (t *traceReader) fill() {
 		switch {
 		case errors.Is(err, emu.ErrHalted):
 			t.done = true
+			t.halted = true
 		case k == 0:
 			t.err = err
 		default:
 			t.pending = err
 		}
 	}
+}
+
+// extendBudget allows n more entries to be produced, reopening a reader that
+// exhausted its instruction budget. A reader that saw the machine halt (or
+// fault) stays done: there is no more trace to extend into.
+func (t *traceReader) extendBudget(n uint64) {
+	t.maxInsts = t.fetched + n
+	if !t.halted && t.err == nil && t.pending == nil {
+		t.done = false
+	}
+}
+
+// skip functionally advances the machine past n correct-path instructions
+// without materialising trace entries for them: whatever is already buffered
+// is consumed first, the remainder runs on the emulator's block-batched path
+// (no per-instruction trace construction). It returns the number actually
+// skipped, which falls short of n only when the machine halts or faults.
+func (t *traceReader) skip(n uint64) (uint64, error) {
+	var skipped uint64
+	if avail := uint64(t.n - t.pos); avail > 0 {
+		take := min(avail, n)
+		t.pos += int(take)
+		t.count += take
+		skipped += take
+	}
+	if skipped == n {
+		return skipped, nil
+	}
+	if t.err != nil {
+		return skipped, t.err
+	}
+	if t.pending != nil {
+		// The buffered entries before the fault are gone; the fault is next.
+		t.err = t.pending
+		return skipped, t.err
+	}
+	// Chunked so cancellation has a poll point every few million
+	// instructions even inside one long fast-forward.
+	const skipChunk = 1 << 22
+	for skipped < n && !t.m.Halted() {
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				t.err = err
+				return skipped, err
+			}
+		}
+		br, err := t.m.RunBlock(min(n-skipped, skipChunk))
+		skipped += br.N
+		t.count += br.N
+		t.fetched += br.N
+		if err != nil {
+			if errors.Is(err, emu.ErrHalted) {
+				break
+			}
+			t.err = err
+			return skipped, err
+		}
+	}
+	if t.m.Halted() {
+		t.done = true
+		t.halted = true
+	}
+	return skipped, nil
+}
+
+// skipWarm is skip with functional warming: buffered lookahead entries are
+// handed to warm one by one before being dropped, and the remainder runs on
+// the emulator's block-batched warm executor (emu.RunWarm), which reports
+// branch outcomes, load addresses and straight-line extents through hooks.
+// The sampling layer uses it to keep the cache, BTB and history state a
+// detailed interval inherits tracking what a full-fidelity run would have
+// built (the SMARTS warming scheme), at a cost close to skip's plain
+// block-batched path rather than the step-batched one.
+func (t *traceReader) skipWarm(n uint64, warm func(*emu.Trace), hooks *emu.WarmHooks) (uint64, error) {
+	var skipped uint64
+	for t.pos < t.n && skipped < n {
+		warm(&t.buf[t.pos])
+		t.pos++
+		t.count++
+		skipped++
+	}
+	if skipped == n {
+		return skipped, nil
+	}
+	if t.err != nil {
+		return skipped, t.err
+	}
+	if t.pending != nil {
+		// The buffered entries before the fault are gone; the fault is next.
+		t.err = t.pending
+		return skipped, t.err
+	}
+	// Chunked so cancellation has a poll point every few million
+	// instructions even inside one long fast-forward.
+	const warmChunk = 1 << 22
+	for skipped < n && !t.m.Halted() {
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				t.err = err
+				return skipped, err
+			}
+		}
+		k, err := t.m.RunWarm(min(n-skipped, warmChunk), hooks)
+		skipped += k
+		t.count += k
+		t.fetched += k
+		if err != nil {
+			if errors.Is(err, emu.ErrHalted) {
+				break
+			}
+			t.err = err
+			return skipped, err
+		}
+	}
+	if t.m.Halted() {
+		t.done = true
+		t.halted = true
+	}
+	return skipped, nil
 }
 
 // Peek returns the next correct-path entry without consuming it. The

@@ -1,0 +1,173 @@
+// Package sample implements SMARTS-style sampled simulation: short detailed
+// intervals (warmup + measurement) run through the cycle-level pipeline
+// model, separated by functional fast-forward on the predecoded emulator.
+// Architectural state crosses the boundary via emu snapshots; the per-shard
+// microarchitectural state (branch predictor, confidence estimator, BTB,
+// caches) stays warm across the intervals of one shard, and each interval's
+// warmup re-trains whatever went stale during the skip.
+//
+// The per-interval CPIs form the statistical estimate: their mean scales the
+// program's instruction count into an estimated cycle total, and their
+// Student-t confidence interval is the error bar every consumer must carry.
+// The full-fidelity pipeline run stays the reference — sampling is an
+// estimator whose error is measured (the dmpbench -exp sample-error gate),
+// never assumed.
+package sample
+
+import (
+	"fmt"
+)
+
+// SampleConf configures the sampling executor. The zero value means "no
+// sampling"; DefaultConf returns the tuned defaults the evaluation gates
+// run at. The struct is serializable (JSON for job specs and -metrics-json,
+// AppendCanonical for simulation-cache keys): two runs with equal canonical
+// forms produce identical Results, so the conf participates in memoization
+// keys exactly like pipeline.Config does.
+type SampleConf struct {
+	// Enabled turns sampling on; a zero conf leaves the full-fidelity path
+	// in charge.
+	Enabled bool `json:"enabled"`
+	// Interval is the measured length of each detailed interval, in
+	// on-trace instructions.
+	Interval uint64 `json:"interval"`
+	// Warmup is the detailed-warmup length preceding each measurement, in
+	// on-trace instructions. It re-trains predictor/cache state after a
+	// functional skip and absorbs the shard's cold start.
+	Warmup uint64 `json:"warmup"`
+	// Period is the distance between interval starts, in instructions; the
+	// fraction (Warmup+Interval)/Period is the detailed-simulation share of
+	// the run. Must satisfy Period >= Warmup+Interval.
+	Period uint64 `json:"period"`
+	// Seed randomises interval placement: the program is tiled into
+	// Period-length strata and each stratum's interval lands at a
+	// seed-derived offset within it (stratified random sampling). Pure
+	// systematic placement — one global offset, constant spacing — aliases
+	// against periodic program behaviour, which measurably produces
+	// confident wrong estimates on phase-heavy workloads; per-stratum
+	// jitter keeps the spacing near-systematic while breaking the
+	// resonance.
+	Seed uint64 `json:"seed"`
+	// Confidence is the two-sided level of the reported interval (0 means
+	// the 0.95 default).
+	Confidence float64 `json:"confidence,omitempty"`
+	// WarmLead is the functional-warming lead-in of each shard, in
+	// instructions: the shard's machine is forked that far before its first
+	// interval and fast-forwarded with predictor/cache warming, so the
+	// shard does not start detailed simulation against cold
+	// microarchitectural state (0 = the 50_000 default). Within a shard,
+	// every skip between intervals warms the same way.
+	WarmLead uint64 `json:"warm_lead,omitempty"`
+	// PredLead is the predictor-training tail of each functional
+	// fast-forward, in instructions: the last PredLead instructions before
+	// a detailed interval warm the branch predictor and confidence
+	// estimator in addition to the always-warmed caches/BTB/history
+	// (0 = the 20_000 default). Per-branch predictor training is the most
+	// expensive warming operation, and the predictor tables re-converge
+	// over tens of thousands of instructions, so training through the whole
+	// skip buys nothing over training through its tail.
+	PredLead uint64 `json:"pred_lead,omitempty"`
+	// MinIntervals is the minimum number of intervals worth sampling: a
+	// program too short for that many falls back to one exact full-fidelity
+	// run (Result.Exact), because a two-interval estimate is noise with
+	// error bars wider than the run is long.
+	MinIntervals int `json:"min_intervals,omitempty"`
+	// Shards sets the number of parallel interval shards. 0 (the default)
+	// runs one chained stream: every interval inherits the full warm
+	// microarchitectural history of everything before it, which measured
+	// accuracy on memory-bound workloads depends on (a shard's lead-in
+	// cannot rebuild a 1MB L2 working set). Shards >= 2 splits the
+	// intervals into contiguous chains fanned out across cores through the
+	// process-wide workpool budget — wall-clock over fidelity, the
+	// measured per-shard cold-start cost is documented in EXPERIMENTS.md.
+	// The value is part of the canonical form: it is deliberately NOT
+	// derived from the machine, so results and cache keys are
+	// host-independent.
+	Shards int `json:"shards,omitempty"`
+}
+
+// DefaultConf returns the tuned sampling configuration: 2k-instruction
+// measured intervals behind 2k of detailed warmup every 90k instructions
+// (4.4% detailed share), functional warming everywhere in between with a
+// 20k-instruction predictor-training tail, a 50k-instruction warmed shard
+// lead-in, 95% confidence. The tuning is pinned by the dmpbench -exp
+// sample-error gate: every corpus aggregate must land inside its reported
+// error bar.
+func DefaultConf() SampleConf {
+	return SampleConf{
+		Enabled:      true,
+		Interval:     2000,
+		Warmup:       2000,
+		Period:       90_000,
+		Seed:         1,
+		WarmLead:     50_000,
+		PredLead:     20_000,
+		Confidence:   0.95,
+		MinIntervals: 8,
+	}
+}
+
+// Normalize returns the conf with every optional field resolved to its
+// default — the form Run executes and AppendCanonical keys on. Consumers
+// that display or compare confs should normalize first.
+func (c SampleConf) Normalize() SampleConf { return c.withDefaults() }
+
+// withDefaults fills the optional fields.
+func (c SampleConf) withDefaults() SampleConf {
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.MinIntervals <= 0 {
+		c.MinIntervals = 4
+	}
+	if c.WarmLead == 0 {
+		c.WarmLead = 50_000
+	}
+	if c.PredLead == 0 {
+		c.PredLead = 20_000
+	}
+	return c
+}
+
+// Validate checks the configuration shape. A disabled conf is always valid.
+func (c SampleConf) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.Interval == 0:
+		return fmt.Errorf("sample: interval length must be positive")
+	case c.Period == 0:
+		return fmt.Errorf("sample: period must be positive")
+	case c.Period < c.Warmup+c.Interval:
+		return fmt.Errorf("sample: period %d shorter than warmup+interval %d", c.Period, c.Warmup+c.Interval)
+	case c.Confidence < 0 || c.Confidence >= 1:
+		return fmt.Errorf("sample: confidence %v outside (0, 1)", c.Confidence)
+	case c.MinIntervals < 0:
+		return fmt.Errorf("sample: min_intervals must be >= 0")
+	case c.Shards < 0:
+		return fmt.Errorf("sample: shards must be >= 0")
+	}
+	return nil
+}
+
+// AppendCanonical appends a deterministic rendering of the configuration to
+// dst, mirroring pipeline.Config.AppendCanonical: every field participates,
+// so adding a field changes the canonical form and invalidates stale cache
+// entries keyed on it. Defaults are resolved first, so an explicit 0.95
+// confidence and an implied one key identically.
+func (c SampleConf) AppendCanonical(dst []byte) []byte {
+	return fmt.Appendf(dst, "%+v", c.withDefaults())
+}
+
+// offAt derives stratum k's interval offset in [0, span) from the seed
+// (splitmix64 finalizer over seed and stratum index, so consecutive strata
+// and consecutive seeds give unrelated offsets). span is the stratum's
+// placement slack: period - warmup - interval + 1 for a full stratum.
+func (c SampleConf) offAt(k, span uint64) uint64 {
+	z := c.Seed + (k+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z % span
+}

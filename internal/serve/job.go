@@ -9,6 +9,7 @@ import (
 
 	"dmp/internal/gen"
 	"dmp/internal/harness"
+	"dmp/internal/sample"
 )
 
 // JobSpec is one compile+simulate request. Exactly one of Preset or Source
@@ -37,6 +38,52 @@ type JobSpec struct {
 	// Trace streams the job's pipeline events on /jobs/{id}/events.
 	// Traced simulations bypass the simcache by design.
 	Trace bool `json:"trace,omitempty"`
+	// Sample, when present, runs the job's simulations through the SMARTS
+	// sampled executor with this configuration (zero-valued fields take
+	// the executor defaults; Enabled is implied by presence). The job's
+	// reported IPCs are sampled estimates, memoized separately from
+	// full-fidelity runs.
+	Sample *sample.SampleConf `json:"sample,omitempty"`
+}
+
+// sampleConf returns the spec's effective sampling configuration: the
+// disabled zero conf when the block is absent; otherwise the executor
+// defaults with the block's non-zero fields overlaid (so `"sample": {}`
+// means "sampled at defaults" on the wire).
+func (s *JobSpec) sampleConf() sample.SampleConf {
+	if s.Sample == nil {
+		return sample.SampleConf{}
+	}
+	c := sample.DefaultConf()
+	o := *s.Sample
+	if o.Interval != 0 {
+		c.Interval = o.Interval
+	}
+	if o.Warmup != 0 {
+		c.Warmup = o.Warmup
+	}
+	if o.Period != 0 {
+		c.Period = o.Period
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	if o.Confidence != 0 {
+		c.Confidence = o.Confidence
+	}
+	if o.WarmLead != 0 {
+		c.WarmLead = o.WarmLead
+	}
+	if o.PredLead != 0 {
+		c.PredLead = o.PredLead
+	}
+	if o.MinIntervals != 0 {
+		c.MinIntervals = o.MinIntervals
+	}
+	if o.Shards != 0 {
+		c.Shards = o.Shards
+	}
+	return c
 }
 
 // Validate checks the spec shape without compiling anything.
@@ -54,6 +101,11 @@ func (s *JobSpec) Validate() error {
 	if s.Algo != "" {
 		if !harness.KnownAlgo(s.Algo) {
 			return fmt.Errorf("unknown algorithm %q", s.Algo)
+		}
+	}
+	if s.Sample != nil {
+		if err := s.sampleConf().Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

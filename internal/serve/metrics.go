@@ -68,6 +68,10 @@ type Metrics struct {
 	// PanicsRecovered counts worker panics converted into single-job
 	// failures; the process survives every one of them.
 	PanicsRecovered uint64 `json:"panics_recovered"`
+	// SampledJobs counts completed jobs that ran through the SMARTS
+	// sampled executor (JobSpec.Sample present); the cache block's
+	// Sampled counter tracks the underlying sampled simulations.
+	SampledJobs uint64 `json:"sampled_jobs,omitempty"`
 
 	// JobsPerSec is completed jobs over uptime.
 	JobsPerSec float64 `json:"jobs_per_sec"`

@@ -21,7 +21,11 @@
 // The job body reuses the population-evaluation path (harness.EvalSource /
 // EvalGenerated): compile → profile → select → verify → simulate baseline
 // and DMP, memoized by the shared simcache so duplicate specs across
-// requests cost one simulation. Every job runs under its own context —
+// requests cost one simulation. A spec carrying a "sample" block runs its
+// simulations through the SMARTS sampled executor instead (estimated IPCs
+// with confidence intervals, memoized separately from full-fidelity runs);
+// zero-valued fields in the block take the executor defaults, so
+// "sample": {} means sampled-at-defaults. Every job runs under its own context —
 // cancellation aborts mid-profile and mid-simulation at block-batch
 // granularity — and every worker recovers panics into single-job failures:
 // one broken workload can never take the daemon down. The daemon's memory
@@ -136,6 +140,8 @@ type Server struct {
 	canceled  atomic.Uint64
 	rejected  atomic.Uint64
 	panics    atomic.Uint64
+	// sampledDone counts completed jobs that ran under a sampling conf.
+	sampledDone atomic.Uint64
 	lat       latencyRecorder
 
 	// exec runs one job body; tests swap it to exercise panic isolation
@@ -320,6 +326,7 @@ func (s *Server) runJob(j *job) {
 		Cache:    s.cfg.Cache,
 		MaxInsts: s.effectiveMaxInsts(j.spec.MaxInsts),
 		Progress: j.setPhase,
+		Sample:   j.spec.sampleConf(),
 	}
 	if j.ev != nil {
 		opts.Tracer = j.ev
@@ -340,6 +347,9 @@ func (s *Server) runJob(j *job) {
 			return // canceled concurrently; Cancel already counted it
 		}
 		s.completed.Add(1)
+		if j.spec.Sample != nil {
+			s.sampledDone.Add(1)
+		}
 		s.lat.record(lat)
 		s.cfg.Logf("serve: %s done: %s %+.2f%% (base %.3f, dmp %.3f IPC)",
 			j.id, res.Name, res.DeltaPct, res.BaseIPC, res.DMPIPC)
@@ -429,6 +439,7 @@ func (s *Server) Metrics() Metrics {
 		Canceled:        s.canceled.Load(),
 		Rejected:        s.rejected.Load(),
 		PanicsRecovered: s.panics.Load(),
+		SampledJobs:     s.sampledDone.Load(),
 		Cache:           s.cfg.Cache.Metrics(),
 	}
 	if up > 0 {

@@ -13,6 +13,7 @@ type Metrics struct {
 	misses    atomic.Uint64
 	bypasses  atomic.Uint64
 	cancels   atomic.Uint64
+	sampled   atomic.Uint64
 	simWallNS atomic.Int64
 	simCycles atomic.Int64
 	simInsts  atomic.Uint64
@@ -26,6 +27,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Misses:    m.misses.Load(),
 		Bypasses:  m.bypasses.Load(),
 		Cancels:   m.cancels.Load(),
+		Sampled:   m.sampled.Load(),
 		SimWall:   time.Duration(m.simWallNS.Load()),
 		SimCycles: m.simCycles.Load(),
 		SimInsts:  m.simInsts.Load(),
@@ -50,6 +52,11 @@ type Snapshot struct {
 	// Cancels counts runs aborted by context cancellation; they are
 	// evicted, never memoized, and excluded from every other counter.
 	Cancels uint64 `json:"cancels,omitempty"`
+	// Sampled counts SMARTS-sampled simulations actually executed (a
+	// subset of Misses, plus traced bypass runs). Their wall time lands in
+	// SimWall but their estimated cycles never enter SimCycles — that
+	// counter means cycles the pipeline really simulated.
+	Sampled uint64 `json:"sampled,omitempty"`
 	// SimWall is the aggregate wall time spent inside pipeline.Run.
 	SimWall time.Duration `json:"sim_wall_ns"`
 	// SimCycles is the total simulated cycles across executed runs.
@@ -99,6 +106,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Misses:    s.Misses - prev.Misses,
 		Bypasses:  s.Bypasses - prev.Bypasses,
 		Cancels:   s.Cancels - prev.Cancels,
+		Sampled:   s.Sampled - prev.Sampled,
 		SimWall:   s.SimWall - prev.SimWall,
 		SimCycles: s.SimCycles - prev.SimCycles,
 		SimInsts:  s.SimInsts - prev.SimInsts,

@@ -1,0 +1,184 @@
+package simcache
+
+import (
+	"context"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dmp/internal/isa"
+	"dmp/internal/pipeline"
+	"dmp/internal/sample"
+)
+
+// sampledKeySchema versions the sampled-entry key derivation. It folds in
+// sample.Schema() — the fingerprint of the Result wire shape — so extending
+// Result invalidates stale sampled entries the same way StatsSchema guards
+// full-fidelity ones.
+var sampledKeySchema = "dmp-simcache-sampled-v1\x00" + sample.Schema() + "\x00"
+
+// sresult is one memoized sampled simulation (the sampled twin of result).
+type sresult struct {
+	ready chan struct{}
+	res   sample.Result
+	err   error
+}
+
+// KeyOfSampled derives the cache key for one sampled simulation: the
+// full-fidelity key of the underlying (program, input, config) triple,
+// extended with the sampling configuration's canonical form. Two runs with
+// equal canonical confs produce identical Results (interval placement is a
+// pure function of instruction count and conf), which is what makes sampled
+// runs memoizable at all.
+func (c *Cache) KeyOfSampled(prog *isa.Program, input []int64, cfg pipeline.Config, sc sample.SampleConf) Key {
+	base := c.KeyOf(prog, input, cfg)
+	h := sha256.New()
+	h.Write([]byte(sampledKeySchema))
+	h.Write(base[:])
+	h.Write(sc.AppendCanonical(nil))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// RunSampled is RunSampledCtx without cancellation.
+func (c *Cache) RunSampled(prog *isa.Program, input []int64, cfg pipeline.Config, sc sample.SampleConf) (sample.Result, error) {
+	return c.RunSampledCtx(context.Background(), prog, input, cfg, sc)
+}
+
+// RunSampledCtx returns the memoized sample.Result for the sampled
+// simulation, executing it at most once per process per distinct
+// (program, input, config, sampling conf) tuple. Sampled entries live in
+// their own map and on-disk namespace — a sampled estimate and a
+// full-fidelity Stats are different animals and must never answer for each
+// other. The cancellation contract matches RunCtx: aborted runs are evicted
+// before their waiters wake and are never memoized. On a nil cache it
+// degenerates to sample.Run. Traced configs bypass memoization for the same
+// reason they do on the full-fidelity path.
+func (c *Cache) RunSampledCtx(ctx context.Context, prog *isa.Program, input []int64, cfg pipeline.Config, sc sample.SampleConf) (sample.Result, error) {
+	if c == nil {
+		return sample.Run(ctx, prog, input, cfg, sc)
+	}
+	if cfg.Tracer != nil {
+		c.metrics.bypasses.Add(1)
+		start := time.Now()
+		r, err := sample.Run(ctx, prog, input, cfg, sc)
+		c.metrics.simWallNS.Add(int64(time.Since(start)))
+		if err == nil {
+			c.metrics.sampled.Add(1)
+		}
+		return r, err
+	}
+	key := c.KeyOfSampled(prog, input, cfg, sc)
+
+	for {
+		c.mu.Lock()
+		if c.smem == nil {
+			c.smem = map[Key]*sresult{}
+		}
+		if r, ok := c.smem[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-r.ready:
+				c.metrics.hits.Add(1)
+			default:
+				c.metrics.dedups.Add(1)
+				select {
+				case <-r.ready:
+				case <-ctx.Done():
+					return sample.Result{}, ctx.Err()
+				}
+			}
+			if r.err != nil && isCtxErr(r.err) {
+				if err := ctx.Err(); err != nil {
+					return sample.Result{}, err
+				}
+				continue
+			}
+			return r.res, r.err
+		}
+		r := &sresult{ready: make(chan struct{})}
+		c.smem[key] = r
+		c.mu.Unlock()
+		return c.computeSampled(ctx, key, r, prog, input, cfg, sc)
+	}
+}
+
+// computeSampled executes (or disk-loads) a sampled simulation for a freshly
+// inserted in-flight entry.
+func (c *Cache) computeSampled(ctx context.Context, key Key, r *sresult, prog *isa.Program, input []int64, cfg pipeline.Config, sc sample.SampleConf) (sample.Result, error) {
+	defer close(r.ready)
+
+	if res, ok := c.loadDiskSampled(key); ok {
+		c.metrics.diskHits.Add(1)
+		r.res = res
+		return res, nil
+	}
+
+	start := time.Now()
+	r.res, r.err = sample.Run(ctx, prog, input, cfg, sc)
+	c.metrics.simWallNS.Add(int64(time.Since(start)))
+	if r.err != nil && isCtxErr(r.err) {
+		c.metrics.cancels.Add(1)
+		c.mu.Lock()
+		delete(c.smem, key)
+		c.mu.Unlock()
+		return r.res, r.err
+	}
+	c.metrics.misses.Add(1)
+	if r.err == nil {
+		c.metrics.sampled.Add(1)
+		c.storeDiskSampled(key, r.res)
+	}
+	return r.res, r.err
+}
+
+// diskPathSampled namespaces sampled entries by the Result schema, parallel
+// to the full-fidelity "s-" generation directories.
+func (c *Cache) diskPathSampled(key Key) string {
+	return filepath.Join(c.dir, "sm-"+sample.Schema(), key.String()+".json")
+}
+
+func (c *Cache) loadDiskSampled(key Key) (sample.Result, bool) {
+	if c.dir == "" {
+		return sample.Result{}, false
+	}
+	b, err := os.ReadFile(c.diskPathSampled(key))
+	if err != nil {
+		return sample.Result{}, false
+	}
+	res, err := sample.UnmarshalResult(b)
+	if err != nil {
+		return sample.Result{}, false
+	}
+	return res, true
+}
+
+func (c *Cache) storeDiskSampled(key Key, res sample.Result) {
+	if c.dir == "" {
+		return
+	}
+	b, err := sample.MarshalResult(res)
+	if err != nil {
+		return
+	}
+	dir := filepath.Dir(c.diskPathSampled(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.diskPathSampled(key)); err != nil {
+		os.Remove(name)
+	}
+}

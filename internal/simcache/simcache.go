@@ -63,8 +63,9 @@ type result struct {
 type Cache struct {
 	dir string // "" = memory-only
 
-	mu  sync.Mutex
-	mem map[Key]*result
+	mu   sync.Mutex
+	mem  map[Key]*result
+	smem map[Key]*sresult // sampled runs: estimates never answer for exact stats
 
 	// codeHash memoizes the program-content hash by annotation-sidecar
 	// identity: harness workloads simulate the same compiled binary under

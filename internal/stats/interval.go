@@ -1,0 +1,163 @@
+package stats
+
+import "math"
+
+// Confidence-interval helpers for the sampled-simulation layer
+// (internal/sample): sample standard deviation, standard error of the mean,
+// and the two-sided Student-t critical value. All of it is closed-form or a
+// bisection on a monotone CDF — no external numerics dependency.
+
+// StdDev returns the sample (n-1) standard deviation of xs, 0 for fewer than
+// two values.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// StdErr returns the standard error of the mean of xs (sample stddev over
+// sqrt(n)), 0 for fewer than two values.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// TCritical returns the two-sided Student-t critical value for the given
+// confidence level (e.g. 0.95) and degrees of freedom: the t with
+// P(|T| <= t) = confidence. It returns +Inf for df < 1 (a single-interval
+// sample has no spread estimate — the interval is unbounded, which callers
+// must surface rather than hide) and NaN for a confidence outside (0, 1).
+func TCritical(confidence float64, df int) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		return math.NaN()
+	}
+	if df < 1 {
+		return math.Inf(1)
+	}
+	// P(|T| <= t) = confidence  ⇔  CDF(t) = (1+confidence)/2.
+	target := (1 + confidence) / 2
+	// Bisection on the monotone CDF. The normal quantile bounds the t
+	// quantile from below; 1e3*(upper-tail scale) comfortably bounds it from
+	// above for df >= 1 and confidence <= 0.9999.
+	lo, hi := 0.0, 1.0
+	for tCDF(hi, df) < target {
+		hi *= 2
+		if hi > 1e8 {
+			break
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanCI returns the mean of xs and the half-width of its two-sided
+// Student-t confidence interval at the given level. The half-width is +Inf
+// for fewer than two values (no spread estimate) and 0 only when the values
+// are identical.
+func MeanCI(xs []float64, confidence float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, math.Inf(1)
+	}
+	return mean, TCritical(confidence, len(xs)-1) * StdErr(xs)
+}
+
+// tCDF returns P(T <= t) for Student's t with df degrees of freedom, via the
+// regularised incomplete beta function:
+//
+//	P(T <= t) = 1 - I_{df/(df+t²)}(df/2, 1/2) / 2   for t >= 0.
+func tCDF(t float64, df int) float64 {
+	if t < 0 {
+		return 1 - tCDF(-t, df)
+	}
+	x := float64(df) / (float64(df) + t*t)
+	return 1 - 0.5*betaInc(float64(df)/2, 0.5, x)
+}
+
+// betaInc is the regularised incomplete beta function I_x(a, b), evaluated
+// with the Lentz continued fraction (Numerical Recipes §6.4 form).
+func betaInc(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for betaInc by the modified Lentz
+// method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStdDevStdErr(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known sample stddev: variance 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got, want := StdErr(xs), want/math.Sqrt(8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+	if StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of <2 values must be 0")
+	}
+	if StdErr(nil) != 0 || StdErr([]float64{3}) != 0 {
+		t.Error("StdErr of <2 values must be 0")
+	}
+}
+
+// TestTCritical pins the two-sided Student-t critical values against
+// standard table entries.
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		conf float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 2, 4.3027},
+		{0.95, 5, 2.5706},
+		{0.95, 10, 2.2281},
+		{0.95, 30, 2.0423},
+		{0.95, 100, 1.9840},
+		{0.99, 10, 3.1693},
+		{0.90, 10, 1.8125},
+		{0.95, 1000, 1.9623},
+	}
+	for _, c := range cases {
+		got := TCritical(c.conf, c.df)
+		if math.Abs(got-c.want) > 5e-4*c.want {
+			t.Errorf("TCritical(%v, %d) = %v, want %v", c.conf, c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical(0.95, 0), 1) {
+		t.Error("TCritical with df=0 must be +Inf")
+	}
+	if !math.IsNaN(TCritical(1.5, 10)) || !math.IsNaN(TCritical(0, 10)) {
+		t.Error("TCritical with confidence outside (0,1) must be NaN")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 14, 16, 18}
+	mean, hw := MeanCI(xs, 0.95)
+	if mean != 14 {
+		t.Errorf("mean = %v, want 14", mean)
+	}
+	// t(.95, df=4) = 2.7764.
+	wantHW := 2.7764 * StdErr(xs)
+	if math.Abs(hw-wantHW) > 1e-3 {
+		t.Errorf("half-width = %v, want %v", hw, wantHW)
+	}
+	if _, hw := MeanCI([]float64{5}, 0.95); !math.IsInf(hw, 1) {
+		t.Error("single-value CI half-width must be +Inf")
+	}
+	if _, hw := MeanCI([]float64{5, 5, 5, 5}, 0.95); hw != 0 {
+		t.Errorf("identical-values CI half-width = %v, want 0", hw)
+	}
+}
+
+// TestTCDFSymmetry checks CDF plausibility: symmetry around 0 and agreement
+// with the normal limit at large df.
+func TestTCDFSymmetry(t *testing.T) {
+	for _, df := range []int{1, 3, 17, 200} {
+		for _, x := range []float64{0.1, 0.7, 1.5, 3} {
+			if d := tCDF(x, df) + tCDF(-x, df); math.Abs(d-1) > 1e-10 {
+				t.Errorf("tCDF symmetry violated at df=%d x=%v: sum=%v", df, x, d)
+			}
+		}
+	}
+	// df → ∞ limit: t(0.95) → 1.9600.
+	if got := TCritical(0.95, 100000); math.Abs(got-1.96) > 1e-3 {
+		t.Errorf("TCritical(0.95, 1e5) = %v, want ≈1.96", got)
+	}
+}

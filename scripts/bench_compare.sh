@@ -2,12 +2,12 @@
 # Benchmark-regression gate for the simulator's hot loop.
 #
 # Runs the root corpus benchmarks (BenchmarkPipelineBaseline/DMP, which
-# report sim-insts/s), the pipeline-level BenchmarkDMPRun, and the execution
-# engine benchmarks (BenchmarkEmuRun, BenchmarkProfileCollect), folds the
-# repeats through cmd/benchgate, rewrites BENCH_PR5.json, and fails when
-# throughput drops more than BENCH_MAX_REGRESS percent (default 15) against
-# the snapshot committed at HEAD, or allocs/op grows past the benchgate
-# default.
+# report sim-insts/s), the pipeline-level BenchmarkDMPRun, the execution
+# engine benchmarks (BenchmarkEmuRun, BenchmarkProfileCollect), and the
+# SMARTS sampled executor (BenchmarkSampledRun), folds the repeats through
+# cmd/benchgate, rewrites BENCH_PR9.json, and fails when throughput drops
+# more than BENCH_MAX_REGRESS percent (default 15) against the snapshot
+# committed at HEAD, or allocs/op grows past the benchgate default.
 #
 # benchgate folds repeats best-of, so noise is one-sided (a loaded machine
 # can only look slower); more repeats tighten the estimate.
@@ -31,11 +31,11 @@ trap 'rm -rf "$tmp"' EXIT
 
 count=${BENCH_COUNT:-5}
 go test -run '^$' \
-	-bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun|BenchmarkEmuRun|BenchmarkProfileCollect' \
-	-benchmem -count "$count" . ./internal/pipeline ./internal/emu ./internal/profile | tee "$tmp/bench.txt"
+	-bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun|BenchmarkEmuRun|BenchmarkProfileCollect|BenchmarkSampledRun' \
+	-benchmem -count "$count" . ./internal/pipeline ./internal/emu ./internal/profile ./internal/sample | tee "$tmp/bench.txt"
 
 baseline=""
-if git show HEAD:BENCH_PR5.json > "$tmp/baseline.json" 2>/dev/null; then
+if git show HEAD:BENCH_PR9.json > "$tmp/baseline.json" 2>/dev/null; then
 	baseline="$tmp/baseline.json"
 fi
 
@@ -44,5 +44,5 @@ if [ "${BENCH_UPDATE:-0}" = "1" ]; then
 	update="-update"
 fi
 
-go run ./cmd/benchgate -in "$tmp/bench.txt" -out BENCH_PR5.json \
+go run ./cmd/benchgate -in "$tmp/bench.txt" -out BENCH_PR9.json \
 	${baseline:+-baseline "$baseline"} -max-regress "${BENCH_MAX_REGRESS:-15}" $update
