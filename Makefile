@@ -9,6 +9,8 @@
 #               (dmpgen -check over 50 programs) + the sampled-simulation
 #               differential smoke (sample-error gate) + the dmpserve
 #               daemon smoke (HTTP jobs, cache-hit probe, SIGTERM drain)
+#               + the sweep-engine smoke (dmpsweep over a small grid,
+#               run twice to exercise CSV resume)
 #               + 30s parser and emulator differential fuzz smokes
 #   make test   plain test run (what the quick tier-1 check uses)
 #   make lint   pinned staticcheck + golangci-lint via scripts/lint.sh
@@ -22,9 +24,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke sample-smoke serve-smoke serve-load
+.PHONY: ci vet lint build test race lint-corpus fuzz-smoke fuzz eval trace-smoke alloc-guard bench-compare emu-diff gen-smoke static-smoke sample-smoke serve-smoke serve-load sweep-smoke
 
-ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke sample-smoke serve-smoke fuzz-smoke
+ci: vet lint build race alloc-guard emu-diff lint-corpus trace-smoke bench-compare gen-smoke static-smoke sample-smoke serve-smoke sweep-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -107,6 +109,16 @@ serve-smoke:
 # cache hit rate).
 serve-load:
 	sh scripts/serve_load.sh
+
+# Sweep-engine smoke: a small benchmark x config grid through cmd/dmpsweep
+# with CSV streaming, then the same invocation again against the same file —
+# the second run must resume (skip every completed cell) instead of
+# re-simulating. Runs in seconds.
+sweep-smoke:
+	rm -f .sweep-smoke.csv
+	$(GO) run ./cmd/dmpsweep -bench gzip,mcf -axis ROBSize=128,512 -axis DMP=false,true -max 200000 -q -out .sweep-smoke.csv >/dev/null
+	$(GO) run ./cmd/dmpsweep -bench gzip,mcf -axis ROBSize=128,512 -axis DMP=false,true -max 200000 -q -out .sweep-smoke.csv >/dev/null
+	rm -f .sweep-smoke.csv
 
 # Short deterministic fuzz smoke for CI; crashes fail the gate.
 fuzz-smoke:

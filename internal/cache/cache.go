@@ -35,6 +35,31 @@ var (
 // 300-cycle minimum plus a 40-cycle round-trip bus).
 const MemoryLatency = 300 + 40
 
+// Validate checks one level's geometry: positive sizes, a power-of-two set
+// count (the index is a mask), and a power-of-two line size.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: sizes must be positive (size=%d ways=%d line=%d)",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if c.HitCycles <= 0 {
+		return fmt.Errorf("cache %s: hit latency must be positive (got %d)", c.Name, c.HitCycles)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines < c.Ways {
+		return fmt.Errorf("cache %s: %d lines < %d ways", c.Name, lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two (size=%d ways=%d line=%d)",
+			c.Name, sets, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
 // Stats counts accesses per cache.
 type Stats struct {
 	Accesses uint64
@@ -56,24 +81,33 @@ type Cache struct {
 	lineSh  uint
 	setMask uint64
 	// tags[set*ways+way]; lru[set*ways+way] is a recency counter.
-	tags  []uint64
-	valid []bool
-	lru   []uint64
-	tick  uint64
-	stats Stats
-	next  *Cache // lower level, or nil for memory
+	tags   []uint64
+	valid  []bool
+	lru    []uint64
+	tick   uint64
+	stats  Stats
+	next   *Cache // lower level, or nil for memory
+	memLat int    // latency charged when next == nil
 }
 
-// New creates a cache level backed by next (nil means main memory).
+// New creates a cache level backed by next (nil means main memory at the
+// Table 1 latency).
 func New(cfg Config, next *Cache) *Cache {
-	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	return NewMem(cfg, next, MemoryLatency)
+}
+
+// NewMem is New with an explicit main-memory latency, charged on a miss at
+// the last level (next == nil). Machine-configuration sweeps use it to vary
+// the memory system without touching the package defaults.
+func NewMem(cfg Config, next *Cache, memLat int) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: invalid config: %v", err))
+	}
+	if memLat <= 0 {
+		memLat = MemoryLatency
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes
 	sets := lines / cfg.Ways
-	if sets <= 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache: %s: set count %d not a power of two", cfg.Name, sets))
-	}
 	lineSh := uint(0)
 	for 1<<lineSh < cfg.LineBytes {
 		lineSh++
@@ -87,6 +121,7 @@ func New(cfg Config, next *Cache) *Cache {
 		valid:   make([]bool, lines),
 		lru:     make([]uint64, lines),
 		next:    next,
+		memLat:  memLat,
 	}
 }
 
@@ -112,7 +147,7 @@ func (c *Cache) Access(addr uint64) int {
 		}
 	}
 	c.stats.Misses++
-	lower := MemoryLatency
+	lower := c.memLat
 	if c.next != nil {
 		lower = c.next.Access(addr)
 	}
@@ -159,12 +194,42 @@ type Hierarchy struct {
 	L2 *Cache
 }
 
+// HierarchyConfig describes a full memory system: three cache levels plus
+// the main-memory latency behind the L2.
+type HierarchyConfig struct {
+	I, D, L2   Config
+	MemLatency int
+}
+
+// DefaultHierarchyConfig returns the Table 1 memory system.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{I: ICacheConfig, D: DCacheConfig, L2: L2Config, MemLatency: MemoryLatency}
+}
+
+// Validate checks every level's geometry.
+func (hc HierarchyConfig) Validate() error {
+	for _, c := range []Config{hc.I, hc.D, hc.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if hc.MemLatency <= 0 {
+		return fmt.Errorf("cache: memory latency must be positive (got %d)", hc.MemLatency)
+	}
+	return nil
+}
+
 // NewHierarchy builds the Table 1 hierarchy.
 func NewHierarchy() *Hierarchy {
-	l2 := New(L2Config, nil)
+	return NewHierarchyFrom(DefaultHierarchyConfig())
+}
+
+// NewHierarchyFrom builds a hierarchy with the given geometry.
+func NewHierarchyFrom(hc HierarchyConfig) *Hierarchy {
+	l2 := NewMem(hc.L2, nil, hc.MemLatency)
 	return &Hierarchy{
-		I:  New(ICacheConfig, l2),
-		D:  New(DCacheConfig, l2),
+		I:  NewMem(hc.I, l2, hc.MemLatency),
+		D:  NewMem(hc.D, l2, hc.MemLatency),
 		L2: l2,
 	}
 }

@@ -70,7 +70,7 @@ func New(p *isa.Program, input []int64, memWords int) *Machine {
 	}
 	m := &Machine{
 		prog:  p,
-		pre:   predecode.Compile(p),
+		pre:   predecode.Shared(p),
 		Mem:   make([]int64, memWords),
 		PC:    p.Entry,
 		input: input,

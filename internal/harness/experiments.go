@@ -5,7 +5,6 @@ import (
 	"io"
 	"sync"
 
-	"dmp/internal/cache"
 	"dmp/internal/core"
 	"dmp/internal/pipeline"
 	"dmp/internal/stats"
@@ -16,7 +15,7 @@ func Table1(w io.Writer) {
 	cfg := pipeline.DefaultConfig()
 	fmt.Fprintln(w, "Table 1. Baseline processor configuration and additional support for DMP")
 	fmt.Fprintf(w, "Front End        %dKB %d-way %d-cycle I-cache; fetches up to %d instructions,\n",
-		cache.ICacheConfig.SizeBytes>>10, cache.ICacheConfig.Ways, cache.ICacheConfig.HitCycles, cfg.FetchWidth)
+		cfg.ICache.SizeKB, cfg.ICache.Ways, cfg.ICache.HitCycles, cfg.FetchWidth)
 	fmt.Fprintf(w, "                 up to %d conditional not-taken branches per cycle\n", cfg.MaxNotTakenBr)
 	fmt.Fprintf(w, "Branch Predictors %d-entry perceptron (%d-bit history); %d-entry BTB;\n",
 		cfg.PerceptronTables, cfg.PerceptronHist, cfg.BTBEntries)
@@ -25,10 +24,10 @@ func Table1(w io.Writer) {
 	fmt.Fprintf(w, "Execution Core   %d-wide fetch/issue/retire; %d-entry reorder buffer\n",
 		cfg.IssueWidth, cfg.ROBSize)
 	fmt.Fprintf(w, "Memory System    L1D %dKB %d-way %d-cycle; L2 %dMB %d-way %d-cycle;\n",
-		cache.DCacheConfig.SizeBytes>>10, cache.DCacheConfig.Ways, cache.DCacheConfig.HitCycles,
-		cache.L2Config.SizeBytes>>20, cache.L2Config.Ways, cache.L2Config.HitCycles)
+		cfg.DCache.SizeKB, cfg.DCache.Ways, cfg.DCache.HitCycles,
+		cfg.L2.SizeKB>>10, cfg.L2.Ways, cfg.L2.HitCycles)
 	fmt.Fprintf(w, "                 %d-cycle memory (incl. bus); %dB lines, LRU\n",
-		cache.MemoryLatency, cache.ICacheConfig.LineBytes)
+		cfg.MemLatency, cfg.LineBytes)
 	fmt.Fprintf(w, "DMP Support      %d-entry enhanced JRS confidence estimator (%d-bit history,\n",
 		cfg.ConfEntries, cfg.ConfHistBits)
 	fmt.Fprintf(w, "                 threshold %d); %d predicate registers; 3 CFM registers\n",

@@ -195,58 +195,23 @@ func EvalGenerated(ctx context.Context, p *gen.Program, algo string, opts EvalOp
 // train tape truncates instead of hanging the caller.
 func EvalSource(ctx context.Context, name, source string, runInput, trainInput []int64, algo string, opts EvalOptions) (ProgramResult, error) {
 	var r ProgramResult
-	if algo == "" {
-		algo = "heur"
-	}
-	if trainInput == nil {
-		trainInput = runInput
-	}
-	opts.note("compile")
-	prog, err := codegen.CompileSource(source)
+	prep, err := PrepareSource(ctx, name, source, runInput, trainInput, algo, opts)
 	if err != nil {
-		return r, fmt.Errorf("compile: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
 		return r, err
 	}
-	opts.note("profile")
-	profBudget := opts.MaxInsts
-	if profBudget == 0 {
-		profBudget = popEmuBudget
-	}
-	prof, err := profile.CollectCtx(ctx, prog, trainInput, profile.Options{MaxInsts: profBudget})
-	if err != nil {
-		return r, fmt.Errorf("profile: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
-		return r, err
-	}
-	opts.note("select")
-	annots, err := popSelect(prog, prof, algo)
-	if err != nil {
-		return r, fmt.Errorf("select %s: %w", algo, err)
-	}
-	annotated := prog.WithAnnots(annots)
-	if err := verify.CheckAnnots(annotated, name); err != nil {
-		return r, err
-	}
-	baseCfg := popConfig(false, opts.MaxInsts)
-	dmpCfg := popConfig(true, opts.MaxInsts)
-	baseCfg.Tracer = opts.Tracer
-	dmpCfg.Tracer = opts.Tracer
 	opts.note("baseline")
-	base, err := opts.runEval(ctx, prog.WithAnnots(nil), runInput, baseCfg)
+	base, err := prep.Simulate(ctx, popConfig(false, opts.MaxInsts), opts)
 	if err != nil {
 		return r, fmt.Errorf("baseline: %w", err)
 	}
 	opts.note("dmp")
-	dmp, err := opts.runEval(ctx, annotated, runInput, dmpCfg)
+	dmp, err := prep.Simulate(ctx, popConfig(true, opts.MaxInsts), opts)
 	if err != nil {
 		return r, fmt.Errorf("dmp: %w", err)
 	}
 	return ProgramResult{
 		Name:     name,
-		Annots:   len(annots),
+		Annots:   prep.Annots,
 		BaseIPC:  base.IPC(),
 		DMPIPC:   dmp.IPC(),
 		DeltaPct: Improvement(base, dmp),

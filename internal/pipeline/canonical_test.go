@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dmp/internal/trace"
+)
+
+// canonicalExclusions lists Config fields deliberately absent from the
+// canonical form. Tracer is an observer hook, not a simulation parameter
+// (AppendCanonical nils it), and traced runs bypass the simulation cache
+// entirely. Any other field added here needs the same kind of argument.
+var canonicalExclusions = map[string]bool{
+	"Tracer": true,
+}
+
+// TestCanonicalCoversEveryField asserts by reflection that perturbing any
+// Config field (except the documented exclusions) changes AppendCanonical
+// output — i.e. every simulation-relevant field participates in simcache
+// keys. A newly added field that misses the key would make stale cache
+// entries answer for configs they were never run under.
+func TestCanonicalCoversEveryField(t *testing.T) {
+	base := DefaultConfig()
+	baseC := base.AppendCanonical(nil)
+
+	var perturb func(v reflect.Value, path string)
+	perturb = func(v reflect.Value, path string) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				f := v.Type().Field(i)
+				perturb(v.Field(i), path+f.Name)
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			defer v.SetInt(old)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			old := v.Uint()
+			v.SetUint(old + 1)
+			defer v.SetUint(old)
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			defer v.SetBool(old)
+		case reflect.Float32, reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old + 1)
+			defer v.SetFloat(old)
+		case reflect.String:
+			old := v.String()
+			v.SetString(old + "x")
+			defer v.SetString(old)
+		default:
+			t.Fatalf("field %s has kind %s: teach this test to perturb it, "+
+				"or document it in canonicalExclusions", path, v.Kind())
+		}
+		if v.Kind() != reflect.Struct {
+			if got := base.AppendCanonical(nil); bytes.Equal(got, baseC) {
+				t.Errorf("perturbing Config.%s does not change AppendCanonical: "+
+					"the field is missing from simcache keys", path)
+			}
+		}
+	}
+
+	rv := reflect.ValueOf(&base).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if canonicalExclusions[f.Name] {
+			continue
+		}
+		func() { // scope the defers so each field is restored before the next
+			perturb(rv.Field(i), f.Name)
+		}()
+	}
+
+	// The exclusion list itself must stay honest: excluded fields must exist.
+	for name := range canonicalExclusions {
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("canonicalExclusions lists %q, which is not a Config field", name)
+		}
+	}
+}
+
+// TestCanonicalTracerExcluded pins the documented exclusion: attaching a
+// tracer must not change the canonical form (traced runs bypass the cache;
+// a tracer-dependent key would split otherwise identical entries).
+func TestCanonicalTracerExcluded(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.Tracer = trace.NewCollector()
+	if !bytes.Equal(a.AppendCanonical(nil), b.AppendCanonical(nil)) {
+		t.Fatal("Tracer participates in AppendCanonical; it is documented as excluded")
+	}
+}

@@ -25,7 +25,20 @@ import (
 	"dmp/internal/trace"
 )
 
-// Config holds the machine configuration (defaults are Table 1).
+// CacheGeom is one cache level's geometry as the machine configuration
+// carries it: kilobyte capacity, associativity and hit latency. Line size is
+// hierarchy-wide (Config.LineBytes). All three fields participate in the
+// canonical configuration and therefore in simulation-cache keys.
+type CacheGeom struct {
+	SizeKB    int
+	Ways      int
+	HitCycles int
+}
+
+// Config holds the machine configuration (defaults are Table 1). The struct
+// is JSON-serializable (the sweep engine builds grids of Configs from user
+// JSON); every simulation-relevant field participates in AppendCanonical,
+// which TestCanonicalCoversEveryField enforces by reflection.
 type Config struct {
 	// FetchWidth is instructions fetched per cycle (8).
 	FetchWidth int
@@ -71,6 +84,16 @@ type Config struct {
 	// Latencies per operation class.
 	LatALU, LatMul, LatDiv int
 
+	// Memory-hierarchy geometry (Table 1: 64KB/2-way/2-cycle L1I,
+	// 64KB/4-way/2-cycle L1D, 1MB/8-way/10-cycle shared L2, 64-byte lines,
+	// 340-cycle memory). Set counts must come out a power of two
+	// (Validate checks), since the cache index is a mask.
+	ICache, DCache, L2 CacheGeom
+	// LineBytes is the hierarchy-wide cache line size.
+	LineBytes int
+	// MemLatency is the main-memory latency behind the L2, in cycles.
+	MemLatency int
+
 	// WatchdogCycles aborts the simulation if no instruction retires for
 	// this many cycles (a model bug, not a program property).
 	WatchdogCycles int64
@@ -81,8 +104,9 @@ type Config struct {
 	// hook so the default path adds no work to the hot loop. The tracer is
 	// excluded from the canonical configuration (AppendCanonical), and the
 	// memoization layer bypasses its cache for traced runs — a cached
-	// answer would silently emit no events.
-	Tracer trace.Tracer
+	// answer would silently emit no events. It is likewise excluded from
+	// the JSON form: a sweep grid cell cannot carry a hook.
+	Tracer trace.Tracer `json:"-"`
 }
 
 // DefaultConfig returns the Table 1 machine.
@@ -107,7 +131,27 @@ func DefaultConfig() Config {
 		LatALU:           1,
 		LatMul:           4,
 		LatDiv:           12,
+		ICache:           CacheGeom{SizeKB: 64, Ways: 2, HitCycles: 2},
+		DCache:           CacheGeom{SizeKB: 64, Ways: 4, HitCycles: 2},
+		L2:               CacheGeom{SizeKB: 1024, Ways: 8, HitCycles: 10},
+		LineBytes:        64,
+		MemLatency:       cache.MemoryLatency,
 		WatchdogCycles:   2_000_000,
+	}
+}
+
+// hierConfig translates the configuration's cache geometry into the cache
+// package's hierarchy form.
+func (c Config) hierConfig() cache.HierarchyConfig {
+	lvl := func(name string, g CacheGeom) cache.Config {
+		return cache.Config{Name: name, SizeBytes: g.SizeKB << 10, Ways: g.Ways,
+			LineBytes: c.LineBytes, HitCycles: g.HitCycles}
+	}
+	return cache.HierarchyConfig{
+		I:          lvl("L1I", c.ICache),
+		D:          lvl("L1D", c.DCache),
+		L2:         lvl("L2", c.L2),
+		MemLatency: c.MemLatency,
 	}
 }
 

@@ -97,7 +97,7 @@ func (s *Sim) fetch() {
 			}
 			lat := s.hier.I.Access(cache.InstAddr(st.pc))
 			st.lastLine = line
-			if lat > cache.ICacheConfig.HitCycles {
+			if lat > s.iHit {
 				st.stalledUntil = s.cycle + int64(lat)
 				if s.cfg.Tracer != nil {
 					s.cfg.Tracer.Event(trace.Event{Kind: trace.KindFetchBreak, Cycle: s.cycle, Seq: s.seq, PC: st.pc, Branch: -1, Why: "icache-miss"})

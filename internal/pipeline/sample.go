@@ -38,7 +38,9 @@ func NewFromMachine(m *emu.Machine, cfg Config) *Sim {
 		pred:     bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
 		conf:     bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
 		btb:      bpred.NewBTB(cfg.BTBEntries),
-		hier:     cache.NewHierarchy(),
+		hier:     cache.NewHierarchyFrom(cfg.hierConfig()),
+		iHit:     cfg.ICache.HitCycles,
+		dHit:     cfg.DCache.HitCycles,
 		sfTag:    make([]int64, storeFwdSize),
 		sfCyc:    make([]int64, storeFwdSize),
 		issueTag: make([]int64, issueRingSize),

@@ -32,6 +32,10 @@ type Sim struct {
 	conf *bpred.Confidence
 	btb  *bpred.BTB
 	hier *cache.Hierarchy
+	// iHit/dHit mirror the configured L1 hit latencies (cfg.ICache/DCache
+	// HitCycles) so the hot paths don't reach into package-level constants.
+	iHit int
+	dHit int
 
 	cycle int64
 	seq   int64
@@ -108,7 +112,9 @@ func New(prog *isa.Program, input []int64, cfg Config) *Sim {
 		pred:     bpred.NewPerceptron(cfg.PerceptronTables, cfg.PerceptronHist),
 		conf:     bpred.NewConfidence(cfg.ConfEntries, cfg.ConfHistBits, cfg.ConfThreshold),
 		btb:      bpred.NewBTB(cfg.BTBEntries),
-		hier:     cache.NewHierarchy(),
+		hier:     cache.NewHierarchyFrom(cfg.hierConfig()),
+		iHit:     cfg.ICache.HitCycles,
+		dHit:     cfg.DCache.HitCycles,
 		sfTag:    make([]int64, storeFwdSize),
 		sfCyc:    make([]int64, storeFwdSize),
 		issueTag: make([]int64, issueRingSize),
@@ -152,6 +158,9 @@ func (s *Sim) RunCtx(ctx context.Context) (Stats, error) {
 
 // Run executes the simulation loop.
 func (s *Sim) Run() (Stats, error) {
+	if err := s.cfg.Validate(); err != nil {
+		return s.stats, err
+	}
 	if err := s.runLoop(); err != nil {
 		return s.stats, err
 	}
@@ -262,7 +271,7 @@ func (s *Sim) latencyOf(e *entry, rec *predecode.Rec) int {
 		if e.onTrace && e.addr >= 0 {
 			return s.hier.D.Access(cache.DataAddr(e.addr))
 		}
-		return cache.DCacheConfig.HitCycles
+		return s.dHit
 	default:
 		return s.cfg.LatALU
 	}

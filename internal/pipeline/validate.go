@@ -1,0 +1,88 @@
+package pipeline
+
+import "fmt"
+
+// Validate checks the machine configuration for shapes the model cannot
+// simulate meaningfully: zero or negative widths and capacities, hardware
+// table sizes that are not a power of two (their indices are masks), and
+// cache geometries whose set count is not a power of two. Every run entry
+// point calls it — the sweep engine builds Configs from user JSON, so a bad
+// grid cell must fail fast with a named-field diagnostic instead of
+// watchdog-aborting (or silently mis-masking) mid-grid.
+func (c Config) Validate() error {
+	pos := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("pipeline: config: %s must be positive (got %d)", name, v)
+		}
+		return nil
+	}
+	pow2 := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("pipeline: config: %s must be a power of two (got %d)", name, v)
+		}
+		return nil
+	}
+	checks := []error{
+		pos("FetchWidth", c.FetchWidth),
+		pos("MaxNotTakenBr", c.MaxNotTakenBr),
+		pos("IssueWidth", c.IssueWidth),
+		pos("RetireWidth", c.RetireWidth),
+		pos("ROBSize", c.ROBSize),
+		pos("FetchQSize", c.FetchQSize),
+		pos("MinMispPenalty", c.MinMispPenalty),
+		pow2("PerceptronTables", c.PerceptronTables),
+		pow2("BTBEntries", c.BTBEntries),
+		pos("RASDepth", c.RASDepth),
+		pow2("ConfEntries", c.ConfEntries),
+		pos("ConfHistBits", c.ConfHistBits),
+		pos("PredicateRegs", c.PredicateRegs),
+		pos("LatALU", c.LatALU),
+		pos("LatMul", c.LatMul),
+		pos("LatDiv", c.LatDiv),
+		pow2("LineBytes", c.LineBytes),
+		pos("MemLatency", c.MemLatency),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	if c.FrontEndDelay < 0 {
+		return fmt.Errorf("pipeline: config: FrontEndDelay must be >= 0 (got %d)", c.FrontEndDelay)
+	}
+	if c.PerceptronHist <= 0 || c.PerceptronHist > 64 {
+		return fmt.Errorf("pipeline: config: PerceptronHist must be in [1, 64] (got %d)", c.PerceptronHist)
+	}
+	if c.ConfHistBits > 32 {
+		return fmt.Errorf("pipeline: config: ConfHistBits must be in [1, 32] (got %d)", c.ConfHistBits)
+	}
+	if c.ConfThreshold == 0 {
+		return fmt.Errorf("pipeline: config: ConfThreshold must be positive")
+	}
+	if c.WatchdogCycles <= 0 {
+		return fmt.Errorf("pipeline: config: WatchdogCycles must be positive (got %d)", c.WatchdogCycles)
+	}
+	for _, lvl := range []struct {
+		name string
+		g    CacheGeom
+	}{{"ICache", c.ICache}, {"DCache", c.DCache}, {"L2", c.L2}} {
+		if err := pos(lvl.name+".SizeKB", lvl.g.SizeKB); err != nil {
+			return err
+		}
+		if err := pos(lvl.name+".Ways", lvl.g.Ways); err != nil {
+			return err
+		}
+		if err := pos(lvl.name+".HitCycles", lvl.g.HitCycles); err != nil {
+			return err
+		}
+		lines := (lvl.g.SizeKB << 10) / c.LineBytes
+		if lines < lvl.g.Ways {
+			return fmt.Errorf("pipeline: config: %s: %d lines < %d ways", lvl.name, lines, lvl.g.Ways)
+		}
+		if sets := lines / lvl.g.Ways; sets <= 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("pipeline: config: %s: set count %d not a power of two (size=%dKB ways=%d line=%d)",
+				lvl.name, sets, lvl.g.SizeKB, lvl.g.Ways, c.LineBytes)
+		}
+	}
+	return nil
+}

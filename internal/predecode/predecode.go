@@ -20,7 +20,11 @@
 // (undefined opcodes) lower to KBad and fault identically when executed.
 package predecode
 
-import "dmp/internal/isa"
+import (
+	"sync"
+
+	"dmp/internal/isa"
+)
 
 // Kind is the dense execution kind the emulator fast path dispatches on.
 // Arithmetic opcodes are split into register-register (RR) and
@@ -156,6 +160,45 @@ var aluKinds = map[isa.Op]Kind{
 	isa.OpShr: KShrRR, isa.OpCmpEQ: KCmpEQRR, isa.OpCmpNE: KCmpNERR,
 	isa.OpCmpLT: KCmpLTRR, isa.OpCmpLE: KCmpLERR, isa.OpCmpGT: KCmpGTRR,
 	isa.OpCmpGE: KCmpGERR,
+}
+
+// sharedMemo caches Compile results by code-segment identity (&Code[0]):
+// predecoding is a pure function of the code slice, and WithAnnots shares the
+// code array across a binary's annotation variants, so one compiled program
+// serves every machine the harness (or a config sweep) creates for it. The
+// map is bounded: fuzzers and generators create tens of thousands of
+// short-lived programs, and an unbounded identity-keyed map would pin every
+// one of their code arrays. On overflow the whole map is dropped — entries
+// are cheap to rebuild and dropping all avoids tracking recency.
+var sharedMemo struct {
+	sync.Mutex
+	m map[*isa.Inst]*Program
+}
+
+// sharedMemoCap bounds the memo; see sharedMemo.
+const sharedMemoCap = 8192
+
+// Shared returns the predecoded form of p, memoized by code-segment
+// identity. Programs with empty code compile fresh (no identity to key on).
+func Shared(p *isa.Program) *Program {
+	if len(p.Code) == 0 {
+		return Compile(p)
+	}
+	id := &p.Code[0]
+	sharedMemo.Lock()
+	pre, ok := sharedMemo.m[id]
+	sharedMemo.Unlock()
+	if ok {
+		return pre
+	}
+	pre = Compile(p)
+	sharedMemo.Lock()
+	if len(sharedMemo.m) >= sharedMemoCap || sharedMemo.m == nil {
+		sharedMemo.m = make(map[*isa.Inst]*Program, 64)
+	}
+	sharedMemo.m[id] = pre
+	sharedMemo.Unlock()
+	return pre
 }
 
 // Compile lowers the program's code segment. It is a single linear pass; the

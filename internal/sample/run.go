@@ -43,6 +43,9 @@ func Run(ctx context.Context, prog *isa.Program, input []int64, cfg pipeline.Con
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if !sc.Enabled {
 		return runExact(ctx, prog, input, cfg, sc)
 	}

@@ -10,6 +10,7 @@ import (
 	"dmp/internal/gen"
 	"dmp/internal/harness"
 	"dmp/internal/sample"
+	"dmp/internal/sweep"
 )
 
 // JobSpec is one compile+simulate request. Exactly one of Preset or Source
@@ -44,6 +45,10 @@ type JobSpec struct {
 	// reported IPCs are sampled estimates, memoized separately from
 	// full-fidelity runs.
 	Sample *sample.SampleConf `json:"sample,omitempty"`
+	// Sweep turns the job into a bulk configuration-grid evaluation (see
+	// SweepSpec). Mutually exclusive with Preset/Source/Trace; Algo,
+	// MaxInsts, Priority and Sample apply to every cell.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
 }
 
 // sampleConf returns the spec's effective sampling configuration: the
@@ -88,6 +93,24 @@ func (s *JobSpec) sampleConf() sample.SampleConf {
 
 // Validate checks the spec shape without compiling anything.
 func (s *JobSpec) Validate() error {
+	if s.Sweep != nil {
+		switch {
+		case s.Preset != "" || s.Source != "":
+			return fmt.Errorf("sweep is mutually exclusive with preset/source")
+		case s.Trace:
+			return fmt.Errorf("sweep jobs cannot stream events (trace)")
+		}
+		if err := s.Sweep.validate(); err != nil {
+			return err
+		}
+		if s.Algo != "" && !harness.KnownAlgo(s.Algo) {
+			return fmt.Errorf("unknown algorithm %q", s.Algo)
+		}
+		if s.Sample != nil {
+			return s.sampleConf().Validate()
+		}
+		return nil
+	}
 	switch {
 	case s.Preset == "" && s.Source == "":
 		return fmt.Errorf("one of preset or source is required")
@@ -131,7 +154,9 @@ type JobStatus struct {
 	Finished  *time.Time             `json:"finished,omitempty"`
 	LatencyMS float64                `json:"latency_ms,omitempty"`
 	Result    *harness.ProgramResult `json:"result,omitempty"`
-	Error     string                 `json:"error,omitempty"`
+	// Sweep carries a bulk job's full report (rows, marginals, best cells).
+	Sweep *sweep.Report `json:"sweep,omitempty"`
+	Error string        `json:"error,omitempty"`
 }
 
 // job is one queued/running/finished request.
@@ -151,6 +176,7 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	result    *harness.ProgramResult
+	sweepRes  *sweep.Report
 	err       string
 
 	heapIdx int // index in the queue heap, -1 once popped
@@ -189,7 +215,7 @@ func (j *job) setState(state string) bool {
 // the same critical section, so a completion that loses the race with Cancel
 // can never produce a canceled job carrying a result. It reports whether the
 // transition happened and the job's submit-to-finish latency.
-func (j *job) finish(state string, res *harness.ProgramResult, errMsg string) (bool, time.Duration) {
+func (j *job) finish(state string, res *harness.ProgramResult, sw *sweep.Report, errMsg string) (bool, time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if terminalState(j.state) {
@@ -198,6 +224,7 @@ func (j *job) finish(state string, res *harness.ProgramResult, errMsg string) (b
 	j.state = state
 	j.finished = time.Now()
 	j.result = res
+	j.sweepRes = sw
 	j.err = errMsg
 	if state == StateDone {
 		j.phase = ""
@@ -222,6 +249,7 @@ func (j *job) status() JobStatus {
 		Priority:  j.spec.Priority,
 		Submitted: j.submitted,
 		Result:    j.result,
+		Sweep:     j.sweepRes,
 		Error:     j.err,
 	}
 	if !j.started.IsZero() {

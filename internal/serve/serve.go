@@ -25,7 +25,13 @@
 // simulations through the SMARTS sampled executor instead (estimated IPCs
 // with confidence intervals, memoized separately from full-fidelity runs);
 // zero-valued fields in the block take the executor defaults, so
-// "sample": {} means sampled-at-defaults. Every job runs under its own context —
+// "sample": {} means sampled-at-defaults. A spec carrying a "sweep" block is
+// a bulk job instead: one submission evaluates a corpus (benchmark subset or
+// generated presets) against a machine-configuration grid through the
+// internal/sweep engine — config-invariant phases run once per program, cells
+// share the daemon's simcache — and the job's status carries the full sweep
+// report (rows, per-axis marginals, best cell per group).
+// Every job runs under its own context —
 // cancellation aborts mid-profile and mid-simulation at block-batch
 // granularity — and every worker recovers panics into single-job failures:
 // one broken workload can never take the daemon down. The daemon's memory
@@ -50,6 +56,7 @@ import (
 	"dmp/internal/gen"
 	"dmp/internal/harness"
 	"dmp/internal/simcache"
+	"dmp/internal/sweep"
 )
 
 // DefaultMaxInsts caps per-run simulated instructions for jobs that do not
@@ -142,11 +149,13 @@ type Server struct {
 	panics    atomic.Uint64
 	// sampledDone counts completed jobs that ran under a sampling conf.
 	sampledDone atomic.Uint64
-	lat       latencyRecorder
+	lat         latencyRecorder
 
 	// exec runs one job body; tests swap it to exercise panic isolation
-	// and slow-job draining without real simulations.
-	exec func(ctx context.Context, spec JobSpec, opts harness.EvalOptions) (harness.ProgramResult, error)
+	// and slow-job draining without real simulations. execSweep is the bulk
+	// counterpart for specs carrying a Sweep block.
+	exec      func(ctx context.Context, spec JobSpec, opts harness.EvalOptions) (harness.ProgramResult, error)
+	execSweep func(ctx context.Context, spec JobSpec, opts harness.EvalOptions) (*sweep.Report, error)
 }
 
 // New creates a Server (workers not yet started).
@@ -155,6 +164,7 @@ func New(cfg Config) *Server {
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.forceAbort = context.WithCancel(context.Background())
 	s.exec = s.defaultExec
+	s.execSweep = s.defaultExecSweep
 	return s
 }
 
@@ -307,7 +317,7 @@ func (s *Server) runJob(j *job) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			if ok, _ := j.finish(StateFailed, nil, fmt.Sprintf("worker panic: %v", r)); ok {
+			if ok, _ := j.finish(StateFailed, nil, nil, fmt.Sprintf("worker panic: %v", r)); ok {
 				s.failed.Add(1)
 			}
 			s.cfg.Logf("serve: %s: recovered worker panic: %v", j.id, r)
@@ -331,18 +341,38 @@ func (s *Server) runJob(j *job) {
 	if j.ev != nil {
 		opts.Tracer = j.ev
 	}
-	res, err := s.exec(j.ctx, j.spec, opts)
+
+	var res harness.ProgramResult
+	var rep *sweep.Report
+	var err error
+	if j.spec.Sweep != nil {
+		rep, err = s.execSweep(j.ctx, j.spec, opts)
+	} else {
+		res, err = s.exec(j.ctx, j.spec, opts)
+	}
 	switch {
 	case err != nil && j.ctx.Err() != nil:
-		if ok, _ := j.finish(StateCanceled, nil, err.Error()); ok {
+		if ok, _ := j.finish(StateCanceled, nil, nil, err.Error()); ok {
 			s.canceled.Add(1)
 		}
 	case err != nil:
-		if ok, _ := j.finish(StateFailed, nil, err.Error()); ok {
+		if ok, _ := j.finish(StateFailed, nil, nil, err.Error()); ok {
 			s.failed.Add(1)
 		}
+	case rep != nil:
+		ok, lat := j.finish(StateDone, nil, rep, "")
+		if !ok {
+			return // canceled concurrently; Cancel already counted it
+		}
+		s.completed.Add(1)
+		if j.spec.Sample != nil {
+			s.sampledDone.Add(1)
+		}
+		s.lat.record(lat)
+		s.cfg.Logf("serve: %s done: sweep %d programs x %d cells, %d rows",
+			j.id, len(rep.Programs), rep.Cells, len(rep.Rows))
 	default:
-		ok, lat := j.finish(StateDone, &res, "")
+		ok, lat := j.finish(StateDone, &res, nil, "")
 		if !ok {
 			return // canceled concurrently; Cancel already counted it
 		}

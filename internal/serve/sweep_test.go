@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"dmp/internal/sweep"
+)
+
+// TestSweepJob: a bulk sweep job round-trips over HTTP to done with a full
+// report — rows for every (program, cell) pair, marginals and best cells.
+func TestSweepJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := JobSpec{
+		MaxInsts: 30_000,
+		Sweep: &SweepSpec{
+			Axes: []sweep.Axis{
+				{Field: "ROBSize", Values: []string{"128", "512"}},
+				{Field: "DMP", Values: []string{"false", "true"}},
+			},
+			Bench: []string{"gzip"},
+		},
+	}
+	st, resp := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := waitJob(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("sweep job ended %q (%s), want done", final.State, final.Error)
+	}
+	if final.Result != nil {
+		t.Errorf("sweep job carries a single-program result: %+v", final.Result)
+	}
+	rep := final.Sweep
+	if rep == nil {
+		t.Fatal("done sweep job has no report")
+	}
+	if len(rep.Rows) != 4 || rep.Cells != 4 {
+		t.Fatalf("report has %d rows over %d cells, want 4/4", len(rep.Rows), rep.Cells)
+	}
+	for _, r := range rep.Rows {
+		if r.Program != "gzip" || r.IPC <= 0 || r.Retired == 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	if len(rep.Marginals) != 4 || len(rep.Best) != 1 {
+		t.Fatalf("report aggregation: %d marginal levels, %d best groups, want 4/1",
+			len(rep.Marginals), len(rep.Best))
+	}
+}
+
+// TestSweepJobValidation: malformed sweep blocks are rejected at submit time
+// with named-axis diagnostics, before any work is queued.
+func TestSweepJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"no axes", JobSpec{Sweep: &SweepSpec{}}},
+		{"bad field", JobSpec{Sweep: &SweepSpec{Axes: []sweep.Axis{{Field: "RobSize", Values: []string{"1"}}}}}},
+		{"invalid cell", JobSpec{Sweep: &SweepSpec{Axes: []sweep.Axis{{Field: "BTBEntries", Values: []string{"3000"}}}}}},
+		{"unknown bench", JobSpec{Sweep: &SweepSpec{
+			Axes:  []sweep.Axis{{Field: "DMP", Values: []string{"true"}}},
+			Bench: []string{"nope"}}}},
+		{"sweep plus source", JobSpec{Source: "x", Sweep: &SweepSpec{
+			Axes: []sweep.Axis{{Field: "DMP", Values: []string{"true"}}}}}},
+		{"sweep plus trace", JobSpec{Trace: true, Sweep: &SweepSpec{
+			Axes: []sweep.Axis{{Field: "DMP", Values: []string{"true"}}}}}},
+	}
+	for _, tc := range cases {
+		if _, resp := postJob(t, ts.URL, tc.spec); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

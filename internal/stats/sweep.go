@@ -1,0 +1,121 @@
+package stats
+
+// Cross-cell comparative aggregation for configuration sweeps: a sweep
+// produces one value (typically IPC) per (group, coordinate) point, where the
+// coordinate is the grid cell's axis assignment. AxisMarginals collapses the
+// grid one axis at a time — what does varying ROBSize do, averaged over
+// everything else? — and BestPerGroup answers which cell won for each group
+// (benchmark, or dominant idiom for generated corpora).
+
+import "sort"
+
+// KV is one axis assignment of a sweep coordinate.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SweepPoint is one measured cell: a group label (program or idiom), the
+// cell's coordinate along every swept axis, and the measured value.
+type SweepPoint struct {
+	Group string  `json:"group"`
+	Coord []KV    `json:"coord"`
+	Value float64 `json:"value"`
+}
+
+// AxisLevel is one level of one axis, aggregated over every point at that
+// level: the mean and geometric mean of the values, and the percentage delta
+// of the mean against the axis's first level (first in encounter order, which
+// for a grid is the first value listed on the axis).
+type AxisLevel struct {
+	Axis  string  `json:"axis"`
+	Level string  `json:"level"`
+	N     int     `json:"n"`
+	Mean  float64 `json:"mean"`
+	Geo   float64 `json:"geo"`
+	// DeltaPct is (Mean/first-level Mean - 1) * 100; 0 for the first level
+	// (and when the first level's mean is 0).
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// AxisMarginals aggregates points one axis at a time, preserving encounter
+// order of both axes and levels so grid-declaration order is report order.
+func AxisMarginals(points []SweepPoint) []AxisLevel {
+	type levelAcc struct {
+		vals []float64
+	}
+	axisOrder := []string{}
+	levelOrder := map[string][]string{}
+	acc := map[string]map[string]*levelAcc{}
+	for _, p := range points {
+		for _, kv := range p.Coord {
+			levels, seen := acc[kv.Key]
+			if !seen {
+				levels = map[string]*levelAcc{}
+				acc[kv.Key] = levels
+				axisOrder = append(axisOrder, kv.Key)
+			}
+			la := levels[kv.Value]
+			if la == nil {
+				la = &levelAcc{}
+				levels[kv.Value] = la
+				levelOrder[kv.Key] = append(levelOrder[kv.Key], kv.Value)
+			}
+			la.vals = append(la.vals, p.Value)
+		}
+	}
+	var out []AxisLevel
+	for _, axis := range axisOrder {
+		var firstMean float64
+		for i, level := range levelOrder[axis] {
+			la := acc[axis][level]
+			al := AxisLevel{
+				Axis:  axis,
+				Level: level,
+				N:     len(la.vals),
+				Mean:  Mean(la.vals),
+				Geo:   GeoMean(la.vals),
+			}
+			if i == 0 {
+				firstMean = al.Mean
+			} else if firstMean != 0 {
+				al.DeltaPct = (al.Mean/firstMean - 1) * 100
+			}
+			out = append(out, al)
+		}
+	}
+	return out
+}
+
+// GroupBest is the winning cell of one group.
+type GroupBest struct {
+	Group string  `json:"group"`
+	Coord []KV    `json:"coord"`
+	Value float64 `json:"value"`
+	// N counts the group's points considered.
+	N int `json:"n"`
+}
+
+// BestPerGroup returns each group's maximum-value point, groups sorted by
+// name. Ties keep the earliest point, so grid order breaks them
+// deterministically.
+func BestPerGroup(points []SweepPoint) []GroupBest {
+	best := map[string]*GroupBest{}
+	for _, p := range points {
+		b := best[p.Group]
+		if b == nil {
+			best[p.Group] = &GroupBest{Group: p.Group, Coord: p.Coord, Value: p.Value, N: 1}
+			continue
+		}
+		b.N++
+		if p.Value > b.Value {
+			b.Coord, b.Value = p.Coord, p.Value
+		}
+	}
+	out := make([]GroupBest, 0, len(best))
+	for _, b := range best {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}

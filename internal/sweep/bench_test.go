@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"dmp/internal/simcache"
+)
+
+// BenchmarkSweepGrid measures the sweep engine's phase-reuse path: one
+// program across an 8-cell ROB x DMP grid, fresh cache per iteration so the
+// number reflects real per-cell simulation plus the once-per-program prepare,
+// not pure memoization.
+func BenchmarkSweepGrid(b *testing.B) {
+	progs, err := FromBench([]string{"gzip"}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := &GridSpec{Axes: []Axis{
+		{Field: "ROBSize", Values: []string{"128", "256", "512", "1024"}},
+		{Field: "DMP", Values: []string{"false", "true"}},
+	}}
+	if err := grid.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), progs, grid,
+			Options{MaxInsts: 50_000, Cache: simcache.New("")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 8 {
+			b.Fatalf("got %d rows, want 8", len(rep.Rows))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package sweep is the parallel machine-configuration sweep engine: it
+// evaluates a corpus of programs against a grid of pipeline.Config points and
+// emits machine-readable rows (CSV for streaming/resume, JSON for the full
+// report). The engine's perf core is phase-level artifact reuse: per program,
+// the config-invariant phases (compile → profile → select → verify) run once
+// via harness.PrepareSource, predecoded code and simcache program hashes are
+// shared across every cell (both keyed by code-segment identity), and only
+// the simulate phase fans out per cell over the process-wide workpool, with
+// per-cell memoization through internal/simcache. See DESIGN.md §17.
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dmp/internal/pipeline"
+	"dmp/internal/stats"
+)
+
+// Axis is one swept dimension: a dotted field path into pipeline.Config
+// ("ROBSize", "ConfThreshold", "L2.SizeKB", "DMP") and the values it takes.
+// Values are strings — the forms they take on the command line, in grid JSON
+// and in CSV columns — parsed against the field's kind when cells are built.
+type Axis struct {
+	Field  string   `json:"field"`
+	Values []string `json:"values"`
+}
+
+// GridSpec is a serializable sweep grid: an optional base configuration
+// (nil = pipeline.DefaultConfig) plus the swept axes. The cell set is the
+// cartesian product of the axis values, last axis fastest.
+type GridSpec struct {
+	Base *pipeline.Config `json:"base,omitempty"`
+	Axes []Axis           `json:"axes"`
+}
+
+// ParseAxis parses the command-line form "Field=v1,v2,...".
+func ParseAxis(s string) (Axis, error) {
+	field, vals, ok := strings.Cut(s, "=")
+	if !ok || field == "" || vals == "" {
+		return Axis{}, fmt.Errorf("axis %q: want Field=v1,v2,...", s)
+	}
+	ax := Axis{Field: strings.TrimSpace(field)}
+	for _, v := range strings.Split(vals, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return Axis{}, fmt.Errorf("axis %q: empty value", s)
+		}
+		ax.Values = append(ax.Values, v)
+	}
+	return ax, nil
+}
+
+// Cell is one grid point: its index in cell order, its coordinate (one KV
+// per axis, in axis order) and the fully overridden configuration.
+type Cell struct {
+	Index  int
+	Coord  []stats.KV
+	Config pipeline.Config
+}
+
+// Label renders the coordinate as "ROBSize=128 DMP=true" (axis order). It is
+// the cell's identity for resume bookkeeping and error messages.
+func (c Cell) Label() string {
+	parts := make([]string, len(c.Coord))
+	for i, kv := range c.Coord {
+		parts[i] = kv.Key + "=" + kv.Value
+	}
+	return strings.Join(parts, " ")
+}
+
+// Validate checks the grid shape: at least one axis value per axis, no
+// duplicate fields, every field resolvable, every value parseable, and every
+// resulting cell config valid. It surfaces the first bad cell with its
+// coordinate so a user fixes the axis, not a mid-grid stack trace.
+func (g *GridSpec) Validate() error {
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("sweep: grid has no axes")
+	}
+	seen := map[string]bool{}
+	for _, ax := range g.Axes {
+		if ax.Field == "" {
+			return fmt.Errorf("sweep: axis with empty field")
+		}
+		if seen[ax.Field] {
+			return fmt.Errorf("sweep: axis %s listed twice", ax.Field)
+		}
+		seen[ax.Field] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("sweep: axis %s has no values", ax.Field)
+		}
+	}
+	_, err := g.Cells()
+	return err
+}
+
+// base returns the grid's base configuration.
+func (g *GridSpec) base() pipeline.Config {
+	if g.Base != nil {
+		return *g.Base
+	}
+	return pipeline.DefaultConfig()
+}
+
+// Cells expands the grid into the cartesian product of its axes, last axis
+// fastest. Every cell's configuration is validated; an invalid cell fails
+// with its coordinate and the named-field diagnostic from Config.Validate.
+func (g *GridSpec) Cells() ([]Cell, error) {
+	n := 1
+	for _, ax := range g.Axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %s has no values", ax.Field)
+		}
+		n *= len(ax.Values)
+	}
+	cells := make([]Cell, 0, n)
+	idx := make([]int, len(g.Axes))
+	for i := 0; i < n; i++ {
+		cfg := g.base()
+		coord := make([]stats.KV, len(g.Axes))
+		for a, ax := range g.Axes {
+			v := ax.Values[idx[a]]
+			coord[a] = stats.KV{Key: ax.Field, Value: v}
+			if err := SetField(&cfg, ax.Field, v); err != nil {
+				return nil, err
+			}
+		}
+		cell := Cell{Index: i, Coord: coord, Config: cfg}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: cell %s: %w", cell.Label(), err)
+		}
+		cells = append(cells, cell)
+		for a := len(idx) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(g.Axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return cells, nil
+}
+
+// SetField assigns the string value to the dotted field path of cfg,
+// parsing it against the field's kind. Unknown paths fail with the list of
+// valid fields so an axis typo is a one-line fix.
+func SetField(cfg *pipeline.Config, path, value string) error {
+	v := reflect.ValueOf(cfg).Elem()
+	for _, part := range strings.Split(path, ".") {
+		if v.Kind() != reflect.Struct {
+			return fmt.Errorf("sweep: axis %s: %s is not a struct", path, v.Type())
+		}
+		f := v.FieldByName(part)
+		if !f.IsValid() {
+			return fmt.Errorf("sweep: axis %s: no Config field %q (valid: %s)",
+				path, part, strings.Join(FieldPaths(), ", "))
+		}
+		v = f
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sweep: axis %s: %q is not an integer", path, value)
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sweep: axis %s: %q is not a non-negative integer", path, value)
+		}
+		if v.OverflowUint(n) {
+			return fmt.Errorf("sweep: axis %s: %q overflows %s", path, value, v.Type())
+		}
+		v.SetUint(n)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("sweep: axis %s: %q is not a bool", path, value)
+		}
+		v.SetBool(b)
+	default:
+		return fmt.Errorf("sweep: axis %s: field kind %s is not sweepable", path, v.Kind())
+	}
+	return nil
+}
+
+// FieldPaths returns every sweepable Config field path (scalar fields, plus
+// dotted paths into nested structs), sorted.
+func FieldPaths() []string {
+	var out []string
+	var walk func(t reflect.Type, prefix string)
+	walk = func(t reflect.Type, prefix string) {
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			switch f.Type.Kind() {
+			case reflect.Struct:
+				walk(f.Type, prefix+f.Name+".")
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+				reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+				reflect.Bool:
+				out = append(out, prefix+f.Name)
+			}
+		}
+	}
+	walk(reflect.TypeOf(pipeline.Config{}), "")
+	sort.Strings(out)
+	return out
+}

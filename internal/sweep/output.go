@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CSV layout: the fixed identity columns, one column per swept axis (in grid
+// order), then the fixed metric columns. Column order and float formatting
+// are pinned by TestCSVGoldenRow — downstream tooling parses these files.
+var (
+	csvIdentityCols = []string{"program", "preset", "idiom"}
+	csvMetricCols   = []string{"ipc", "ipc_err", "cycles", "retired", "mpki", "flushes_per_ki", "dpred_entries", "sampled"}
+)
+
+// Header returns the CSV header row for a grid's axes.
+func Header(axes []Axis) []string {
+	cols := append([]string{}, csvIdentityCols...)
+	for _, ax := range axes {
+		cols = append(cols, ax.Field)
+	}
+	return append(cols, csvMetricCols...)
+}
+
+// formatFloat renders metrics deterministically: fixed six decimal places,
+// no exponent form, so identical stats always produce byte-identical rows.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// rowRecord renders one row in Header order.
+func rowRecord(axes []Axis, r *Row) ([]string, error) {
+	rec := []string{r.Program, r.Preset, r.Idiom}
+	for i, ax := range axes {
+		if i >= len(r.Coord) || r.Coord[i].Key != ax.Field {
+			return nil, fmt.Errorf("sweep: row %s/%s coordinate does not match grid axes", r.Program, r.Cell)
+		}
+		rec = append(rec, r.Coord[i].Value)
+	}
+	return append(rec,
+		formatFloat(r.IPC),
+		formatFloat(r.IPCErr),
+		strconv.FormatInt(r.Cycles, 10),
+		strconv.FormatUint(r.Retired, 10),
+		formatFloat(r.MPKI),
+		formatFloat(r.FlushesPerKI),
+		strconv.FormatUint(r.DpredEntries, 10),
+		strconv.FormatBool(r.Sampled),
+	), nil
+}
+
+// CSVWriter streams rows as they complete: each WriteRow appends one full
+// record and flushes, under a mutex, so a cancelled or crashed sweep leaves
+// a well-formed file of exactly the rows that finished.
+type CSVWriter struct {
+	mu          sync.Mutex
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter wraps w. The header is written lazily with the first row (its
+// axis columns come from the grid the rows belong to).
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w)}
+}
+
+// WriteRow appends one row (writing the header first if none has been).
+func (cw *CSVWriter) WriteRow(axes []Axis, r *Row) error {
+	rec, err := rowRecord(axes, r)
+	if err != nil {
+		return err
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if !cw.wroteHeader {
+		if err := cw.w.Write(Header(axes)); err != nil {
+			return err
+		}
+		cw.wroteHeader = true
+	}
+	if err := cw.w.Write(rec); err != nil {
+		return err
+	}
+	cw.w.Flush()
+	return cw.w.Error()
+}
+
+// WriteHeader writes the header immediately (used when creating a fresh
+// output file, so even a zero-row run leaves a parseable file).
+func (cw *CSVWriter) WriteHeader(axes []Axis) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.wroteHeader {
+		return nil
+	}
+	if err := cw.w.Write(Header(axes)); err != nil {
+		return err
+	}
+	cw.wroteHeader = true
+	cw.w.Flush()
+	return cw.w.Error()
+}
+
+// MarkHeaderWritten records that the underlying file already carries a header
+// (the resume-append case), so WriteRow will not emit a second one.
+func (cw *CSVWriter) MarkHeaderWritten() {
+	cw.mu.Lock()
+	cw.wroteHeader = true
+	cw.mu.Unlock()
+}
+
+// DoneSet is the resume bookkeeping read back from an existing CSV: the set
+// of (program, cell label) pairs already measured.
+type DoneSet map[string]bool
+
+func doneKey(program, cell string) string { return program + "|" + cell }
+
+// Contains reports whether the pair is already done (the Options.Skip form).
+func (d DoneSet) Contains(program, cell string) bool { return d[doneKey(program, cell)] }
+
+// ReadDone parses an existing sweep CSV for resume. The header must match
+// the grid exactly — same axes, same order — otherwise the file belongs to a
+// different sweep and resuming into it would interleave incompatible rows.
+// Rows are keyed by (program, cell label); trailing partial lines cannot
+// occur because WriteRow flushes whole records.
+func ReadDone(r io.Reader, axes []Axis) (DoneSet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header(axes))
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: resume: %w", err)
+	}
+	if len(recs) == 0 {
+		return DoneSet{}, nil
+	}
+	want := Header(axes)
+	if got := recs[0]; strings.Join(got, ",") != strings.Join(want, ",") {
+		return nil, fmt.Errorf("sweep: resume: existing header %v does not match grid %v; "+
+			"the file belongs to a different sweep", got, want)
+	}
+	done := DoneSet{}
+	for _, rec := range recs[1:] {
+		parts := make([]string, len(axes))
+		for i, ax := range axes {
+			parts[i] = ax.Field + "=" + rec[len(csvIdentityCols)+i]
+		}
+		done[doneKey(rec[0], strings.Join(parts, " "))] = true
+	}
+	return done, nil
+}
+
+// ReadDoneFile is ReadDone over a file path; a missing file is an empty set.
+func ReadDoneFile(path string, axes []Axis) (DoneSet, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return DoneSet{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDone(f, axes)
+}
+
+// WriteJSON writes the full report.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Render writes the human-readable summary: per-axis IPC marginals and the
+// best cell per group.
+func (rep *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "sweep: %d programs x %d cells, %d rows (%d skipped), selection %s\n",
+		len(rep.Programs), rep.Cells, len(rep.Rows), rep.Skipped, rep.Algo)
+	if len(rep.Marginals) > 0 {
+		fmt.Fprintf(w, "%-18s%-10s%6s%10s%10s%10s\n", "axis", "value", "n", "meanIPC", "geoIPC", "delta%")
+		prev := ""
+		for _, m := range rep.Marginals {
+			axis := m.Axis
+			if axis == prev {
+				axis = ""
+			} else {
+				prev = m.Axis
+			}
+			fmt.Fprintf(w, "%-18s%-10s%6d%10.4f%10.4f%+10.2f\n", axis, m.Level, m.N, m.Mean, m.Geo, m.DeltaPct)
+		}
+	}
+	if len(rep.Best) > 0 {
+		fmt.Fprintf(w, "best cell per group:\n")
+		for _, b := range rep.Best {
+			parts := make([]string, len(b.Coord))
+			for i, kv := range b.Coord {
+				parts[i] = kv.Key + "=" + kv.Value
+			}
+			fmt.Fprintf(w, "  %-16s IPC %.4f at %s (over %d cells)\n", b.Group, b.Value, strings.Join(parts, " "), b.N)
+		}
+	}
+}

@@ -31,8 +31,8 @@ trap 'rm -rf "$tmp"' EXIT
 
 count=${BENCH_COUNT:-5}
 go test -run '^$' \
-	-bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun|BenchmarkEmuRun|BenchmarkProfileCollect|BenchmarkSampledRun' \
-	-benchmem -count "$count" . ./internal/pipeline ./internal/emu ./internal/profile ./internal/sample | tee "$tmp/bench.txt"
+	-bench 'BenchmarkPipelineBaseline|BenchmarkPipelineDMP|BenchmarkDMPRun|BenchmarkEmuRun|BenchmarkProfileCollect|BenchmarkSampledRun|BenchmarkSweepGrid' \
+	-benchmem -count "$count" . ./internal/pipeline ./internal/emu ./internal/profile ./internal/sample ./internal/sweep | tee "$tmp/bench.txt"
 
 baseline=""
 if git show HEAD:BENCH_PR9.json > "$tmp/baseline.json" 2>/dev/null; then

@@ -11,8 +11,10 @@
 # every full-fidelity IPC must land inside the sampled confidence interval),
 # the dmpserve daemon smoke (real HTTP jobs including a duplicate spec that
 # must hit the shared simulation cache, a /metrics scrape, and a SIGTERM
-# graceful-drain check), and short deterministic fuzz smokes over the DML
-# parser and the emulator differential harness.
+# graceful-drain check), the sweep-engine smoke (a small benchmark x config
+# grid through cmd/dmpsweep with CSV streaming, run twice so the second
+# invocation exercises resume), and short deterministic fuzz smokes over the
+# DML parser and the emulator differential harness.
 set -eux
 
 go vet ./...
@@ -30,5 +32,9 @@ go run ./cmd/dmpsim -bench vpr -dmp -max 200000 -trace-json .trace-smoke.jsonl >
 go run ./cmd/dmptrace -require-sessions .trace-smoke.jsonl >/dev/null
 rm -f .trace-smoke.jsonl
 sh scripts/serve_smoke.sh
+rm -f .sweep-smoke.csv
+go run ./cmd/dmpsweep -bench gzip,mcf -axis ROBSize=128,512 -axis DMP=false,true -max 200000 -q -out .sweep-smoke.csv >/dev/null
+go run ./cmd/dmpsweep -bench gzip,mcf -axis ROBSize=128,512 -axis DMP=false,true -max 200000 -q -out .sweep-smoke.csv >/dev/null
+rm -f .sweep-smoke.csv
 go test -run '^$' -fuzz=FuzzParse -fuzztime=30s ./internal/lang
 go test -run '^$' -fuzz=FuzzEmuDiff -fuzztime=30s ./internal/emu
